@@ -1,0 +1,52 @@
+"""Fig. 6 — response rates seen by heterogeneous protocols.
+
+Paper: across OpenDNS, EdgeCast, CloudFlare and Microsoft, protocols other
+than ICMP have *binary* recall — near-100% when the matching service runs
+on the target, near-0% otherwise — while ICMP replies everywhere, which is
+why the census uses ICMP.
+"""
+
+from conftest import write_exhibit
+
+from repro.census.protocols import ProbeProtocol, protocol_recall_table
+
+TARGETS = ["OPENDNS,US", "EDGECAST,US", "CLOUDFLARENET,US", "MICROSOFT,US"]
+
+# Paper's qualitative matrix (Fig. 6): which bars are high.
+PAPER_HIGH = {
+    ("OPENDNS,US", "ICMP"): True, ("OPENDNS,US", "TCP-53"): True,
+    ("OPENDNS,US", "TCP-80"): True, ("OPENDNS,US", "DNS/UDP"): True,
+    ("OPENDNS,US", "DNS/TCP"): True,
+    ("EDGECAST,US", "ICMP"): True, ("EDGECAST,US", "TCP-53"): True,
+    ("EDGECAST,US", "TCP-80"): True, ("EDGECAST,US", "DNS/UDP"): False,
+    ("EDGECAST,US", "DNS/TCP"): False,
+    ("CLOUDFLARENET,US", "ICMP"): True, ("CLOUDFLARENET,US", "TCP-53"): True,
+    ("CLOUDFLARENET,US", "TCP-80"): True, ("CLOUDFLARENET,US", "DNS/UDP"): False,
+    ("CLOUDFLARENET,US", "DNS/TCP"): False,
+    ("MICROSOFT,US", "ICMP"): True, ("MICROSOFT,US", "TCP-53"): False,
+    ("MICROSOFT,US", "TCP-80"): False, ("MICROSOFT,US", "DNS/UDP"): False,
+    ("MICROSOFT,US", "DNS/TCP"): False,
+}
+
+
+def test_fig06_protocol_recall(benchmark, paper_study, results_dir):
+    deployments = [paper_study.deployment(name) for name in TARGETS]
+
+    table = benchmark.pedantic(
+        protocol_recall_table, args=(deployments,), rounds=1, iterations=1
+    )
+
+    lines = [f"{'deployment':18s} " + " ".join(f"{p.value:>8s}" for p in ProbeProtocol)]
+    for name in TARGETS:
+        rates = table[name]
+        lines.append(
+            f"{name:18s} " + " ".join(f"{rates[p.value]:8.2f}" for p in ProbeProtocol)
+        )
+    write_exhibit(results_dir, "fig06_protocol_recall", lines)
+
+    for (name, proto), high in PAPER_HIGH.items():
+        rate = table[name][proto]
+        if high:
+            assert rate > 0.85, (name, proto, rate)
+        else:
+            assert rate < 0.15, (name, proto, rate)

@@ -1,0 +1,55 @@
+"""Fig. 10 — censuses at a glance: the headline summary table.
+
+Paper values (combination of four censuses):
+
+    All            1696 IP/24   346 ASes   77 cities   38 CC   13,802 replicas
+    >= 5 Replicas   897 IP/24   100 ASes   71 cities   36 CC   11,598 replicas
+    /\\ CAIDA-100     19 IP/24     8 ASes   30 cities   18 CC      138 replicas
+    /\\ Alexa-100k   242 IP/24    15 ASes   45 cities   29 CC    4,038 replicas
+
+Our city/CC counts exceed the paper's because the synthetic gazetteer is
+denser than PlanetLab's effective coverage; the IP/24 and AS columns are
+the comparable ones.
+"""
+
+from conftest import write_exhibit
+
+PAPER = {
+    "All": (1696, 346),
+    ">= 5 Replicas": (897, 100),
+    "/\\ CAIDA-100": (19, 8),
+    "/\\ Alexa-100k": (242, 15),
+}
+
+
+def test_fig10_glance_table(benchmark, paper_study, results_dir):
+    # Force the expensive stages outside the timed region.
+    paper_study.analysis
+
+    rows = benchmark.pedantic(paper_study.glance_table, rounds=1, iterations=1)
+
+    lines = [f"{'row':16s} {'paper ip24':>10s} {'ours ip24':>10s} {'paper ASes':>10s} {'ours ASes':>10s}"]
+    for row in rows:
+        paper_ip24, paper_ases = PAPER[row.label]
+        lines.append(
+            f"{row.label:16s} {paper_ip24:10d} {row.ip24:10d} {paper_ases:10d} {row.ases:10d}"
+        )
+        lines.append(
+            f"{'':16s} cities={row.cities} cc={row.countries} replicas={row.replicas}"
+        )
+    write_exhibit(results_dir, "fig10_glance", lines)
+
+    by_label = {r.label: r for r in rows}
+    # Shape assertions: within ~15% of the paper on the comparable columns.
+    assert abs(by_label["All"].ip24 - 1696) / 1696 < 0.15
+    assert abs(by_label["All"].ases - 346) / 346 < 0.15
+    assert abs(by_label[">= 5 Replicas"].ip24 - 897) / 897 < 0.15
+    assert abs(by_label[">= 5 Replicas"].ases - 100) / 100 < 0.15
+    # The rank intersections are exact ground-truth joins.
+    assert by_label["/\\ CAIDA-100"].ip24 == 19
+    assert by_label["/\\ CAIDA-100"].ases == 8
+    assert by_label["/\\ Alexa-100k"].ip24 == 242
+    assert by_label["/\\ Alexa-100k"].ases == 15
+    # Ordering between rows must match the paper.
+    assert by_label["All"].replicas > by_label[">= 5 Replicas"].replicas
+    assert by_label["/\\ Alexa-100k"].replicas > by_label["/\\ CAIDA-100"].replicas

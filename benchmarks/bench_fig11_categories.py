@@ -1,0 +1,33 @@
+"""Fig. 11 — breakdown of AS business categories.
+
+Paper: DNS now represents about one third of IP-anycast ASes; CDNs, cloud
+providers, ISPs, security companies, social networks and a long 'other'
+tail make up the rest.
+"""
+
+from conftest import write_exhibit
+
+# Approximate paper bar heights (share of top-100 ASes).
+PAPER = {"DNS": 0.34, "CDN": 0.17, "Cloud": 0.15, "ISP": 0.10,
+         "Unknown": 0.07, "Security": 0.04, "Social": 0.03, "Other": 0.10}
+
+
+def test_fig11_category_breakdown(benchmark, paper_study, results_dir):
+    paper_study.analysis
+
+    breakdown = benchmark.pedantic(
+        paper_study.characterization.category_breakdown, rounds=1, iterations=1
+    )
+
+    lines = [f"{'category':10s} {'paper':>6s} {'ours':>6s}"]
+    for cat in PAPER:
+        lines.append(f"{cat:10s} {PAPER[cat]:6.2f} {breakdown.get(cat, 0.0):6.2f}")
+    write_exhibit(results_dir, "fig11_categories", lines)
+
+    assert sum(breakdown.values()) == 1.0 or abs(sum(breakdown.values()) - 1.0) < 1e-9
+    # DNS about one third, and the largest single category.
+    assert 0.2 <= breakdown.get("DNS", 0.0) <= 0.45
+    assert breakdown["DNS"] == max(breakdown.values())
+    # CDN and Cloud clearly present.
+    assert breakdown.get("CDN", 0.0) >= 0.08
+    assert breakdown.get("Cloud", 0.0) >= 0.08

@@ -1,0 +1,43 @@
+"""Fig. 13 — CDF of the number of anycast IP/24s per AS.
+
+Paper: about half of the ASes have exactly one anycast /24; ~10% employ at
+least 10 subnets; the heavy hitters are Prolexic (21), EdgeCast (37),
+Google (102) and CloudFlare (328).
+"""
+
+import numpy as np
+from conftest import write_exhibit
+
+PAPER_HEAVY = {32787: 21, 15133: 37, 15169: 102, 13335: 328}
+NAMES = {32787: "PROLEXIC", 15133: "EDGECAST", 15169: "GOOGLE", 13335: "CLOUDFLARE"}
+
+
+def test_fig13_ip24_per_as(benchmark, paper_study, results_dir):
+    paper_study.analysis
+
+    per_as = benchmark.pedantic(
+        paper_study.characterization.ip24_per_as, rounds=1, iterations=1
+    )
+
+    counts = np.array(sorted(per_as.values()))
+    one = float((counts == 1).mean())
+    ten_plus = float((counts >= 10).mean())
+    lines = [
+        "metric                          paper   measured",
+        f"share of ASes with exactly 1    ~0.50   {one:.2f}",
+        f"share of ASes with >= 10        ~0.10   {ten_plus:.2f}",
+    ]
+    for asn, paper_count in PAPER_HEAVY.items():
+        lines.append(
+            f"{NAMES[asn]:<16s}               {paper_count:6d}   {per_as.get(asn, 0)}"
+        )
+    write_exhibit(results_dir, "fig13_ip24_per_as", lines)
+
+    assert 0.30 <= one <= 0.60
+    assert 0.05 <= ten_plus <= 0.20
+    # Heavy hitters detected with nearly their full footprint.
+    for asn, paper_count in PAPER_HEAVY.items():
+        assert per_as.get(asn, 0) >= 0.9 * paper_count, NAMES[asn]
+        assert per_as.get(asn, 0) <= paper_count
+    # CloudFlare is by far the largest (paper Sec. 4.2).
+    assert max(per_as, key=per_as.get) == 13335

@@ -1,0 +1,52 @@
+"""Fig. 14 — nmap portscan statistics and top-10 open TCP ports.
+
+Paper: scanning one IP per /24 of the top-100 ASes finds 812 responding
+IPs in 81 ASes, 10,499 open ports, 457 well-known services (185 over SSL)
+and 30 fingerprinted software implementations.  The top-10 ports ranked by
+AS count are generic (53/80/443/179/22/...), while ranked by /24 count
+they are flooded by CloudFlare's management ports — the class-imbalance
+caveat.
+"""
+
+from conftest import write_exhibit
+
+PAPER_STATS = {"ips": 812, "ases": 81, "ports": 10_499, "well_known": 457, "ssl": 185,
+               "software": 30}
+PAPER_TOP_BY_AS = [53, 80, 443, 179, 22, 8080, 8083, 3306, 1935, 5252]
+
+
+def test_fig14_portscan(benchmark, paper_study, results_dir):
+    report = benchmark.pedantic(lambda: paper_study.portscan, rounds=1, iterations=1)
+
+    measured = {
+        "ips": len(report.responding_hosts),
+        "ases": report.n_ases,
+        "ports": report.total_open_ports,
+        "well_known": len(report.well_known_services()),
+        "ssl": len(report.ssl_services()),
+        "software": len(report.software_seen()),
+    }
+    lines = ["metric        paper   measured"]
+    for key, paper_value in PAPER_STATS.items():
+        lines.append(f"{key:12s} {paper_value:6d}   {measured[key]}")
+    lines.append("")
+    lines.append("top-10 by AS:     " + ", ".join(str(p) for p, _ in report.top_ports_by_as()))
+    lines.append("top-10 by /24:    " + ", ".join(str(p) for p, _ in report.top_ports_by_prefix()))
+    lines.append("paper top by AS:  " + ", ".join(str(p) for p in PAPER_TOP_BY_AS))
+    write_exhibit(results_dir, "fig14_portscan", lines)
+
+    # Magnitudes within the paper's ballpark.
+    assert 0.75 * 812 <= measured["ips"] <= 1.3 * 812
+    assert 70 <= measured["ases"] <= 100
+    assert 9_000 <= measured["ports"] <= 12_500
+    assert 300 <= measured["well_known"] <= 700
+    assert 100 <= measured["ssl"] <= 300
+    assert 15 <= measured["software"] <= 30
+
+    # Head of the per-AS ranking is generic infrastructure ports.
+    top_by_as = [p for p, _ in report.top_ports_by_as(k=5)]
+    assert set(top_by_as[:3]) == {53, 80, 443}
+    # Per-/24 ranking shows the CloudFlare class imbalance.
+    cf_ports = {2052, 2053, 2082, 2083, 2086, 2087, 2095, 2096, 8880}
+    top_by_prefix = [p for p, _ in report.top_ports_by_prefix(k=10)]
+    assert len(cf_ports & set(top_by_prefix)) >= 2

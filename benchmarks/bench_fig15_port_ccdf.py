@@ -1,0 +1,46 @@
+"""Fig. 15 — complementary CDF of open TCP ports per AS.
+
+Paper: roughly half of the top-100 ASes expose at least one open TCP
+port... of those, ~10% expose >= 5 ports; the tail is extreme — Incapsula
+with 313 open ports and OVH with 10,148 (seedbox ecosystem).  HTTP and
+HTTPS are used by over 20% of ASes.
+"""
+
+import numpy as np
+from conftest import write_exhibit
+
+from repro.census.report import empirical_ccdf
+
+
+def test_fig15_open_port_ccdf(benchmark, paper_study, results_dir):
+    report = paper_study.portscan
+
+    per_as = benchmark.pedantic(report.open_ports_per_as, rounds=1, iterations=1)
+
+    counts = np.array(sorted(per_as.values()))
+    x, p = empirical_ccdf(counts)
+    at_least_5 = float((counts >= 5).mean())
+    lines = [
+        "metric                         paper    measured",
+        f"responding ASes                 ~81     {len(counts)}",
+        f"share with >= 5 open ports     ~0.10    {at_least_5:.2f}",
+        f"max (OVH)                     10148     {counts.max()}",
+        f"2nd (Incapsula)                 313     {counts[-2] if len(counts) > 1 else 0}",
+    ]
+    http_ases = sum(1 for ports in report.ports_by_as().values() if 80 in ports)
+    https_ases = sum(1 for ports in report.ports_by_as().values() if 443 in ports)
+    lines.append(f"ASes with HTTP (80)            >20%     {http_ases / len(counts):.2f}")
+    lines.append(f"ASes with HTTPS (443)          >20%     {https_ases / len(counts):.2f}")
+    write_exhibit(results_dir, "fig15_port_ccdf", lines)
+
+    # CCDF is a proper survival curve.
+    assert p[0] == 1.0
+    assert (np.diff(p) <= 1e-12).all()
+    # The two heavy tails of the paper.
+    assert counts.max() > 9_000
+    assert 200 <= counts[-2] <= 400
+    # >= 5 open ports: a small share of ASes.
+    assert 0.05 <= at_least_5 <= 0.35
+    # HTTP/HTTPS adoption above the paper's 20% floor.
+    assert http_ases / len(counts) > 0.2
+    assert https_ases / len(counts) > 0.2

@@ -1,0 +1,55 @@
+"""Anycast performance metrics over the census population.
+
+Complements the census with the metric toolkit of the paper's related work
+(Sec. 2.2): proximity [9,10,19,34,43], affinity [9-11,13], availability
+[10,32,43].  Expected shapes:
+
+* most clients of a mature deployment reach a near-optimal replica, with a
+  heavy detour tail from BGP policy;
+* affinity is high on census timescales (the premise behind combining
+  censuses measured days apart);
+* globally-announced deployments are fully available; regionally-scoped
+  tails strand remote clients on the distant primary.
+"""
+
+import numpy as np
+from conftest import write_exhibit
+
+from repro.census.performance import affinity, availability, proximity
+
+
+def test_performance_metrics(benchmark, paper_study, results_dir):
+    internet = paper_study.internet
+    platform = paper_study.platform
+    top = [d for d in internet.deployments if d.entry.rank <= 20]
+    scoped = [d for d in internet.deployments if d.local_scope_km is not None][:40]
+
+    def run():
+        prox = [proximity(d, platform) for d in top]
+        aff = [affinity(d, platform, rounds=8, flap_prob=0.02, seed=d.entry.asn) for d in top]
+        avail_global = [availability(d, platform, max_distance_km=5000.0) for d in top]
+        avail_scoped = [availability(d, platform, max_distance_km=5000.0) for d in scoped]
+        return prox, aff, avail_global, avail_scoped
+
+    prox, aff, avail_global, avail_scoped = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    optimal = np.mean([p.optimal_fraction for p in prox])
+    median_penalty = np.median([p.median_penalty_km for p in prox])
+    mean_affinity = np.mean([a.mean_affinity for a in aff])
+    lines = [
+        "metric                                   measured",
+        f"clients at nearest replica (top-20)      {optimal:.2f}",
+        f"median proximity penalty (km)            {median_penalty:.0f}",
+        f"mean affinity (8 rounds, 2% flaps)       {mean_affinity:.3f}",
+        f"availability <= 5000 km, global deps     {np.mean(avail_global):.2f}",
+        f"availability <= 5000 km, scoped tails    {np.mean(avail_scoped):.2f}",
+    ]
+    write_exhibit(results_dir, "performance_metrics", lines)
+
+    # Geography dominates routing, with a policy tail.
+    assert 0.4 <= optimal <= 0.95
+    assert median_penalty < 2000
+    # BGP stability on census timescales.
+    assert mean_affinity > 0.95
+    # Scoping depresses availability relative to global announcements.
+    assert np.mean(avail_scoped) < np.mean(avail_global)

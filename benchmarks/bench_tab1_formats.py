@@ -1,0 +1,70 @@
+"""Tab. 1 — textual vs binary census formats.
+
+Paper: the textual format weighed 270 MB/node (79 GB/census) and took
+>3 days to analyze; the stripped-down binary format (timestamp, delay,
+ICMP flag) weighs ~21 MB/node (6 GB/census) and analyzes in ~3 hours.
+
+We serialize one VP's records both ways, compare sizes and parse
+throughput, and extrapolate per-node sizes to the paper's 6.6M targets.
+"""
+
+import io
+
+from conftest import write_exhibit
+
+from repro.measurement.recordio import CensusRecords
+
+PAPER_TARGETS = 6_600_000
+
+
+def test_tab1_binary_vs_textual(benchmark, paper_study, results_dir):
+    census = paper_study.censuses[0]
+    # One VP's slice of the census.
+    vp0 = census.records.select(census.records.vp_index == 0)
+    n = len(vp0)
+
+    binary_buf = io.BytesIO()
+    vp0.write_binary(binary_buf)
+    csv_buf = io.StringIO()
+    vp0.write_csv(csv_buf)
+    binary_size = binary_buf.tell()
+    csv_size = len(csv_buf.getvalue())
+
+    def parse_both():
+        binary_buf.seek(0)
+        a = CensusRecords.read_binary(binary_buf)
+        csv_buf.seek(0)
+        b = CensusRecords.read_csv(csv_buf)
+        return a, b
+
+    import time
+
+    t0 = time.perf_counter()
+    binary_buf.seek(0)
+    CensusRecords.read_binary(binary_buf)
+    t_binary = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    csv_buf.seek(0)
+    CensusRecords.read_csv(csv_buf)
+    t_csv = time.perf_counter() - t0
+
+    benchmark.pedantic(parse_both, rounds=1, iterations=1)
+
+    # Extrapolate to a paper-size census (records scale with reply count).
+    scale = PAPER_TARGETS / paper_study.internet.n_targets
+    lines = [
+        "metric                         paper        measured",
+        f"records per node                            {n}",
+        f"binary bytes/record                         {binary_size / n:.1f}",
+        f"textual bytes/record                        {csv_size / n:.1f}",
+        f"textual/binary size ratio      12.9x        {csv_size / binary_size:.1f}x",
+        f"binary per node @6.6M targets  21 MB        {binary_size * scale / 1e6:.0f} MB",
+        f"textual per node @6.6M targets 270 MB       {csv_size * scale / 1e6:.0f} MB",
+        f"textual/binary parse-time ratio >24x        {t_csv / max(t_binary, 1e-9):.0f}x",
+    ]
+    write_exhibit(results_dir, "tab1_formats", lines)
+
+    assert csv_size > 2.5 * binary_size
+    assert t_csv > 3.0 * t_binary
+    # Binary per-node extrapolation lands in the paper's order of magnitude.
+    assert 5e6 < binary_size * scale < 1.5e8

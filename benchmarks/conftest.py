@@ -1,0 +1,54 @@
+"""Shared state for the benchmark harness.
+
+Every benchmark regenerates one exhibit (table or figure) of the paper.
+The expensive inputs — a four-census study at near-paper anycast scale —
+are computed once per session and shared; each benchmark times its own
+exhibit-specific computation and writes a ``paper vs measured`` comparison
+to ``benchmarks/results/<exhibit>.txt``.
+
+Scale notes: the anycast population is the catalog's full ~1,640 /24s in
+360 ASes (1:1 with the paper); the unicast haystack is 8,000 /24s instead
+of 10.6M (funnel ratios are compared, not absolute counts); the platform
+is 250 PlanetLab-like nodes (the paper's censuses used 240-269).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+import pytest
+
+from repro.core.igreedy import IGreedyConfig
+from repro.internet.topology import InternetConfig
+from repro.workflow import CensusStudy, StudyConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Paper-scale study configuration shared by all benchmarks.
+PAPER_SCALE = StudyConfig(
+    internet=InternetConfig(seed=2015, n_unicast_slash24=8_000, tail_deployments=260),
+    n_vantage_points=250,
+    n_censuses=4,
+    availability=0.85,
+    rate_pps=1000.0,
+    igreedy=IGreedyConfig(),
+)
+
+
+@pytest.fixture(scope="session")
+def paper_study() -> CensusStudy:
+    """The shared four-census study (evaluated lazily, cached per session)."""
+    return CensusStudy(PAPER_SCALE)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_exhibit(results_dir: pathlib.Path, name: str, lines: Sequence[str]) -> None:
+    """Persist one exhibit's paper-vs-measured comparison."""
+    path = results_dir / f"{name}.txt"
+    path.write_text("\n".join(lines) + "\n")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Map a CDN's anycast footprint and validate it against HTTP ground truth.
+
+The paper's CDN use case (Sec. 3.4): CloudFlare reveals its serving site in
+the CF-RAY header, so an HTTP probe from each vantage point yields a
+measured ground truth that the latency-based census geolocation can be
+scored against — true-positive rate at city level, and distance error for
+the misclassified replicas.
+
+Run time: ~15 s.
+
+    python examples/cdn_mapping.py
+"""
+
+import numpy as np
+
+from repro.measurement.httpprobe import (
+    http_probe,
+    replica_city_from_headers,
+)
+from repro.workflow import small_study
+
+
+def main() -> None:
+    study = small_study()
+    cdn = study.deployment("CLOUDFLARENET,US")
+
+    # 1. What does one HTTP probe look like?
+    vp = study.platform.vantage_points[0]
+    response = http_probe(cdn, vp, study.codebook)
+    city = replica_city_from_headers(response, study.codebook)
+    print(f"HTTP probe from {vp.city}:")
+    print(f"  CF-RAY: {response.headers['CF-RAY']}")
+    print(f"  -> served by the {city} replica\n")
+
+    # 2. Census-based footprint vs HTTP ground truth.
+    print("Scoring census geolocation against the HTTP ground truth...")
+    report = study.validate("CLOUDFLARENET,US")
+    print(f"  advertised sites (PAI):       {len(report.pai_cities)}")
+    print(f"  visible via HTTP (GT):        {len(report.gt_cities)}  "
+          f"(GT/PAI = {report.gt_pai:.2f})")
+    print(f"  /24s scored:                  {len(report.per_prefix)}")
+    print(f"  city-level TPR:               {report.tpr_mean:.2f} "
+          f"+- {report.tpr_std:.2f}   (paper: 0.77)")
+    print(f"  median error (misclassified): {report.median_error_km:.0f} km "
+          f"  (paper: 434 km)\n")
+
+    # 3. The replica map of one /24.
+    prefix = cdn.prefixes[0]
+    result = study.analysis.results[prefix]
+    gt_names = {f"{c.name},{c.country}" for c in report.gt_cities}
+    print(f"Replica map of CloudFlare /24 #{prefix} "
+          f"({result.replica_count} replicas):")
+    for name in result.city_names:
+        marker = "OK " if name in gt_names else "?  "
+        print(f"  {marker} {name}")
+    print("\n('?' replicas are outside the HTTP-visible ground truth: either")
+    print(" a site the platform cannot reach over HTTP, or a geolocation")
+    print(" error of the population-biased classifier.)")
+
+
+if __name__ == "__main__":
+    main()

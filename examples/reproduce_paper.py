@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Reproduce the whole paper in one run.
+
+Runs the shared paper-scale study (full anycast catalog, 250 VPs, four
+combined censuses) and prints every headline exhibit in the paper's order.
+For the asserted paper-vs-measured comparisons, run the benchmark harness
+instead (`pytest benchmarks/ --benchmark-only`).
+
+Run time: ~60 s.
+
+    python examples/reproduce_paper.py
+"""
+
+import numpy as np
+
+from repro.census.geomap import replica_density_map
+from repro.census.protocols import protocol_recall_table
+from repro.census.report import format_table, quantile_at
+from repro.core.igreedy import IGreedyConfig
+from repro.internet.topology import InternetConfig
+from repro.workflow import CensusStudy, StudyConfig
+
+
+def main() -> None:
+    study = CensusStudy(
+        StudyConfig(
+            internet=InternetConfig(seed=2015, n_unicast_slash24=8000, tail_deployments=260),
+            n_vantage_points=250,
+            n_censuses=4,
+            igreedy=IGreedyConfig(),
+        )
+    )
+
+    print("=" * 64)
+    print("Fig. 4 — census funnel")
+    print("=" * 64)
+    for stage, count in study.funnels()[0].rows():
+        print(f"  {stage:32s} {count}")
+
+    print("\n" + "=" * 64)
+    print("Fig. 6 — protocol recall (binary except ICMP)")
+    print("=" * 64)
+    deployments = [study.deployment(n) for n in
+                   ("OPENDNS,US", "EDGECAST,US", "CLOUDFLARENET,US", "MICROSOFT,US")]
+    table = protocol_recall_table(deployments)
+    for name, rates in table.items():
+        cells = " ".join(f"{k}={v:.2f}" for k, v in rates.items())
+        print(f"  {name:18s} {cells}")
+
+    print("\n" + "=" * 64)
+    print("Fig. 7 — validation against HTTP ground truth")
+    print("=" * 64)
+    for name in ("CLOUDFLARENET,US", "EDGECAST,US"):
+        report = study.validate(name)
+        print(f"  {name:18s} TPR={report.tpr_mean:.2f}  "
+              f"median err={report.median_error_km:.0f} km  GT/PAI={report.gt_pai:.2f}")
+
+    print("\n" + "=" * 64)
+    print("Fig. 8 — per-VP completion time (rescaled to 6.6M targets)")
+    print("=" * 64)
+    nominal = 6_600_000 / 1000.0 / 3600.0
+    loads = np.concatenate([
+        [vp.host_load for vp in census.platform.vantage_points]
+        for census in study.censuses
+    ])
+    durations = nominal * loads
+    print(f"  P(<= 2h) = {quantile_at(durations, 2.0):.2f}   "
+          f"P(<= 5h) = {quantile_at(durations, 5.0):.2f}")
+
+    print("\n" + "=" * 64)
+    print("Fig. 10 — censuses at a glance")
+    print("=" * 64)
+    rows = [(r.label, r.ip24, r.ases, r.cities, r.countries, r.replicas)
+            for r in study.glance_table()]
+    print(format_table(rows, ["", "IP/24", "ASes", "Cities", "CC", "Replicas"]))
+
+    print("\n" + "=" * 64)
+    print("Fig. 9 — top-15 anycast ASes by footprint")
+    print("=" * 64)
+    rows = [
+        (i + 1, fp.autonomous_system.whois_label, fp.autonomous_system.category.coarse,
+         fp.n_ip24, f"{fp.mean_replicas:.1f}")
+        for i, fp in enumerate(study.characterization.top_ases(k=15))
+    ]
+    print(format_table(rows, ["#", "AS", "cat", "IP/24", "replicas"]))
+
+    print("\n" + "=" * 64)
+    print("Fig. 11 — AS category breakdown")
+    print("=" * 64)
+    for category, share in study.characterization.category_breakdown().items():
+        print(f"  {category:10s} {share:5.1%}")
+
+    print("\n" + "=" * 64)
+    print("Fig. 14 — portscan of the top-100 deployments")
+    print("=" * 64)
+    scan = study.portscan
+    print(f"  responding IPs/ASes: {len(scan.responding_hosts)}/{scan.n_ases}")
+    print(f"  open ports: {scan.total_open_ports}   "
+          f"well-known: {len(scan.well_known_services())} "
+          f"({len(scan.ssl_services())} SSL)")
+    print(f"  top-10 by AS:  {[p for p, _ in scan.top_ports_by_as()]}")
+    print(f"  top-10 by /24: {[p for p, _ in scan.top_ports_by_prefix()]}")
+
+    print("\n" + "=" * 64)
+    print("Fig. 10 (map) — anycast replica density")
+    print("=" * 64)
+    print(replica_density_map(study.analysis).render())
+
+
+if __name__ == "__main__":
+    main()

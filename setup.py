@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-use-pep517 --no-build-isolation`` in offline
+environments that lack the ``wheel`` package (all metadata lives in
+``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

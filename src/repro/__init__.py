@@ -1,0 +1,34 @@
+"""repro — reproduction of "Characterizing IPv4 Anycast Adoption and
+Deployment" (Cicalese et al., ACM CoNEXT 2015).
+
+The package is organized bottom-up:
+
+* :mod:`repro.geo` — geodesy: coordinates, disks, the city gazetteer;
+* :mod:`repro.net` — networking substrate: /24 arithmetic, ASes, the RTT
+  model, ICMP semantics, TCP service registry;
+* :mod:`repro.internet` — the synthetic-Internet ground truth (deployment
+  catalog, topology builder, hitlist);
+* :mod:`repro.measurement` — the measurement platform simulator
+  (PlanetLab/RIPE-like platforms, fastping prober, census campaigns,
+  portscan, HTTP ground-truth probes);
+* :mod:`repro.core` — the paper's analysis technique (iGreedy): detection,
+  enumeration, geolocation, iteration;
+* :mod:`repro.census` — census-level analysis and characterization
+  (combination, per-AS footprints, rank intersections, validation);
+* :mod:`repro.workflow` — the end-to-end :class:`~repro.workflow.CensusStudy`
+  facade.
+
+Quick start::
+
+    from repro.workflow import small_study
+
+    study = small_study()
+    for row in study.glance_table():
+        print(row.label, row.ip24, row.ases, row.replicas)
+"""
+
+from .workflow import CensusStudy, StudyConfig, small_study
+
+__version__ = "1.0.0"
+
+__all__ = ["CensusStudy", "StudyConfig", "small_study", "__version__"]

@@ -1,0 +1,164 @@
+"""Combining censuses into a per-(VP, target) minimum-RTT matrix.
+
+The paper's headline results come from the *combination* of four censuses
+(Sec. 4.1): per vantage point and target, the minimum RTT across censuses
+is kept — the best available estimate of pure propagation delay, which
+tightens every disk and adds ~200 anycast /24s over any individual census
+(Fig. 12).
+
+Censuses run from different node subsets (261/255/269/240 of ~308), so the
+combination is keyed on VP *name*; the union of nodes across censuses is
+the effective platform of the combined dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..geo.coords import GeoPoint, pairwise_distances_km
+from ..measurement.campaign import Census
+from ..measurement.platform import VantagePoint
+
+
+@dataclass
+class RttMatrix:
+    """Dense per-target, per-VP minimum-RTT view of one or more censuses.
+
+    ``rtt_ms[i, j]`` is the smallest RTT any contributing census measured
+    from VP ``vp_names[j]`` toward ``prefixes[i]``; NaN where no reply was
+    ever received.
+    """
+
+    prefixes: np.ndarray          # (n_targets,) uint32, sorted
+    vp_names: List[str]           # (n_vps,)
+    vp_locations: List[GeoPoint]  # (n_vps,)
+    rtt_ms: np.ndarray            # (n_targets, n_vps) float32, NaN = missing
+    #: Number of censuses contributing at least one reply per cell.
+    sample_count: np.ndarray      # (n_targets, n_vps) uint8
+
+    def __post_init__(self) -> None:
+        n_t, n_v = self.rtt_ms.shape
+        if len(self.prefixes) != n_t or len(self.vp_names) != n_v:
+            raise ValueError("RttMatrix dimension mismatch")
+        if len(self.vp_locations) != n_v:
+            raise ValueError("vp_locations length mismatch")
+
+    @property
+    def n_targets(self) -> int:
+        return len(self.prefixes)
+
+    @property
+    def n_vps(self) -> int:
+        return len(self.vp_names)
+
+    def vp_distance_matrix(self) -> np.ndarray:
+        """Great-circle distances between all VP pairs (detection input)."""
+        lats = [p.lat for p in self.vp_locations]
+        lons = [p.lon for p in self.vp_locations]
+        return pairwise_distances_km(lats, lons, lats, lons)
+
+    def row_of(self, prefix: int) -> int:
+        """Row index of a /24 prefix."""
+        idx = int(np.searchsorted(self.prefixes, prefix))
+        if idx >= len(self.prefixes) or self.prefixes[idx] != prefix:
+            raise KeyError(f"prefix index {prefix} not in matrix")
+        return idx
+
+    def samples_for(self, prefix: int):
+        """(vp_name, vp_location, rtt) triples with a reply, for one target."""
+        row = self.rtt_ms[self.row_of(prefix)]
+        out = []
+        for j in np.nonzero(~np.isnan(row))[0]:
+            out.append((self.vp_names[j], self.vp_locations[j], float(row[j])))
+        return out
+
+
+def combine_censuses(censuses: Sequence[Census]) -> RttMatrix:
+    """Fold one or more censuses into the minimum-RTT matrix."""
+    if not censuses:
+        raise ValueError("no censuses to combine")
+
+    # Union of vantage points across censuses, keyed by name.
+    vp_index: Dict[str, int] = {}
+    vp_locations: List[GeoPoint] = []
+    for census in censuses:
+        for vp in census.platform.vantage_points:
+            if vp.name not in vp_index:
+                vp_index[vp.name] = len(vp_index)
+                vp_locations.append(vp.location)
+    vp_names = sorted(vp_index, key=lambda n: vp_index[n])
+
+    # Union of prefixes that ever replied.
+    reply_parts = [c.records.replies() for c in censuses]
+    all_prefixes = np.unique(np.concatenate([r.prefix for r in reply_parts]))
+    n_t, n_v = len(all_prefixes), len(vp_index)
+
+    rtt = np.full((n_t, n_v), np.inf, dtype=np.float32)
+    counts = np.zeros((n_t, n_v), dtype=np.uint8)
+
+    for census, replies in zip(censuses, reply_parts):
+        # Map census-local VP indices to global columns.
+        local_to_global = np.array(
+            [vp_index[vp.name] for vp in census.platform.vantage_points],
+            dtype=np.int64,
+        )
+        rows = np.searchsorted(all_prefixes, replies.prefix)
+        cols = local_to_global[replies.vp_index]
+        np.minimum.at(rtt, (rows, cols), replies.rtt_ms)
+        np.add.at(counts, (rows, cols), 1)
+
+    rtt[np.isinf(rtt)] = np.nan
+    return RttMatrix(
+        prefixes=all_prefixes,
+        vp_names=vp_names,
+        vp_locations=vp_locations,
+        rtt_ms=rtt,
+        sample_count=counts,
+    )
+
+
+def matrix_from_census(census: Census) -> RttMatrix:
+    """Single-census convenience wrapper."""
+    return combine_censuses([census])
+
+
+def merge_matrices(a: RttMatrix, b: RttMatrix) -> RttMatrix:
+    """Merge two RTT matrices (minimum per cell, union of VPs/targets).
+
+    The cross-platform case of the paper's Sec. 5: measurements of the
+    same targets from PlanetLab and RIPE Atlas are combined into one view,
+    keyed by VP name (platforms use disjoint name spaces).
+    """
+    vp_index: Dict[str, int] = {}
+    vp_locations: List[GeoPoint] = []
+    for matrix in (a, b):
+        for name, location in zip(matrix.vp_names, matrix.vp_locations):
+            if name not in vp_index:
+                vp_index[name] = len(vp_index)
+                vp_locations.append(location)
+    vp_names = sorted(vp_index, key=lambda n: vp_index[n])
+
+    prefixes = np.union1d(a.prefixes, b.prefixes)
+    n_t, n_v = len(prefixes), len(vp_index)
+    rtt = np.full((n_t, n_v), np.inf, dtype=np.float32)
+    counts = np.zeros((n_t, n_v), dtype=np.uint8)
+
+    for matrix in (a, b):
+        cols = np.array([vp_index[n] for n in matrix.vp_names], dtype=np.int64)
+        rows = np.searchsorted(prefixes, matrix.prefixes)
+        present = ~np.isnan(matrix.rtt_ms)
+        r_idx, c_idx = np.nonzero(present)
+        np.minimum.at(rtt, (rows[r_idx], cols[c_idx]), matrix.rtt_ms[r_idx, c_idx])
+        np.add.at(counts, (rows[r_idx], cols[c_idx]), matrix.sample_count[r_idx, c_idx])
+
+    rtt[np.isinf(rtt)] = np.nan
+    return RttMatrix(
+        prefixes=prefixes,
+        vp_names=vp_names,
+        vp_locations=vp_locations,
+        rtt_ms=rtt,
+        sample_count=counts,
+    )

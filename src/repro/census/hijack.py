@@ -1,0 +1,118 @@
+"""BGP-hijack inference from geo-inconsistency (paper Sec. 5).
+
+The paper closes with a forward-looking application: "detecting
+geo-inconsistencies for knowingly unicast prefixes is symptomatic of BGP
+hijacking attacks" — a prefix that was unicast in the last census and
+suddenly exhibits a speed-of-light violation is being announced from a
+second location.
+
+This module implements both halves of that pipeline:
+
+* :func:`inject_hijack` — simulate an attack inside an existing RTT
+  matrix: a subset of vantage points is captured by a bogus announcement
+  and starts measuring RTTs to the attacker's site instead of the victim;
+* :func:`detect_hijacks` — diff two census analyses and raise an alarm for
+  every previously-unicast prefix that turned anycast, geolocating the
+  apparent new origin (the attacker) from the replica set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+import numpy as np
+
+from ..geo.cities import City
+from ..geo.coords import GeoPoint, pairwise_distances_km
+from ..net.latency import DEFAULT_MODEL, LatencyModel
+from .analysis import AnalysisResult
+from .combine import RttMatrix
+
+
+@dataclass(frozen=True)
+class HijackAlarm:
+    """One previously-unicast prefix now showing geo-inconsistency."""
+
+    prefix: int
+    #: Replica cities enumerated after the event; for a genuine hijack,
+    #: one of these is the legitimate origin and the others are attackers.
+    observed_cities: List[City]
+    #: Number of vantage points whose traffic is captured (lower bound:
+    #: those contributing disks around the new origin).
+    replica_count: int
+
+
+def inject_hijack(
+    matrix: RttMatrix,
+    victim_prefix: int,
+    attacker_location: GeoPoint,
+    captured_fraction: float = 0.4,
+    latency: LatencyModel = DEFAULT_MODEL,
+    seed: int = 1,
+) -> RttMatrix:
+    """Return a copy of the matrix with a hijack of ``victim_prefix``.
+
+    ``captured_fraction`` of the vantage points (chosen at random — BGP
+    propagation is topology-, not geography-, driven) now reach the
+    attacker's announcement; their RTTs are regenerated toward
+    ``attacker_location`` with the same latency model the substrate uses,
+    so the injected rows are physically consistent.
+    """
+    if not 0.0 < captured_fraction <= 1.0:
+        raise ValueError("captured_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    row = matrix.row_of(victim_prefix)
+    rtt = matrix.rtt_ms.copy()
+
+    captured = rng.random(matrix.n_vps) < captured_fraction
+    if not captured.any():
+        captured[int(rng.integers(0, matrix.n_vps))] = True
+    vp_lats = np.array([p.lat for p in matrix.vp_locations])
+    vp_lons = np.array([p.lon for p in matrix.vp_locations])
+    distances = pairwise_distances_km(
+        vp_lats[captured], vp_lons[captured],
+        [attacker_location.lat], [attacker_location.lon],
+    )[:, 0]
+    base = latency.path_rtt_ms(distances, rng)
+    new_rtts = latency.probe_rtt_ms(base, rng).astype(np.float32)
+    # Captured VPs that previously had no reply now do (the attacker's
+    # announcement answers), and vice-versa measurements are replaced.
+    row_values = rtt[row].copy()
+    row_values[captured] = new_rtts
+    rtt[row] = row_values
+    return RttMatrix(
+        prefixes=matrix.prefixes,
+        vp_names=matrix.vp_names,
+        vp_locations=matrix.vp_locations,
+        rtt_ms=rtt,
+        sample_count=matrix.sample_count,
+    )
+
+
+def detect_hijacks(
+    baseline: AnalysisResult,
+    current: AnalysisResult,
+    known_anycast: Optional[Set[int]] = None,
+) -> List[HijackAlarm]:
+    """Alarms for prefixes that turned anycast since the baseline census.
+
+    ``known_anycast`` optionally whitelists prefixes known to be legitimate
+    anycast (e.g. from an operator registry); they never raise alarms even
+    if the baseline census happened to miss them.
+    """
+    baseline_anycast = set(baseline.anycast_prefixes)
+    whitelist = known_anycast or set()
+    alarms = []
+    for prefix in current.anycast_prefixes:
+        if prefix in baseline_anycast or prefix in whitelist:
+            continue
+        result = current.results[prefix]
+        alarms.append(
+            HijackAlarm(
+                prefix=prefix,
+                observed_cities=result.cities,
+                replica_count=result.replica_count,
+            )
+        )
+    return sorted(alarms, key=lambda a: a.prefix)

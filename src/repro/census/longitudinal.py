@@ -1,0 +1,167 @@
+"""Longitudinal anycast censuses (paper Sec. 5).
+
+"Taking periodic censuses and analyzing the time evolution over longer
+timescales would allow to track evolution of IP anycast deployments" — and
+indeed the paper notes that later censuses already showed "small but
+interesting changes in the anycast landscape".
+
+This module provides the two halves of such a study:
+
+* :func:`evolve_catalog` — advance the deployment catalog by one epoch:
+  existing deployments grow (occasionally shrink) their replica sites, and
+  new small adopters appear.  Thanks to the per-AS deterministic topology
+  builder, an evolved catalog yields a world where *unchanged* entities
+  are bit-identical and grown deployments keep their existing sites;
+* :func:`compare_epochs` — diff the per-AS census views of two epochs into
+  grown / shrunk / new / gone deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..internet.catalog import CatalogEntry
+from ..net.asn import BusinessCategory
+from .characterize import Characterization
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """One epoch of anycast-landscape drift."""
+
+    #: Probability an existing deployment adds sites this epoch.
+    growth_prob: float = 0.30
+    #: Maximum sites added in one epoch.
+    max_new_sites: int = 4
+    #: Probability a deployment retires some sites.
+    shrink_prob: float = 0.05
+    #: New small anycast adopters appearing this epoch.
+    new_adopters: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.growth_prob <= 1.0:
+            raise ValueError("growth_prob must be in [0, 1]")
+        if not 0.0 <= self.shrink_prob <= 1.0:
+            raise ValueError("shrink_prob must be in [0, 1]")
+        if self.max_new_sites < 1:
+            raise ValueError("max_new_sites must be >= 1")
+        if self.new_adopters < 0:
+            raise ValueError("new_adopters must be >= 0")
+
+
+def evolve_catalog(
+    catalog: Sequence[CatalogEntry],
+    seed: int,
+    config: Optional[EvolutionConfig] = None,
+) -> List[CatalogEntry]:
+    """Advance a catalog by one census epoch.
+
+    Existing entries keep their identity (ASN, footprint, services); only
+    ``n_sites`` moves.  New adopters are appended, so existing prefix
+    allocations are untouched.
+    """
+    cfg = config or EvolutionConfig()
+    rng = np.random.default_rng(seed)
+    evolved: List[CatalogEntry] = []
+    for entry in catalog:
+        n_sites = entry.n_sites
+        u = rng.random()
+        if u < cfg.growth_prob:
+            n_sites += int(rng.integers(1, cfg.max_new_sites + 1))
+        elif u < cfg.growth_prob + cfg.shrink_prob:
+            n_sites = max(1, n_sites - int(rng.integers(1, 3)))
+        evolved.append(replace(entry, n_sites=n_sites) if n_sites != entry.n_sites else entry)
+
+    next_rank = max((e.rank for e in catalog), default=0) + 1
+    next_asn = max((e.asn for e in catalog), default=64_500) + 1
+    categories = [BusinessCategory.DNS, BusinessCategory.CDN, BusinessCategory.CLOUD]
+    for i in range(cfg.new_adopters):
+        evolved.append(
+            CatalogEntry(
+                rank=next_rank + i,
+                asn=next_asn + i,
+                name=f"NEW-ADOPTER-{next_asn + i},US",
+                country="US",
+                category=categories[int(rng.integers(0, len(categories)))],
+                n_slash24=int(rng.integers(1, 4)),
+                n_sites=int(rng.integers(2, 6)),
+                ports=(53, 80, 443),
+                software=("nginx",),
+            )
+        )
+    return evolved
+
+
+@dataclass
+class ASChange:
+    """Per-AS delta between two census epochs."""
+
+    asn: int
+    name: str
+    replicas_before: float
+    replicas_after: float
+    ip24_before: int
+    ip24_after: int
+
+    @property
+    def replica_delta(self) -> float:
+        return self.replicas_after - self.replicas_before
+
+
+@dataclass
+class LongitudinalReport:
+    """Census-observed changes between two epochs."""
+
+    grown: List[ASChange] = field(default_factory=list)
+    shrunk: List[ASChange] = field(default_factory=list)
+    stable: List[ASChange] = field(default_factory=list)
+    appeared: List[ASChange] = field(default_factory=list)
+    disappeared: List[ASChange] = field(default_factory=list)
+
+    @property
+    def n_tracked(self) -> int:
+        return (
+            len(self.grown) + len(self.shrunk) + len(self.stable)
+            + len(self.appeared) + len(self.disappeared)
+        )
+
+
+def compare_epochs(
+    before: Characterization,
+    after: Characterization,
+    min_delta: float = 1.0,
+) -> LongitudinalReport:
+    """Diff two epochs' census characterizations by AS.
+
+    ``min_delta`` is the mean-replica change below which an AS counts as
+    stable (one replica of slack absorbs enumeration noise).
+    """
+    report = LongitudinalReport()
+    before_asns = set(before.footprints)
+    after_asns = set(after.footprints)
+
+    for asn in sorted(before_asns | after_asns):
+        fp_before = before.footprints.get(asn)
+        fp_after = after.footprints.get(asn)
+        change = ASChange(
+            asn=asn,
+            name=(fp_after or fp_before).autonomous_system.name,
+            replicas_before=fp_before.mean_replicas if fp_before else 0.0,
+            replicas_after=fp_after.mean_replicas if fp_after else 0.0,
+            ip24_before=fp_before.n_ip24 if fp_before else 0,
+            ip24_after=fp_after.n_ip24 if fp_after else 0,
+        )
+        if fp_before is None:
+            report.appeared.append(change)
+        elif fp_after is None:
+            report.disappeared.append(change)
+        elif change.replica_delta >= min_delta:
+            report.grown.append(change)
+        elif change.replica_delta <= -min_delta:
+            report.shrunk.append(change)
+        else:
+            report.stable.append(change)
+    return report

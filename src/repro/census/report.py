@@ -1,0 +1,64 @@
+"""Reporting helpers: distribution math and plain-text tables.
+
+Every benchmark regenerates one paper exhibit; these helpers keep the
+formatting and the empirical-distribution arithmetic in one tested place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """(x, F(x)) of the empirical CDF; x sorted ascending, F in (0, 1]."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        return np.array([]), np.array([])
+    f = np.arange(1, arr.size + 1, dtype=np.float64) / arr.size
+    return arr, f
+
+
+def empirical_ccdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """(x, P(X >= x)) of the empirical complementary CDF."""
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    if arr.size == 0:
+        return np.array([]), np.array([])
+    # P(X >= x_i) with x ascending: share of points at or after position i.
+    p = 1.0 - np.arange(arr.size, dtype=np.float64) / arr.size
+    return arr, p
+
+
+def quantile_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values <= threshold (a point of the CDF)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("quantile of empty sample")
+    return float((arr <= threshold).mean())
+
+
+def format_table(rows: Sequence[Sequence], headers: Sequence[str]) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width disagrees with headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def comparison_rows(
+    pairs: Dict[str, Tuple[float, float]],
+) -> List[Tuple[str, str, str]]:
+    """(metric, paper value, measured value) rows for EXPERIMENTS output."""
+    out = []
+    for metric, (paper, measured) in pairs.items():
+        out.append((metric, f"{paper:g}", f"{measured:g}"))
+    return out

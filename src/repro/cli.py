@@ -1,0 +1,162 @@
+"""Command-line interface: ``repro-anycast``.
+
+Runs scaled-down census studies from the terminal::
+
+    repro-anycast glance --unicast 3000 --vps 150
+    repro-anycast top --k 20
+    repro-anycast validate "CLOUDFLARENET,US"
+    repro-anycast portscan
+    repro-anycast funnel
+
+All subcommands share the scale/seed options; results are printed as plain
+text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .census.report import format_table
+from .internet.topology import InternetConfig
+from .workflow import CensusStudy, StudyConfig
+
+
+def _build_study(args: argparse.Namespace) -> CensusStudy:
+    return CensusStudy(
+        StudyConfig(
+            internet=InternetConfig(
+                seed=args.seed,
+                n_unicast_slash24=args.unicast,
+                tail_deployments=args.tail,
+            ),
+            n_vantage_points=args.vps,
+            n_censuses=args.censuses,
+        )
+    )
+
+
+def _cmd_glance(study: CensusStudy, args: argparse.Namespace) -> int:
+    rows = [
+        (r.label, r.ip24, r.ases, r.cities, r.countries, r.replicas)
+        for r in study.glance_table()
+    ]
+    print(format_table(rows, ["", "IP/24", "ASes", "Cities", "CC", "Replicas"]))
+    return 0
+
+
+def _cmd_top(study: CensusStudy, args: argparse.Namespace) -> int:
+    rows = []
+    for fp in study.characterization.top_ases(k=args.k):
+        rows.append(
+            (
+                fp.autonomous_system.whois_label,
+                fp.autonomous_system.category.value,
+                fp.n_ip24,
+                f"{fp.mean_replicas:.1f}",
+                f"{fp.std_replicas:.1f}",
+                len(fp.cities),
+            )
+        )
+    print(format_table(rows, ["AS", "category", "IP/24", "replicas", "std", "cities"]))
+    return 0
+
+
+def _cmd_validate(study: CensusStudy, args: argparse.Namespace) -> int:
+    report = study.validate(args.deployment)
+    print(f"AS:              {report.as_name}")
+    print(f"GT cities:       {len(report.gt_cities)}")
+    print(f"PAI cities:      {len(report.pai_cities)}")
+    print(f"GT/PAI:          {report.gt_pai:.2f}")
+    print(f"TPR (city):      {report.tpr_mean:.2f} +- {report.tpr_std:.2f}")
+    print(f"median error km: {report.median_error_km:.0f}")
+    return 0
+
+
+def _cmd_portscan(study: CensusStudy, args: argparse.Namespace) -> int:
+    scan = study.portscan
+    print(f"hosts scanned:      {scan.n_hosts}")
+    print(f"responding ASes:    {scan.n_ases}")
+    print(f"total open ports:   {scan.total_open_ports}")
+    print(f"well-known services: {len(scan.well_known_services())}")
+    print(f"SSL services:       {len(scan.ssl_services())}")
+    print(f"software seen:      {len(scan.software_seen())}")
+    rows = [(p, n) for p, n in scan.top_ports_by_as(k=10)]
+    print(format_table(rows, ["port", "#ASes"]))
+    return 0
+
+
+def _cmd_map(study: CensusStudy, args: argparse.Namespace) -> int:
+    from .census.geomap import deployment_map, replica_density_map
+
+    if args.deployment:
+        dep = study.deployment(args.deployment)
+        observed = []
+        for prefix in dep.prefixes:
+            result = study.analysis.results.get(prefix)
+            if result is not None:
+                observed.extend(result.cities)
+        print(f"{args.deployment}: O = observed replica, x = unobserved site")
+        print(deployment_map(observed, truth_cities=dep.site_cities))
+    else:
+        grid = replica_density_map(study.analysis)
+        print(f"Anycast replica density ({grid.total} replicas):")
+        print(grid.render())
+    return 0
+
+
+def _cmd_funnel(study: CensusStudy, args: argparse.Namespace) -> int:
+    for i, funnel in enumerate(study.funnels(), start=1):
+        print(f"census {i}:")
+        for stage, count in funnel.rows():
+            print(f"  {stage:30s} {count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-anycast",
+        description="IPv4 anycast census reproduction (CoNEXT 2015).",
+    )
+    parser.add_argument("--seed", type=int, default=2015, help="master RNG seed")
+    parser.add_argument("--unicast", type=int, default=3000,
+                        help="size of the unicast /24 haystack")
+    parser.add_argument("--tail", type=int, default=80,
+                        help="number of small tail deployments")
+    parser.add_argument("--vps", type=int, default=150,
+                        help="number of PlanetLab-like vantage points")
+    parser.add_argument("--censuses", type=int, default=2,
+                        help="number of censuses to combine")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("glance", help="Fig. 10 summary table").set_defaults(func=_cmd_glance)
+    top = sub.add_parser("top", help="top anycast ASes (Fig. 9)")
+    top.add_argument("--k", type=int, default=20)
+    top.set_defaults(func=_cmd_top)
+    val = sub.add_parser("validate", help="validate one deployment (Fig. 7)")
+    val.add_argument("deployment", help='catalog AS name, e.g. "CLOUDFLARENET,US"')
+    val.set_defaults(func=_cmd_validate)
+    sub.add_parser("portscan", help="TCP portscan statistics (Fig. 14)").set_defaults(
+        func=_cmd_portscan
+    )
+    sub.add_parser("funnel", help="census magnitude funnel (Fig. 4)").set_defaults(
+        func=_cmd_funnel
+    )
+    map_cmd = sub.add_parser("map", help="ASCII replica map (Fig. 10 / Fig. 5)")
+    map_cmd.add_argument(
+        "--deployment", default=None,
+        help='catalog AS name for a per-deployment map (default: world density)',
+    )
+    map_cmd.set_defaults(func=_cmd_map)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    study = _build_study(args)
+    return args.func(study, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Latency samples — the input of the analysis technique.
+
+The technique [17] consumes, per target, a set of (vantage point, RTT)
+pairs; everything else (protocol, platform, hitlist) is upstream concern.
+Step (a) of the paper's Fig. 3 maps each sample to a geodesic disk that is
+guaranteed to contain the replica which answered the probe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..geo.coords import GeoPoint
+from ..geo.disks import FIBER_SPEED_KM_PER_MS, Disk, disk_from_sample
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One RTT measurement from a vantage point toward the target."""
+
+    vp_name: str
+    vp_location: GeoPoint
+    rtt_ms: float
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms < 0:
+            raise ValueError(f"negative RTT from {self.vp_name}: {self.rtt_ms}")
+
+    def to_disk(self, speed_km_per_ms: float = FIBER_SPEED_KM_PER_MS) -> Disk:
+        """The disk certain to contain the replica that answered."""
+        return disk_from_sample(self.vp_location, self.rtt_ms, speed_km_per_ms)
+
+
+def min_rtt_samples(samples: Sequence[LatencySample]) -> List[LatencySample]:
+    """Keep the minimum RTT per vantage point.
+
+    Multiple probes (or multiple censuses) toward the same target from the
+    same VP are combined by minimum — the estimate closest to the pure
+    propagation delay, hence the tightest valid disk (Sec. 4.2).
+    """
+    best = {}
+    for sample in samples:
+        current = best.get(sample.vp_name)
+        if current is None or sample.rtt_ms < current.rtt_ms:
+            best[sample.vp_name] = sample
+    return sorted(best.values(), key=lambda s: (s.rtt_ms, s.vp_name))
+
+
+def samples_to_disks(
+    samples: Sequence[LatencySample],
+    speed_km_per_ms: float = FIBER_SPEED_KM_PER_MS,
+    max_rtt_ms: Optional[float] = None,
+) -> List[Disk]:
+    """Map samples to disks, optionally discarding uninformative ones.
+
+    ``max_rtt_ms`` drops samples whose disk would span a large share of the
+    planet (e.g. satellite or badly congested paths); they cannot create a
+    speed-of-light violation and only slow the MIS down.
+    """
+    disks = []
+    for sample in samples:
+        if max_rtt_ms is not None and sample.rtt_ms > max_rtt_ms:
+            continue
+        disks.append(sample.to_disk(speed_km_per_ms))
+    return disks

@@ -1,0 +1,53 @@
+"""Geodesy substrate: coordinates, great-circle math, disks, and cities."""
+
+from .coords import (
+    EARTH_RADIUS_KM,
+    MAX_SURFACE_DISTANCE_KM,
+    GeoPoint,
+    centroid,
+    destination_point,
+    distances_to_point_km,
+    great_circle_km,
+    initial_bearing_deg,
+    midpoint,
+    pairwise_distances_km,
+)
+from .disks import (
+    FIBER_SPEED_KM_PER_MS,
+    LIGHT_SPEED_KM_PER_MS,
+    Disk,
+    any_disjoint_pair,
+    disk_from_sample,
+    disks_containing,
+    min_enclosing_radius_km,
+    overlap_matrix,
+    rtt_to_radius_km,
+    smallest_disk,
+)
+from .cities import City, CityDB, default_city_db
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "MAX_SURFACE_DISTANCE_KM",
+    "GeoPoint",
+    "centroid",
+    "destination_point",
+    "distances_to_point_km",
+    "great_circle_km",
+    "initial_bearing_deg",
+    "midpoint",
+    "pairwise_distances_km",
+    "FIBER_SPEED_KM_PER_MS",
+    "LIGHT_SPEED_KM_PER_MS",
+    "Disk",
+    "any_disjoint_pair",
+    "disk_from_sample",
+    "disks_containing",
+    "min_enclosing_radius_km",
+    "overlap_matrix",
+    "rtt_to_radius_km",
+    "smallest_disk",
+    "City",
+    "CityDB",
+    "default_city_db",
+]

@@ -1,0 +1,51 @@
+"""Synthetic-Internet ground truth: catalog, deployments, topology, hitlist."""
+
+from .catalog import (
+    TOP100_ENTRIES,
+    CatalogEntry,
+    catalog_total_slash24,
+    full_catalog,
+    tail_entries,
+)
+from .deployments import (
+    AnycastDeployment,
+    Replica,
+    UnicastHost,
+    alive_hosts,
+    choose_replica_cities,
+)
+from .hitlist import Hitlist, HitlistEntry, generate_hitlist
+from .topology import (
+    RESP_ADMIN_FILTERED,
+    RESP_HOST_PROHIBITED,
+    RESP_NET_PROHIBITED,
+    RESP_REPLY,
+    RESP_SILENT,
+    InternetConfig,
+    SyntheticInternet,
+    responsiveness_outcome,
+)
+
+__all__ = [
+    "TOP100_ENTRIES",
+    "CatalogEntry",
+    "catalog_total_slash24",
+    "full_catalog",
+    "tail_entries",
+    "AnycastDeployment",
+    "Replica",
+    "UnicastHost",
+    "alive_hosts",
+    "choose_replica_cities",
+    "Hitlist",
+    "HitlistEntry",
+    "generate_hitlist",
+    "RESP_ADMIN_FILTERED",
+    "RESP_HOST_PROHIBITED",
+    "RESP_NET_PROHIBITED",
+    "RESP_REPLY",
+    "RESP_SILENT",
+    "InternetConfig",
+    "SyntheticInternet",
+    "responsiveness_outcome",
+]

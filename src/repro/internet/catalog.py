@@ -1,0 +1,403 @@
+"""Curated anycast-deployment catalog.
+
+The paper's Fig. 9 names the 100 ASes with the largest observed anycast
+geographical footprint, annotated with business category, IP/24 footprint,
+open TCP ports, and CAIDA/Alexa rank membership.  This module embeds that
+list — names, countries, and categories transcribed from the paper; ASNs
+from public WHOIS where well known — together with the per-AS deployment
+parameters the synthetic-Internet builder needs (number of anycast /24s,
+number of replica sites, TCP service profile, software fingerprints).
+
+Quantities reported in the paper are encoded faithfully where the paper
+gives them, e.g.:
+
+* CloudFlare: 328 anycast /24s, ~20 open ports, hosts 188 Alexa-100k sites;
+* Google: 102 /24s, 9 open ports, 11 Alexa sites;
+* EdgeCast: 37 /24s, 5 open ports (sharing only 53/80/443 with CloudFlare);
+* OVH: 10,148 open ports (BitTorrent seedbox ecosystem); Incapsula: 313;
+* 8 ASes in the CAIDA top-100 owning 19 anycast /24s in total;
+* 15 ASes hosting Alexa-100k websites on 242 anycast /24s;
+* Apple, K-root and L-root run NLnet Labs NSD; most other DNS runs ISC BIND.
+
+Where the paper gives no number (footprints of mid-table ASes), values are
+chosen to preserve the reported distributional shape: half of the ASes own
+exactly one anycast /24, ten ASes own ≥10, replica counts decay from ~45
+down to ~5 across the table.
+
+In addition to the named top-100, :func:`tail_entries` generates the long
+tail of small deployments (2–4 replicas, 1–4 /24s) that brings the census
+total to the paper's ~1,700 anycast /24s in ~350 ASes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.asn import AutonomousSystem, BusinessCategory
+
+_C = BusinessCategory
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Deployment blueprint for one anycast AS."""
+
+    rank: int
+    asn: int
+    name: str
+    country: str
+    category: BusinessCategory
+    #: Number of anycast /24 prefixes the AS announces.
+    n_slash24: int
+    #: Number of geographically distinct replica sites (ground truth).
+    n_sites: int
+    #: CAIDA AS-rank position, if within the published list.
+    caida_rank: Optional[int] = None
+    #: Number of Alexa-100k websites served from this AS's anycast space.
+    alexa_sites: int = 0
+    #: Number of this AS's /24s that host Alexa-100k websites.
+    alexa_ip24: int = 0
+    #: Open TCP ports common to the deployment.
+    ports: Tuple[int, ...] = ()
+    #: Additional randomly-chosen high ports (OVH/Incapsula seedbox tails).
+    extra_random_ports: int = 0
+    #: Software fingerprints nmap would report.
+    software: Tuple[str, ...] = ()
+    #: HTTP header revealing the serving replica's location, if any
+    #: ("CF-RAY" for CloudFlare, "Server" for EdgeCast) — the paper's
+    #: ground-truth side channel for validation (Sec. 3.4).
+    http_location_header: Optional[str] = None
+    #: When set, all replica sites except the primary are announced with a
+    #: regional BGP scope: only clients within this many km can be routed
+    #: to them (the paper's "BGP prefix is only locally advertised" case,
+    #: which makes small deployments hard to detect from a sparse
+    #: platform).  ``None`` means all sites are globally announced.
+    local_scope_km: Optional[float] = None
+    #: Share of host addresses alive inside each announced /24 (paper
+    #: Sec. 4.2: deployments range from very sparse — Google's 8.8.8.8 is
+    #: the only alive address in 8.8.8.0/24 — to very dense — "well over
+    #: 99% of IPs are alive in most CloudFlare subnets").
+    ip_density: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.n_slash24 < 1:
+            raise ValueError(f"{self.name}: needs at least one /24")
+        if self.n_sites < 1:
+            raise ValueError(f"{self.name}: needs at least one site")
+        if self.alexa_ip24 > self.n_slash24:
+            raise ValueError(f"{self.name}: alexa_ip24 exceeds footprint")
+        if self.alexa_sites and not self.alexa_ip24:
+            raise ValueError(f"{self.name}: alexa_sites without alexa_ip24")
+        if not 0.0 < self.ip_density <= 1.0:
+            raise ValueError(f"{self.name}: ip_density must be in (0, 1]")
+
+    @property
+    def autonomous_system(self) -> AutonomousSystem:
+        return AutonomousSystem(self.asn, self.name, self.country, self.category)
+
+    @property
+    def total_ports(self) -> int:
+        return len(self.ports) + self.extra_random_ports
+
+
+# Default service profiles by business category (ports, software).
+_CATEGORY_PORTS: Dict[BusinessCategory, Tuple[int, ...]] = {
+    _C.DNS: (53,),
+    _C.CDN: (53, 80, 443, 8080),
+    _C.CLOUD: (22, 80, 443),
+    _C.CLOUD_MESSAGING: (25, 443),
+    _C.ISP: (53, 179),
+    _C.ISP_TIER1: (53, 179),
+    _C.BACKBONE: (179,),
+    _C.SECURITY: (53, 80, 443),
+    _C.SOCIAL_NETWORK: (80, 443),
+    _C.WEB_PORTAL: (80, 443),
+    _C.WEB_ANALYTICS: (80, 443),
+    _C.ONLINE_MARKETING: (80, 443),
+    _C.AD_TECHNOLOGY: (80, 443),
+    _C.BLOGGING: (80, 443),
+    _C.VIDEO_CONFERENCING: (443, 5060),
+    _C.TELECOM_VENDOR: (80, 443, 5252),
+    _C.UNKNOWN: (),
+}
+
+_CATEGORY_SOFTWARE: Dict[BusinessCategory, Tuple[str, ...]] = {
+    _C.DNS: ("ISC BIND",),
+    _C.CDN: ("nginx",),
+    _C.CLOUD: ("Apache httpd", "OpenSSH"),
+    _C.CLOUD_MESSAGING: ("Apache httpd",),
+    _C.ISP: ("OpenSSH",),
+    _C.ISP_TIER1: ("OpenSSH",),
+    _C.BACKBONE: (),
+    _C.SECURITY: ("nginx",),
+    _C.SOCIAL_NETWORK: ("Varnish",),
+    _C.WEB_PORTAL: ("Apache Tomcat",),
+    _C.WEB_ANALYTICS: ("lighttpd",),
+    _C.ONLINE_MARKETING: ("Apache httpd",),
+    _C.AD_TECHNOLOGY: ("nginx",),
+    _C.BLOGGING: ("nginx",),
+    _C.VIDEO_CONFERENCING: ("lighttpd",),
+    _C.TELECOM_VENDOR: ("thttpd",),
+    _C.UNKNOWN: (),
+}
+
+
+def _default_sites(rank: int) -> int:
+    """Replica-count decay across the Fig. 9 table (~45 down to ~5)."""
+    return max(5, round(45 - 0.4 * rank))
+
+
+def _entry(
+    rank: int,
+    asn: int,
+    name: str,
+    country: str,
+    category: BusinessCategory,
+    n_slash24: int = 1,
+    n_sites: Optional[int] = None,
+    caida_rank: Optional[int] = None,
+    alexa_sites: int = 0,
+    alexa_ip24: int = 0,
+    ports: Optional[Tuple[int, ...]] = None,
+    extra_random_ports: int = 0,
+    software: Optional[Tuple[str, ...]] = None,
+    http_location_header: Optional[str] = None,
+    local_scope_km: Optional[float] = None,
+    ip_density: float = 0.6,
+) -> CatalogEntry:
+    if ports is None:
+        ports = _CATEGORY_PORTS[category]
+    if software is None:
+        software = _CATEGORY_SOFTWARE[category]
+    return CatalogEntry(
+        rank=rank,
+        asn=asn,
+        name=name,
+        country=country,
+        category=category,
+        n_slash24=n_slash24,
+        n_sites=n_sites if n_sites is not None else _default_sites(rank),
+        caida_rank=caida_rank,
+        alexa_sites=alexa_sites,
+        alexa_ip24=alexa_ip24,
+        ports=tuple(sorted(set(ports))),
+        extra_random_ports=extra_random_ports,
+        software=tuple(software),
+        http_location_header=http_location_header,
+        local_scope_km=local_scope_km,
+        ip_density=ip_density,
+    )
+
+
+# CloudFlare's 20-port profile; shares exactly {53, 80, 443} with EdgeCast's
+# 5-port profile, so the union is the paper's "set of 22 open ports".
+_CLOUDFLARE_PORTS = (
+    53, 80, 443, 2052, 2053, 2082, 2083, 2086, 2087, 2095,
+    2096, 8080, 8443, 8880, 8881, 8882, 8883, 8884, 8885, 8886,
+)
+_EDGECAST_PORTS = (53, 80, 443, 1935, 8081)
+_GOOGLE_PORTS = (25, 53, 80, 110, 443, 465, 587, 993, 995)
+
+#: The Fig. 9 top-100 anycast ASes, in the paper's footprint order.
+TOP100_ENTRIES: Tuple[CatalogEntry, ...] = (
+    _entry(1, 13335, "CLOUDFLARENET,US", "US", _C.CDN, n_slash24=328, n_sites=45,
+           alexa_sites=188, alexa_ip24=180, ports=_CLOUDFLARE_PORTS, ip_density=0.999,
+           software=("cloudflare-nginx", "CFS 0213"), http_location_header="CF-RAY"),
+    _entry(2, 1280, "ISC-AS,US", "US", _C.DNS, n_slash24=12, n_sites=42),
+    _entry(3, 6939, "HURRICANE,US", "US", _C.ISP, n_slash24=6, n_sites=40,
+           caida_rank=5, ports=(53, 80, 179)),
+    _entry(4, 36408, "CDNETWORKSUS-02,US", "US", _C.CDN, n_slash24=8, n_sites=38, alexa_sites=0),
+    _entry(5, 32934, "FACEBOOK,US", "US", _C.SOCIAL_NETWORK, n_slash24=6, n_sites=37,
+           alexa_sites=1, alexa_ip24=1),
+    _entry(6, 21342, "COMMUNITYDNS,GB", "GB", _C.DNS, n_slash24=5, n_sites=36),
+    _entry(7, 36619, "XGTLD,US", "US", _C.DNS, n_slash24=6, n_sites=35),
+    _entry(8, 20144, "L-ROOT,US", "US", _C.DNS, n_slash24=1, n_sites=35,
+           software=("NLnet Labs NSD",)),
+    _entry(9, 8075, "MICROSOFT,US", "US", _C.CLOUD, n_slash24=12, n_sites=54,
+           ports=(443, 1433, 3389),
+           software=("Microsoft IIS", "Microsoft DNS", "Microsoft RPC",
+                     "Microsoft HTTP", "Microsoft SQL")),
+    _entry(10, 29216, "I-ROOT,SE", "SE", _C.DNS, n_slash24=1, n_sites=34),
+    _entry(11, 7342, "VERISIGN-INC,US", "US", _C.DNS, n_slash24=12, n_sites=33),
+    _entry(12, 22822, "LLNW,US", "US", _C.CDN, n_slash24=9, n_sites=32),
+    _entry(13, 33005, "ARYAKA-ARIN,US", "US", _C.CLOUD, n_slash24=6, n_sites=31),
+    _entry(14, 714, "APPLE-ENGINEERING,US", "US", _C.CDN, n_slash24=7, n_sites=30,
+           software=("NLnet Labs NSD", "nginx")),
+    _entry(15, 30282, "CEDEXIS,US", "US", _C.SECURITY, n_slash24=4, n_sites=29),
+    _entry(16, 29798, "HIGHWINDS3,US", "US", _C.CDN, n_slash24=6, n_sites=29,
+           alexa_sites=1, alexa_ip24=1),
+    _entry(17, 8674, "NETNOD-IX,SE", "SE", _C.DNS, n_slash24=4, n_sites=28),
+    _entry(18, 36692, "OPENDNS,US", "US", _C.SECURITY, n_slash24=6, n_sites=24,
+           ports=(53, 80, 443), software=("OpenDNS",)),
+    _entry(19, 42, "WOODYNET-1,US", "US", _C.DNS, n_slash24=18, n_sites=27),
+    _entry(20, 37891, "LGTLD,US", "US", _C.DNS, n_slash24=3, n_sites=26),
+    _entry(21, 48557, "LIECHTENSTEIN-1,LI", "LI", _C.UNKNOWN, n_slash24=1, n_sites=26),
+    _entry(22, 54113, "FASTLY,US", "US", _C.CDN, n_slash24=8, n_sites=25,
+           alexa_sites=5, alexa_ip24=3),
+    _entry(23, 30637, "CACHENETWORKS,US", "US", _C.CDN, n_slash24=3, n_sites=25,
+           alexa_sites=1, alexa_ip24=1),
+    _entry(24, 33047, "INSTART,US", "US", _C.CDN, n_slash24=3, n_sites=24,
+           alexa_sites=1, alexa_ip24=1, software=("instart/160",)),
+    _entry(25, 55195, "DNSCAST-AS,US", "US", _C.DNS, n_slash24=20, n_sites=24),
+    _entry(26, 15169, "GOOGLE,US", "US", _C.CLOUD, n_slash24=102, n_sites=23,
+           alexa_sites=11, alexa_ip24=19, ports=_GOOGLE_PORTS, ip_density=1.0 / 254,
+           software=("Google httpd", "Gmail imapd", "Gmail pop3d", "Google gsmtp")),
+    _entry(27, 59796, "EDGECAST-IR,US", "US", _C.CDN, n_slash24=4, n_sites=23,
+           software=("ECAcc/ECS",)),
+    _entry(28, 27, "UMDNET,US", "US", _C.UNKNOWN, n_slash24=1, n_sites=22, ports=(80,)),
+    _entry(29, 33517, "DYNDNS,US", "US", _C.DNS, n_slash24=9, n_sites=22),
+    _entry(30, 62597, "NSONE,US", "US", _C.DNS, n_slash24=8, n_sites=21),
+    _entry(31, 26608, "EASYLINK4,US", "US", _C.CLOUD_MESSAGING, n_slash24=1, n_sites=21),
+    _entry(32, 24018, "YAHOO-AN2,US", "US", _C.WEB_PORTAL, n_slash24=3, n_sites=20,
+           alexa_sites=1, alexa_ip24=1),
+    _entry(33, 12008, "ULTRADNS,US", "US", _C.DNS, n_slash24=14, n_sites=20),
+    _entry(34, 16276, "OVH,FR", "FR", _C.CLOUD, n_slash24=6, n_sites=19,
+           ports=(22, 53, 80, 443, 3306), extra_random_ports=10143,
+           software=("Apache httpd", "OpenSSH", "MySQL")),
+    _entry(35, 48558, "LIECHTENSTEIN-2,LI", "LI", _C.UNKNOWN, n_slash24=1, n_sites=19),
+    _entry(36, 12041, "AS-AFILIAS1,US", "US", _C.DNS, n_slash24=10, n_sites=18),
+    _entry(37, 2635, "AUTOMATTIC,US", "US", _C.BLOGGING, n_slash24=16, n_sites=18,
+           alexa_sites=4, alexa_ip24=7, software=("nginx",)),
+    _entry(38, 3257, "TINET-BACKBONE,DE", "DE", _C.ISP_TIER1, n_slash24=2, n_sites=18,
+           caida_rank=9, ports=(22, 53, 80, 179)),
+    _entry(39, 6461, "ABOVENET-CUSTOMER,US", "US", _C.ISP, n_slash24=2, n_sites=17),
+    _entry(40, 16509, "AMAZON-02,US", "US", _C.CLOUD, n_slash24=12, n_sites=17,
+           alexa_sites=3, alexa_ip24=3),
+    _entry(41, 1273, "CW,GB", "GB", _C.ISP, n_slash24=2, n_sites=17),
+    _entry(42, 3356, "LEVEL3,US", "US", _C.ISP_TIER1, n_slash24=2, n_sites=16,
+           caida_rank=1),
+    _entry(43, 15133, "EDGECAST,US", "US", _C.CDN, n_slash24=37, n_sites=16,
+           alexa_sites=10, alexa_ip24=12, ports=_EDGECAST_PORTS,
+           software=("ECAcc/ECS", "ECD"), http_location_header="Server"),
+    _entry(44, 13414, "TWITTER-NETWORK,US", "US", _C.SOCIAL_NETWORK, n_slash24=4, n_sites=16,
+           alexa_sites=1, alexa_ip24=1),
+    _entry(45, 19551, "INCAPSULA,US", "US", _C.CDN, n_slash24=6, n_sites=15,
+           alexa_sites=1, alexa_ip24=1, ports=(53, 80, 443),
+           extra_random_ports=310, software=("nginx",)),
+    _entry(46, 36620, "AGTLD,US", "US", _C.DNS, n_slash24=3, n_sites=15),
+    _entry(47, 18366, "AUSREGISTRY-1,AU", "AU", _C.DNS, n_slash24=3, n_sites=15),
+    _entry(48, 29454, "CENTRALNIC-A1,GB", "GB", _C.DNS, n_slash24=3, n_sites=14),
+    _entry(49, 174, "COGENT-2149,US", "US", _C.ISP, n_slash24=1, n_sites=14,
+           caida_rank=2),
+    _entry(50, 37889, "HGTLD,US", "US", _C.DNS, n_slash24=3, n_sites=14),
+    _entry(51, 29799, "HIGHWINDS4,US", "US", _C.CDN, n_slash24=4, n_sites=13),
+    _entry(52, 25152, "K-ROOT-SERVER,EU", "NL", _C.DNS, n_slash24=1, n_sites=13,
+           software=("NLnet Labs NSD",)),
+    _entry(53, 23393, "NETRIPLEX01,US", "US", _C.DNS, n_slash24=3, n_sites=13),
+    _entry(54, 15224, "OMNITURE,US", "US", _C.ONLINE_MARKETING, n_slash24=3, n_sites=12),
+    _entry(55, 36351, "SOFTLAYER,US", "US", _C.CLOUD, n_slash24=6, n_sites=12),
+    _entry(56, 63041, "WANGSU-US,US", "US", _C.CDN, n_slash24=3, n_sites=12),
+    _entry(57, 10310, "YAHOO-FC,US", "US", _C.WEB_PORTAL, n_slash24=2, n_sites=12),
+    _entry(58, 40009, "BITGRAVITY,US", "US", _C.CDN, n_slash24=14, n_sites=11,
+           alexa_sites=1, alexa_ip24=1),
+    _entry(59, 11537, "ABILENE,US", "US", _C.BACKBONE, n_slash24=1, n_sites=11),
+    _entry(60, 62713, "ADVAN-CAST,US", "US", _C.UNKNOWN, n_slash24=1, n_sites=11),
+    _entry(61, 42909, "ASATTLDSE,SE", "SE", _C.DNS, n_slash24=2, n_sites=10),
+    _entry(62, 8100, "AS-QUADRANET,US", "US", _C.CLOUD, n_slash24=3, n_sites=10),
+    _entry(63, 6453, "AS6453,US", "US", _C.ISP_TIER1, n_slash24=2, n_sites=10,
+           caida_rank=4),
+    _entry(64, 2686, "ATT,EU", "EU", _C.ISP, n_slash24=1, n_sites=10,
+           caida_rank=14),
+    _entry(65, 29455, "CENTRALNIC-A2,GB", "GB", _C.DNS, n_slash24=3, n_sites=10),
+    _entry(66, 209, "CENTURYLINK-1,US", "US", _C.ISP_TIER1, n_slash24=2, n_sites=9,
+           caida_rank=30),
+    _entry(67, 38719, "CONEXIM-AS-AP,AU", "AU", _C.CLOUD, n_slash24=1, n_sites=9),
+    _entry(68, 36621, "EGTLD,US", "US", _C.DNS, n_slash24=3, n_sites=9),
+    _entry(69, 36622, "KGTLD,US", "US", _C.DNS, n_slash24=3, n_sites=9),
+    _entry(70, 44953, "MNS-AS,NO", "NO", _C.VIDEO_CONFERENCING, n_slash24=1, n_sites=9),
+    _entry(71, 1921, "NICAT,AT", "AT", _C.DNS, n_slash24=1, n_sites=9),
+    _entry(72, 63231, "VITAL-DNS,US", "US", _C.DNS, n_slash24=3, n_sites=8),
+    _entry(73, 32421, "WHS-ANYCAST-1,US", "US", _C.SECURITY, n_slash24=1, n_sites=8),
+    _entry(74, 36623, "ZGTLD,US", "US", _C.DNS, n_slash24=3, n_sites=8),
+    _entry(75, 10910, "INTERNAP-BLK,US", "US", _C.CLOUD, n_slash24=3, n_sites=8),
+    _entry(76, 14743, "NETAPP-ANYCAST,US", "US", _C.WEB_ANALYTICS, n_slash24=1, n_sites=8),
+    _entry(77, 1239, "SPRINTLINK,US", "US", _C.ISP_TIER1, n_slash24=3, n_sites=8,
+           caida_rank=16),
+    _entry(78, 18367, "AUSREGISTRY-2,AU", "AU", _C.DNS, n_slash24=3, n_sites=7),
+    _entry(79, 3561, "CENTURYLINK-2,US", "US", _C.ISP, n_slash24=1, n_sites=7),
+    _entry(80, 61337, "DNSIMPLE,US", "US", _C.DNS, n_slash24=3, n_sites=7),
+    _entry(81, 33480, "DYN-HC,US", "US", _C.DNS, n_slash24=3, n_sites=7),
+    _entry(82, 26609, "EASYLINK2,US", "US", _C.CLOUD_MESSAGING, n_slash24=1, n_sites=7),
+    _entry(83, 62752, "EDNS,CA", "CA", _C.DNS, n_slash24=1, n_sites=7),
+    _entry(84, 60447, "ESGOB-ANYCAST,GB", "GB", _C.DNS, n_slash24=1, n_sites=6),
+    _entry(85, 12824, "HOMEPL-AS,PL", "PL", _C.CLOUD, n_slash24=1, n_sites=6),
+    _entry(86, 14413, "LINKEDIN,US", "US", _C.SOCIAL_NETWORK, n_slash24=1, n_sites=6),
+    _entry(87, 18734, "MASERGY,US", "US", _C.CLOUD, n_slash24=1, n_sites=6),
+    _entry(88, 33055, "MEDIAMATH-INC,US", "US", _C.AD_TECHNOLOGY, n_slash24=1, n_sites=6),
+    _entry(89, 43531, "MII-2,GB", "GB", _C.CDN, n_slash24=1, n_sites=6),
+    _entry(90, 43532, "MII-XPC,US", "US", _C.CDN, n_slash24=1, n_sites=6),
+    _entry(91, 13768, "PEER1,US", "US", _C.CLOUD, n_slash24=1, n_sites=6),
+    _entry(92, 61157, "PHH-AS,DE", "DE", _C.CDN, n_slash24=1, n_sites=5),
+    _entry(93, 62858, "PRETECS,CA", "CA", _C.CDN, n_slash24=1, n_sites=5),
+    _entry(94, 32787, "PROLEXIC,US", "US", _C.SECURITY, n_slash24=21, n_sites=5,
+           alexa_sites=10, alexa_ip24=10),
+    _entry(95, 36684, "QUANTCAST,US", "US", _C.WEB_ANALYTICS, n_slash24=1, n_sites=5),
+    _entry(96, 18705, "RIMBLACKBERRY,CA", "CA", _C.TELECOM_VENDOR, n_slash24=1, n_sites=5),
+    _entry(97, 39392, "SUPERNETWORK,CZ", "CZ", _C.CLOUD, n_slash24=1, n_sites=5),
+    _entry(98, 62856, "UNOVA-1,CA", "CA", _C.DNS, n_slash24=1, n_sites=5),
+    _entry(99, 39743, "VOXILITY,RO", "RO", _C.CLOUD, n_slash24=1, n_sites=5),
+    _entry(100, 62905, "ZVONKOVA-AS,RU", "RU", _C.UNKNOWN, n_slash24=1, n_sites=5),
+)
+
+
+def catalog_total_slash24(entries: Sequence[CatalogEntry] = TOP100_ENTRIES) -> int:
+    """Total anycast /24 footprint of a catalog."""
+    return sum(e.n_slash24 for e in entries)
+
+
+def tail_entries(
+    count: int = 260,
+    seed: int = 7,
+    first_rank: int = 101,
+    first_asn: int = 64600,
+) -> List[CatalogEntry]:
+    """Generate the long tail of small anycast deployments.
+
+    These are the deployments *below* the paper's Fig. 9 cut: fewer than 5
+    replica sites (the "All" row of Fig. 10 minus the "≥ 5 Replicas" row).
+    Each has 2–4 sites and a small /24 footprint skewed toward 1.
+
+    The generation is deterministic in ``seed`` so censuses are repeatable.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rng = np.random.default_rng(seed)
+    categories = [
+        _C.DNS, _C.DNS, _C.DNS, _C.CDN, _C.CLOUD, _C.ISP,
+        _C.SECURITY, _C.UNKNOWN, _C.UNKNOWN,
+    ]
+    countries = ["US", "US", "US", "DE", "GB", "FR", "NL", "JP", "AU", "BR", "CA", "SE"]
+    entries = []
+    for i in range(count):
+        category = categories[int(rng.integers(0, len(categories)))]
+        # Footprint: 1 /24 for ~60% of tail ASes, up to 8 for a few.
+        n_slash24 = int(rng.choice([1, 2, 3, 4, 5, 6, 8, 12], p=[0.40, 0.20, 0.11, 0.08, 0.07, 0.06, 0.05, 0.03]))
+        n_sites = int(rng.integers(2, 5))
+        # Half of the small deployments announce their secondary sites with
+        # a regional BGP scope only — the hardest case for a sparse
+        # platform and the source of flaky census-to-census detections.
+        if rng.random() < 0.75:
+            local_scope = float(rng.uniform(150.0, 900.0))
+        else:
+            local_scope = None
+        entries.append(
+            _entry(
+                rank=first_rank + i,
+                asn=first_asn + i,
+                name=f"TAIL-{category.value.upper().replace(' ', '')[:6]}-{i:03d},{countries[i % len(countries)]}",
+                country=countries[i % len(countries)],
+                category=category,
+                n_slash24=n_slash24,
+                n_sites=n_sites,
+                local_scope_km=local_scope,
+            )
+        )
+    return entries
+
+
+def full_catalog(tail_count: int = 260, seed: int = 7) -> List[CatalogEntry]:
+    """Top-100 named deployments plus the generated tail."""
+    return list(TOP100_ENTRIES) + tail_entries(count=tail_count, seed=seed)

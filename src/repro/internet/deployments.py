@@ -1,0 +1,170 @@
+"""Ground-truth objects of the synthetic Internet.
+
+The builder (:mod:`repro.internet.topology`) instantiates these from the
+catalog: an :class:`AnycastDeployment` is an AS's set of replica *sites*
+(each in a city) plus the /24 prefixes announced from all sites; a
+:class:`UnicastHost` is an ordinary single-homed host.
+
+The deployment also owns its **catchment**: the BGP-policy mapping from a
+client location to the replica that serves it.  BGP picks routes by AS-path
+length and local preference, which correlates with — but is not equal to —
+geographic proximity.  We model this as a per-(client, site) multiplicative
+policy penalty on distance: the serving site minimizes
+``distance * penalty``, so clients usually reach a nearby replica yet
+sometimes detour, exactly the behaviour that makes anycast geolocation
+nontrivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geo.cities import City
+from ..geo.coords import GeoPoint, pairwise_distances_km
+from ..net.asn import AutonomousSystem
+from .catalog import CatalogEntry
+
+
+@dataclass(frozen=True)
+class Replica:
+    """One anycast replica site: a city plus the exact server location."""
+
+    city: City
+    location: GeoPoint
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"replica@{self.city}"
+
+
+@dataclass
+class AnycastDeployment:
+    """An AS's anycast deployment: replicas + announced /24 prefixes."""
+
+    entry: CatalogEntry
+    replicas: List[Replica]
+    #: /24 prefix indices announced by this deployment.
+    prefixes: List[int]
+    #: Which of ``prefixes`` host Alexa-100k websites (subset).
+    alexa_prefixes: List[int] = field(default_factory=list)
+    #: BGP-policy penalty strength: 0 = pure geographic routing;
+    #: larger values make catchments increasingly non-geographic.
+    policy_sigma: float = 0.25
+    #: Seed for the deterministic catchment noise.
+    catchment_seed: int = 0
+    #: Regional announcement scope for secondary sites (km); ``None`` means
+    #: every site is globally reachable.  With a scope, only the primary
+    #: site (index 0) serves arbitrary clients — other sites serve only
+    #: clients within the scope, modelling locally-advertised BGP prefixes.
+    local_scope_km: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ValueError(f"{self.entry.name}: deployment with no replicas")
+        if not self.prefixes:
+            raise ValueError(f"{self.entry.name}: deployment with no prefixes")
+        unknown = set(self.alexa_prefixes) - set(self.prefixes)
+        if unknown:
+            raise ValueError(f"{self.entry.name}: alexa prefixes not announced: {unknown}")
+
+    @property
+    def autonomous_system(self) -> AutonomousSystem:
+        return self.entry.autonomous_system
+
+    @property
+    def site_count(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def site_cities(self) -> List[City]:
+        return [r.city for r in self.replicas]
+
+    def catchment(self, client_lats: Sequence[float], client_lons: Sequence[float]) -> np.ndarray:
+        """Serving-replica index for each client location.
+
+        Deterministic in the deployment's ``catchment_seed``: BGP routing is
+        stable on census timescales, so repeated censuses observe the same
+        client → replica mapping (the paper's censuses are "quite consistent",
+        Fig. 12).
+        """
+        lats = np.asarray(client_lats, dtype=np.float64)
+        lons = np.asarray(client_lons, dtype=np.float64)
+        rep_lats = [r.location.lat for r in self.replicas]
+        rep_lons = [r.location.lon for r in self.replicas]
+        distance = pairwise_distances_km(lats, lons, rep_lats, rep_lons)
+        if self.policy_sigma > 0.0:
+            rng = np.random.default_rng(self.catchment_seed)
+            penalty = rng.lognormal(mean=0.0, sigma=self.policy_sigma, size=distance.shape)
+        else:
+            penalty = 1.0
+        # Small floor keeps the argmin well-defined when a client sits on a site.
+        cost = np.maximum(distance, 1.0) * penalty
+        if self.local_scope_km is not None:
+            # Secondary sites are only announced regionally: out-of-scope
+            # clients can never route to them.  The primary (index 0) is
+            # the globally-announced fallback.
+            out_of_scope = distance[:, 1:] > self.local_scope_km
+            cost[:, 1:] = np.where(out_of_scope, np.inf, cost[:, 1:])
+        return np.argmin(cost, axis=1)
+
+    def serving_replica(self, client: GeoPoint) -> Replica:
+        """The replica that serves a single client location."""
+        idx = self.catchment([client.lat], [client.lon])[0]
+        return self.replicas[int(idx)]
+
+
+@dataclass(frozen=True)
+class UnicastHost:
+    """A single-homed host: one location, one /24."""
+
+    prefix: int
+    location: GeoPoint
+    city: Optional[City] = None
+
+
+def alive_hosts(deployment: AnycastDeployment, prefix: int) -> List[int]:
+    """Host octets (1–254) alive in one of the deployment's /24s.
+
+    Deterministic in (ASN, prefix).  Density follows the catalog's
+    ``ip_density``: Google-style sparse deployments expose a single
+    address (8.8.8.8 being the only alive IP in its /24), CloudFlare-style
+    dense ones expose nearly the whole subnet.  Any alive host of a /24 is
+    equivalent for anycast-detection purposes (validated by the paper's
+    EdgeCast spot check, Sec. 3.1).
+    """
+    if prefix not in deployment.prefixes:
+        raise ValueError(f"prefix {prefix} not announced by {deployment.entry.name}")
+    count = max(1, round(deployment.entry.ip_density * 254))
+    rng = np.random.default_rng(deployment.entry.asn * 1_000_003 + prefix)
+    octets = rng.choice(np.arange(1, 255), size=count, replace=False)
+    return sorted(int(o) for o in octets)
+
+
+def choose_replica_cities(
+    entry: CatalogEntry,
+    cities: Sequence[City],
+    rng: np.random.Generator,
+) -> List[City]:
+    """Pick ``entry.n_sites`` distinct cities for a deployment's replicas.
+
+    Site selection is population-weighted — infrastructure goes where the
+    eyeballs are — but without replacement, since a deployment's sites are
+    geographically distinct by definition.
+
+    Implementation detail: a *full* weighted ordering of the gazetteer is
+    drawn and the first ``n_sites`` cities are taken.  Because the draw
+    consumes a fixed amount of randomness regardless of ``n_sites``, a
+    deployment that grows between census epochs keeps its existing sites
+    and only *adds* new ones — real expansions do not relocate PoPs.
+    """
+    n_sites = entry.n_sites
+    if n_sites > len(cities):
+        raise ValueError(
+            f"{entry.name}: wants {n_sites} sites but only {len(cities)} cities exist"
+        )
+    pops = np.array([c.population for c in cities], dtype=np.float64)
+    weights = pops / pops.sum()
+    order = rng.choice(len(cities), size=len(cities), replace=False, p=weights)
+    return [cities[i] for i in order[:n_sites]]

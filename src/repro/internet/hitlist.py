@@ -1,0 +1,125 @@
+"""Census hitlist: one representative IP per routed /24, with liveness score.
+
+Models the USC/ISI LANDER hitlist the paper relies on (Sec. 3.1): for every
+routed /24 the hitlist nominates one IP/32 judged most likely to respond,
+with a score summarizing liveness history.  When no alive IP was ever seen
+in a /24, the list carries an arbitrary address with score ≤ −2; the paper
+confirms those unreachable in the first census and prunes them, shrinking
+the per-VP target list to 6.6M.
+
+Our hitlist is derived from the synthetic ground truth: hosts that are
+responsive get positive scores, greylist-error hosts get small non-negative
+scores (they *are* alive — they answer, just not with echo replies), and
+silent hosts get ≤ −2 scores with high probability (the hitlist is not
+perfect: a sliver of silent hosts carries a stale positive score, and
+responsiveness classification is re-validated by measurement, not assumed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..net.addresses import format_ipv4, host_in_slash24
+from .topology import RESP_REPLY, RESP_SILENT, SyntheticInternet
+
+
+@dataclass(frozen=True)
+class HitlistEntry:
+    """One hitlist row: the representative address of a /24 and its score."""
+
+    prefix: int
+    address: int
+    score: int
+
+    @property
+    def never_alive(self) -> bool:
+        """Score ≤ −2 marks a /24 in which no alive IP was ever observed."""
+        return self.score <= -2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{format_ipv4(self.address)} score={self.score}"
+
+
+class Hitlist:
+    """An ordered collection of hitlist entries with pruning support."""
+
+    def __init__(self, entries: Sequence[HitlistEntry]) -> None:
+        self._entries: List[HitlistEntry] = list(entries)
+        prefixes = [e.prefix for e in self._entries]
+        if len(set(prefixes)) != len(prefixes):
+            raise ValueError("duplicate /24 in hitlist")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[HitlistEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, i: int) -> HitlistEntry:
+        return self._entries[i]
+
+    @property
+    def prefixes(self) -> np.ndarray:
+        return np.array([e.prefix for e in self._entries], dtype=np.int64)
+
+    @property
+    def never_alive_count(self) -> int:
+        return sum(1 for e in self._entries if e.never_alive)
+
+    def pruned(self) -> "Hitlist":
+        """Drop never-alive entries (paper: after the first census confirms
+        them unreachable, reducing the per-VP target size)."""
+        return Hitlist([e for e in self._entries if not e.never_alive])
+
+    def without_prefixes(self, excluded: Sequence[int]) -> "Hitlist":
+        """Drop entries whose /24 is in ``excluded`` (blacklist application)."""
+        drop = set(excluded)
+        return Hitlist([e for e in self._entries if e.prefix not in drop])
+
+    def coverage_of(self, routed_prefixes: Sequence[int]) -> float:
+        """Fraction of routed /24s that have a hitlist representative.
+
+        The paper reports >99.99% coverage of the 10.6M announced /24s.
+        """
+        routed = set(routed_prefixes)
+        if not routed:
+            raise ValueError("empty routed-prefix set")
+        present = {e.prefix for e in self._entries}
+        return len(routed & present) / len(routed)
+
+
+def generate_hitlist(
+    internet: SyntheticInternet,
+    seed: Optional[int] = None,
+    stale_score_fraction: float = 0.02,
+) -> Hitlist:
+    """Build the hitlist for a synthetic Internet.
+
+    ``stale_score_fraction`` of silent /24s keep an (incorrect) positive
+    score — hitlist history goes stale, which is why target liveness is
+    measured rather than trusted.
+    """
+    if not 0.0 <= stale_score_fraction <= 1.0:
+        raise ValueError("stale_score_fraction must be in [0, 1]")
+    rng = np.random.default_rng(internet.config.seed + 1 if seed is None else seed)
+    entries = []
+    for pos in range(internet.n_targets):
+        prefix = int(internet.prefixes[pos])
+        resp = int(internet.responsiveness[pos])
+        host_octet = int(rng.integers(1, 255))
+        address = host_in_slash24(prefix, host_octet)
+        if resp == RESP_REPLY:
+            score = int(rng.integers(10, 100))
+        elif resp == RESP_SILENT:
+            if rng.random() < stale_score_fraction:
+                score = int(rng.integers(1, 10))
+            else:
+                score = -2 - int(rng.integers(0, 3))
+        else:
+            # Error-returning hosts are alive from the hitlist's viewpoint.
+            score = int(rng.integers(0, 10))
+        entries.append(HitlistEntry(prefix=prefix, address=address, score=score))
+    return Hitlist(entries)

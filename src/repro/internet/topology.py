@@ -1,0 +1,285 @@
+"""Synthetic-Internet builder.
+
+:class:`SyntheticInternet` is the ground truth every experiment measures
+against: a routed /24 universe populated with anycast deployments (from the
+catalog) and ordinary unicast hosts, plus per-host responsiveness behaviour
+matching the census funnel of the paper's Fig. 4 (under half of the targets
+reply; a small fraction returns administratively-prohibited ICMP errors).
+
+The paper probes the real Internet's ~10.6M routed /24s to find ~1,700
+anycast ones; we keep the anycast population at the paper's absolute scale
+and shrink only the unicast haystack (configurable), because the unicast
+mass contributes nothing to the anycast results except funnel statistics —
+which we report in proportion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..geo.cities import City, CityDB, default_city_db
+from ..geo.coords import GeoPoint, destination_point
+from ..net.addresses import is_reserved, slash24_base_address
+from ..net.asn import ASRegistry
+from ..net.icmp import IcmpOutcome
+from ..net.latency import DEFAULT_MODEL, LatencyModel
+from .catalog import CatalogEntry, full_catalog
+from .deployments import AnycastDeployment, Replica, UnicastHost, choose_replica_cities
+
+# Per-target responsiveness behaviour, stored as a compact int8 code.
+RESP_REPLY = 0
+RESP_SILENT = 1
+RESP_ADMIN_FILTERED = 2
+RESP_HOST_PROHIBITED = 3
+RESP_NET_PROHIBITED = 4
+
+_RESP_TO_OUTCOME = {
+    RESP_REPLY: IcmpOutcome.ECHO_REPLY,
+    RESP_SILENT: IcmpOutcome.SILENT,
+    RESP_ADMIN_FILTERED: IcmpOutcome.ADMIN_FILTERED,
+    RESP_HOST_PROHIBITED: IcmpOutcome.HOST_PROHIBITED,
+    RESP_NET_PROHIBITED: IcmpOutcome.NET_PROHIBITED,
+}
+
+
+def responsiveness_outcome(code: int) -> IcmpOutcome:
+    """Decode a stored responsiveness code to the ICMP outcome it causes."""
+    try:
+        return _RESP_TO_OUTCOME[code]
+    except KeyError:
+        raise ValueError(f"unknown responsiveness code {code!r}") from None
+
+
+@dataclass(frozen=True)
+class InternetConfig:
+    """Knobs of the synthetic Internet.
+
+    ``n_unicast_slash24`` scales the unicast haystack; the anycast
+    population always follows the catalog.  The responsiveness fractions
+    reproduce the paper's funnel: <50% of hitlist targets reply, ~2.5%
+    return greylistable errors, the rest are silent.
+    """
+
+    seed: int = 2015
+    n_unicast_slash24: int = 20_000
+    tail_deployments: int = 260
+    reply_fraction: float = 0.45
+    error_fraction: float = 0.025
+    #: Split of the error mass across ICMP codes 13/10/9 (paper Sec. 3.3).
+    error_split: Sequence[float] = (0.985, 0.013, 0.002)
+    #: BGP-policy noise for catchments (0 = purely geographic routing).
+    policy_sigma: float = 0.25
+    #: Max scatter of a server from its city center, km.
+    site_scatter_km: float = 15.0
+    host_scatter_km: float = 40.0
+    latency: LatencyModel = DEFAULT_MODEL
+
+    def __post_init__(self) -> None:
+        if self.n_unicast_slash24 < 0:
+            raise ValueError("n_unicast_slash24 must be non-negative")
+        if not 0.0 <= self.reply_fraction <= 1.0:
+            raise ValueError("reply_fraction must be in [0, 1]")
+        if not 0.0 <= self.error_fraction <= 1.0 - self.reply_fraction:
+            raise ValueError("error_fraction incompatible with reply_fraction")
+        if abs(sum(self.error_split) - 1.0) > 1e-9:
+            raise ValueError("error_split must sum to 1")
+
+
+#: Anycast prefixes are allocated from 1.0.0.0 upward; unicast hosts from
+#: 24.0.0.0 upward.  Separate regions keep unicast prefixes stable when the
+#: anycast catalog evolves between census epochs.
+ANYCAST_REGION_START = 0x01000000
+UNICAST_REGION_START = 0x18000000
+
+
+def _routable_slash24_indices(start_ip: int = ANYCAST_REGION_START) -> Iterator[int]:
+    """Yield /24 prefix indices skipping reserved address space."""
+    index = start_ip >> 8
+    while index < (1 << 24):
+        if not is_reserved(slash24_base_address(index)):
+            yield index
+        index += 1
+
+
+class SyntheticInternet:
+    """The complete ground truth: deployments, hosts, and prefix ownership.
+
+    Construction is deterministic in ``config.seed``.  All per-target state
+    is held in parallel numpy arrays indexed by *target index* (the position
+    of the /24 in :attr:`prefixes`), which is what the vectorized
+    measurement simulator iterates over.
+    """
+
+    def __init__(
+        self,
+        config: Optional[InternetConfig] = None,
+        catalog: Optional[Sequence[CatalogEntry]] = None,
+        city_db: Optional[CityDB] = None,
+    ) -> None:
+        self.config = config or InternetConfig()
+        self.city_db = city_db or default_city_db()
+        if catalog is None:
+            catalog = full_catalog(tail_count=self.config.tail_deployments, seed=self.config.seed)
+        self._rng = np.random.default_rng(self.config.seed)
+        self.registry = ASRegistry()
+        self.deployments: List[AnycastDeployment] = []
+        self.unicast_hosts: List[UnicastHost] = []
+
+        self._build_deployments(catalog)
+        self._build_unicast()
+        self._freeze_arrays()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _entry_rng(self, entry: CatalogEntry) -> np.random.Generator:
+        """Per-deployment generator, keyed by (config seed, ASN).
+
+        Decoupling deployments from each other (and from the unicast
+        population) keeps the world stable under *evolution*: growing one
+        AS's footprint for a later census epoch leaves every other entity —
+        sites, scatter, catchments, prefixes — bit-identical, which is what
+        makes longitudinal comparisons meaningful.
+        """
+        return np.random.default_rng(
+            (self.config.seed * 1_000_003 + entry.asn * 2_654_435_761) % (2**63)
+        )
+
+    def _build_deployments(self, catalog: Sequence[CatalogEntry]) -> None:
+        allocator = _routable_slash24_indices(start_ip=ANYCAST_REGION_START)
+        cities = list(self.city_db.cities)
+        for entry in catalog:
+            self.registry.add(entry.autonomous_system)
+            rng = self._entry_rng(entry)
+            site_cities = choose_replica_cities(entry, cities, rng)
+            replicas = [
+                Replica(
+                    city=c,
+                    location=self._scatter(c.location, self.config.site_scatter_km, rng),
+                )
+                for c in site_cities
+            ]
+            prefixes = [next(allocator) for _ in range(entry.n_slash24)]
+            alexa_prefixes = prefixes[: entry.alexa_ip24]
+            deployment = AnycastDeployment(
+                entry=entry,
+                replicas=replicas,
+                prefixes=prefixes,
+                alexa_prefixes=alexa_prefixes,
+                policy_sigma=self.config.policy_sigma,
+                catchment_seed=int(rng.integers(0, 2**31)),
+                local_scope_km=entry.local_scope_km,
+            )
+            self.deployments.append(deployment)
+            for p in prefixes:
+                self.registry.assign_prefix(p, entry.asn)
+
+    def _build_unicast(self) -> None:
+        # Unicast hosts draw from their own generator and their own address
+        # region, independent of the anycast catalog.
+        rng = np.random.default_rng(self.config.seed * 1_000_003 + 777)
+        allocator = _routable_slash24_indices(start_ip=UNICAST_REGION_START)
+        count = self.config.n_unicast_slash24
+        host_cities = self.city_db.sample(rng, count)
+        for city in host_cities:
+            prefix = next(allocator)
+            location = self._scatter(city.location, self.config.host_scatter_km, rng)
+            self.unicast_hosts.append(UnicastHost(prefix=prefix, location=location, city=city))
+
+    @staticmethod
+    def _scatter(center: GeoPoint, max_km: float, rng: np.random.Generator) -> GeoPoint:
+        bearing = float(rng.uniform(0.0, 360.0))
+        distance = float(rng.uniform(0.0, max_km))
+        return destination_point(center, bearing, distance)
+
+    def _freeze_arrays(self) -> None:
+        n_anycast = sum(len(d.prefixes) for d in self.deployments)
+        n_total = n_anycast + len(self.unicast_hosts)
+        self.prefixes = np.empty(n_total, dtype=np.int64)
+        self.is_anycast = np.zeros(n_total, dtype=bool)
+        self.deployment_index = np.full(n_total, -1, dtype=np.int32)
+        self.lats = np.empty(n_total, dtype=np.float64)
+        self.lons = np.empty(n_total, dtype=np.float64)
+        self.responsiveness = np.empty(n_total, dtype=np.int8)
+
+        pos = 0
+        self._prefix_to_target: Dict[int, int] = {}
+        for dep_idx, dep in enumerate(self.deployments):
+            anchor = dep.replicas[0].location
+            for prefix in dep.prefixes:
+                self.prefixes[pos] = prefix
+                self.is_anycast[pos] = True
+                self.deployment_index[pos] = dep_idx
+                # Placeholder coordinates; anycast targets are resolved per
+                # vantage point through the deployment's catchment.
+                self.lats[pos] = anchor.lat
+                self.lons[pos] = anchor.lon
+                self.responsiveness[pos] = RESP_REPLY
+                self._prefix_to_target[prefix] = pos
+                pos += 1
+        for host in self.unicast_hosts:
+            self.prefixes[pos] = host.prefix
+            self.lats[pos] = host.location.lat
+            self.lons[pos] = host.location.lon
+            self.responsiveness[pos] = self._draw_responsiveness()
+            self._prefix_to_target[host.prefix] = pos
+            pos += 1
+
+    def _draw_responsiveness(self) -> int:
+        cfg = self.config
+        u = self._rng.random()
+        if u < cfg.reply_fraction:
+            return RESP_REPLY
+        if u < cfg.reply_fraction + cfg.error_fraction:
+            v = self._rng.random()
+            s13, s10, _ = cfg.error_split
+            if v < s13:
+                return RESP_ADMIN_FILTERED
+            if v < s13 + s10:
+                return RESP_HOST_PROHIBITED
+            return RESP_NET_PROHIBITED
+        return RESP_SILENT
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_targets(self) -> int:
+        return len(self.prefixes)
+
+    @property
+    def n_anycast_slash24(self) -> int:
+        return int(self.is_anycast.sum())
+
+    @property
+    def anycast_ases(self) -> int:
+        return len(self.deployments)
+
+    def target_index(self, prefix: int) -> int:
+        """Target-array position of a /24 prefix index."""
+        try:
+            return self._prefix_to_target[prefix]
+        except KeyError:
+            raise KeyError(f"prefix index {prefix} not routed") from None
+
+    def deployment_of(self, prefix: int) -> Optional[AnycastDeployment]:
+        """The deployment announcing a /24, or ``None`` for unicast."""
+        pos = self.target_index(prefix)
+        dep_idx = int(self.deployment_index[pos])
+        return self.deployments[dep_idx] if dep_idx >= 0 else None
+
+    def true_site_cities(self, prefix: int) -> List[City]:
+        """Ground-truth replica cities of an anycast /24."""
+        dep = self.deployment_of(prefix)
+        if dep is None:
+            raise ValueError(f"prefix index {prefix} is unicast")
+        return dep.site_cities
+
+    def outcome_for(self, prefix: int) -> IcmpOutcome:
+        """Probe outcome class for a /24 (reply / silent / error family)."""
+        return responsiveness_outcome(int(self.responsiveness[self.target_index(prefix)]))

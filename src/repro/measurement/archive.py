@@ -1,0 +1,128 @@
+"""Census archival: persist censuses to disk and reload them.
+
+The paper's workflow (Fig. 1) separates measurement from analysis: each
+vantage point dumps its records, the dataset is "uploaded to a central
+repository", and the analysis pipeline consumes it later.  This module
+implements the repository layout:
+
+    <dir>/
+      meta.json     census id, rate, platform (VPs + locations), durations,
+                    drop rates, greylist
+      records.bin   the compact binary record format (recordio)
+
+Round-tripping is exact (modulo the documented RTT quantization) so that
+measurement and analysis can run as separate processes, or on different
+days — which is what enables longitudinal studies over archived censuses.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from ..geo.cities import CityDB, default_city_db
+from ..geo.coords import GeoPoint
+from ..net.icmp import RateLimitPolicy, NO_RATE_LIMIT
+from .campaign import Census
+from .greylist import Greylist
+from .platform import Platform, VantagePoint
+from .recordio import CensusRecords
+
+_META_NAME = "meta.json"
+_RECORDS_NAME = "records.bin"
+
+
+def save_census(census: Census, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Persist a census to ``directory`` (created if missing)."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "census_id": census.census_id,
+        "rate_pps": census.rate_pps,
+        "platform_name": census.platform.name,
+        "vantage_points": [
+            {
+                "name": vp.name,
+                "city": [vp.city.name, vp.city.country],
+                "lat": vp.location.lat,
+                "lon": vp.location.lon,
+                "host_load": vp.host_load,
+                "rate_limit": (
+                    None
+                    if vp.rate_limit is NO_RATE_LIMIT
+                    else {
+                        "safe_rate_pps": vp.rate_limit.safe_rate_pps,
+                        "severity": vp.rate_limit.severity,
+                    }
+                ),
+            }
+            for vp in census.platform.vantage_points
+        ],
+        "vp_duration_hours": census.vp_duration_hours.tolist(),
+        "vp_drop_rate": census.vp_drop_rate.tolist(),
+        "greylist": {
+            str(prefix): outcome.icmp_code
+            for prefix, outcome in census.greylist._members.items()
+        },
+    }
+    (path / _META_NAME).write_text(json.dumps(meta, indent=1))
+    with open(path / _RECORDS_NAME, "wb") as fp:
+        census.records.write_binary(fp)
+    return path
+
+
+def load_census(
+    directory: Union[str, pathlib.Path],
+    city_db: CityDB = None,
+) -> Census:
+    """Reload a census previously written by :func:`save_census`."""
+    path = pathlib.Path(directory)
+    meta_path = path / _META_NAME
+    if not meta_path.exists():
+        raise FileNotFoundError(f"no census archive at {path}")
+    meta = json.loads(meta_path.read_text())
+    db = city_db or default_city_db()
+
+    vps = []
+    for spec in meta["vantage_points"]:
+        limit = spec["rate_limit"]
+        policy = (
+            NO_RATE_LIMIT
+            if limit is None
+            else RateLimitPolicy(
+                safe_rate_pps=limit["safe_rate_pps"], severity=limit["severity"]
+            )
+        )
+        vps.append(
+            VantagePoint(
+                name=spec["name"],
+                city=db.get(*spec["city"]),
+                location=GeoPoint(spec["lat"], spec["lon"]),
+                host_load=spec["host_load"],
+                rate_limit=policy,
+            )
+        )
+    platform = Platform(name=meta["platform_name"], vantage_points=vps)
+
+    with open(path / _RECORDS_NAME, "rb") as fp:
+        records = CensusRecords.read_binary(fp)
+
+    greylist = Greylist()
+    from ..net.icmp import outcome_from_code
+
+    for prefix, code in meta["greylist"].items():
+        greylist.add(int(prefix), outcome_from_code(code))
+
+    return Census(
+        census_id=meta["census_id"],
+        platform=platform,
+        records=records,
+        vp_duration_hours=np.array(meta["vp_duration_hours"]),
+        vp_drop_rate=np.array(meta["vp_drop_rate"]),
+        greylist=greylist,
+        rate_pps=meta["rate_pps"],
+    )

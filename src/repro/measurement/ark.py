@@ -1,0 +1,107 @@
+"""Archipelago-style dataset model (paper Sec. 3.2).
+
+CAIDA's Ark probes all routed /24s every 2-3 days, which sounds perfect —
+but the paper explains why its dataset cannot support an anycast census:
+probes are split into **three independent teams** (so at most 3 monitors
+ever target a given /24), each probe targets a **random IP** inside the
+/24 (hit rate ~6%), and the teams divide the prefix space rather than all
+probing everything.
+
+This module generates an Ark-like dataset over the synthetic ground truth
+so the unsuitability argument can be measured: the per-/24 sample count is
+tiny and anycast detection recall collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..geo.coords import pairwise_distances_km
+from ..internet.topology import RESP_REPLY, SyntheticInternet
+from ..measurement.platform import Platform
+from ..measurement.recordio import CensusRecords, FLAG_REPLY
+
+#: Probability a randomly-chosen IP inside a /24 responds (paper: ~6%).
+ARK_HIT_RATE = 0.06
+
+#: Number of independent monitor teams.
+ARK_TEAMS = 3
+
+
+@dataclass
+class ArkDataset:
+    """An Ark-style measurement round."""
+
+    records: CensusRecords
+    team_of_vp: np.ndarray
+
+    @property
+    def monitors_per_target(self) -> float:
+        """Mean distinct monitors contributing per responding /24."""
+        if not len(self.records):
+            return 0.0
+        pairs = set(zip(self.records.prefix.tolist(), self.records.vp_index.tolist()))
+        targets = len(set(self.records.prefix.tolist()))
+        return len(pairs) / max(targets, 1)
+
+
+def ark_round(
+    internet: SyntheticInternet,
+    platform: Platform,
+    seed: int = 3,
+    hit_rate: float = ARK_HIT_RATE,
+) -> ArkDataset:
+    """Simulate one Ark probing round.
+
+    Teams partition the target space: each /24 is probed by exactly one
+    team (one randomly chosen monitor of it), at a random in-prefix IP that
+    responds with probability ``hit_rate``.
+    """
+    if not 0.0 < hit_rate <= 1.0:
+        raise ValueError("hit_rate must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    n_vps = len(platform)
+    team_of_vp = rng.integers(0, ARK_TEAMS, size=n_vps)
+
+    vp_cols, prefix_cols, ts_cols, rtt_cols = [], [], [], []
+    vp_lats, vp_lons = platform.lats, platform.lons
+    for pos in range(internet.n_targets):
+        # Team assignment per /24, then one monitor of that team.
+        team = rng.integers(0, ARK_TEAMS)
+        members = np.nonzero(team_of_vp == team)[0]
+        if not len(members):
+            continue
+        vp_idx = int(members[rng.integers(0, len(members))])
+        # Random in-prefix IP: usually dead even in used space.
+        responsive = internet.responsiveness[pos] == RESP_REPLY
+        if not (responsive and rng.random() < hit_rate):
+            continue
+        # One RTT sample toward the effective location (unicast host or the
+        # replica in this VP's catchment).
+        dep_idx = int(internet.deployment_index[pos])
+        if dep_idx >= 0:
+            dep = internet.deployments[dep_idx]
+            site = int(dep.catchment([vp_lats[vp_idx]], [vp_lons[vp_idx]])[0])
+            lat, lon = dep.replicas[site].location.lat, dep.replicas[site].location.lon
+        else:
+            lat, lon = internet.lats[pos], internet.lons[pos]
+        distance = pairwise_distances_km([vp_lats[vp_idx]], [vp_lons[vp_idx]], [lat], [lon])[0, 0]
+        base = internet.config.latency.path_rtt_ms(np.array([distance]), rng)
+        rtt = internet.config.latency.probe_rtt_ms(base, rng)[0]
+        vp_cols.append(vp_idx)
+        prefix_cols.append(int(internet.prefixes[pos]))
+        ts_cols.append(float(pos))
+        rtt_cols.append(float(rtt))
+
+    records = CensusRecords(
+        census_id=1,
+        vp_index=np.array(vp_cols, dtype=np.uint16),
+        prefix=np.array(prefix_cols, dtype=np.uint32),
+        timestamp_ms=np.array(ts_cols, dtype=np.float64),
+        rtt_ms=np.array(rtt_cols, dtype=np.float32),
+        flag=np.full(len(vp_cols), FLAG_REPLY, dtype=np.int8),
+    )
+    return ArkDataset(records=records, team_of_vp=team_of_vp)

@@ -1,0 +1,255 @@
+"""Census orchestration: platform x internet -> CensusRecords.
+
+A :class:`CensusCampaign` binds a synthetic Internet to a measurement
+platform and runs censuses the way the paper does (Sec. 2.1, 3.3):
+
+1. a **pre-census** from a single VP builds the initial blacklist of
+   administratively-prohibited targets;
+2. each census samples the currently-available platform nodes (the paper's
+   four censuses used 261/255/269/240 of ~308 PlanetLab hosts), probes
+   every non-blacklisted target from every node, and collects newly seen
+   error senders into a per-census greylist;
+3. greylists are merged into the blacklist between censuses.
+
+Anycast targets are resolved through each deployment's BGP catchment,
+which is precomputed per platform — routing is stable across censuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..internet.topology import SyntheticInternet
+from .greylist import Blacklist, Greylist
+from .lfsr import lfsr_permutation
+from .platform import Platform
+from .prober import SAFE_RATE_PPS, VpScanResult, base_rtt_row, simulate_vp_scan
+from .recordio import CensusRecords, concatenate
+
+
+@dataclass
+class Census:
+    """One completed census."""
+
+    census_id: int
+    platform: Platform
+    records: CensusRecords
+    #: Per-VP scan duration in hours (Fig. 8's CDF).
+    vp_duration_hours: np.ndarray
+    #: Per-VP reply drop rate caused by VP-side policing.
+    vp_drop_rate: np.ndarray
+    greylist: Greylist
+    rate_pps: float
+
+    @property
+    def n_vps(self) -> int:
+        return len(self.platform)
+
+    def reply_ratio(self, probes_per_vp: int) -> float:
+        """Fraction of probed targets that produced an echo reply."""
+        total_probes = probes_per_vp * self.n_vps
+        return int(self.records.reply_mask.sum()) / max(total_probes, 1)
+
+
+class CensusCampaign:
+    """Reusable census runner for one (internet, platform) pair."""
+
+    def __init__(
+        self,
+        internet: SyntheticInternet,
+        platform: Platform,
+        rate_pps: float = SAFE_RATE_PPS,
+        seed: int = 500,
+        degraded_fraction: float = 0.25,
+    ) -> None:
+        if not 0.0 <= degraded_fraction <= 1.0:
+            raise ValueError("degraded_fraction must be in [0, 1]")
+        self.internet = internet
+        self.platform = platform
+        self.rate_pps = rate_pps
+        self.seed = seed
+        #: Share of nodes having a bad census (overloaded PlanetLab host:
+        #: heavy reply loss + inflated timestamps).  Redrawn per census —
+        #: this is a major reason combining censuses improves recall.
+        self.degraded_fraction = degraded_fraction
+        self.blacklist = Blacklist()
+        self._rng = np.random.default_rng(seed)
+        self._census_counter = 0
+        self._effective_coords_cache: Dict[str, np.ndarray] = {}
+        self._precompute_catchments()
+
+    # ------------------------------------------------------------------
+    # Catchment resolution
+    # ------------------------------------------------------------------
+
+    def _precompute_catchments(self) -> None:
+        """Resolve every deployment's serving site for every platform VP."""
+        lats, lons = self.platform.lats, self.platform.lons
+        self._dep_positions: List[np.ndarray] = []
+        self._dep_site_lats: List[np.ndarray] = []
+        self._dep_site_lons: List[np.ndarray] = []
+        self._dep_catchment: List[np.ndarray] = []
+        for dep in self.internet.deployments:
+            positions = np.array(
+                [self.internet.target_index(p) for p in dep.prefixes], dtype=np.int64
+            )
+            self._dep_positions.append(positions)
+            self._dep_site_lats.append(np.array([r.location.lat for r in dep.replicas]))
+            self._dep_site_lons.append(np.array([r.location.lon for r in dep.replicas]))
+            self._dep_catchment.append(dep.catchment(lats, lons))
+
+    def effective_coords(self, vp_platform_index: int) -> np.ndarray:
+        """Per-target (lat, lon) as seen from one platform VP.
+
+        Unicast targets keep their host location; anycast targets take the
+        location of the replica whose catchment the VP falls into.
+        Cached per VP — catchments are census-invariant.
+        """
+        vp = self.platform.vantage_points[vp_platform_index]
+        cached = self._effective_coords_cache.get(vp.name)
+        if cached is not None:
+            return cached
+        coords = np.stack([self.internet.lats.copy(), self.internet.lons.copy()])
+        for dep_idx in range(len(self.internet.deployments)):
+            site = int(self._dep_catchment[dep_idx][vp_platform_index])
+            positions = self._dep_positions[dep_idx]
+            coords[0, positions] = self._dep_site_lats[dep_idx][site]
+            coords[1, positions] = self._dep_site_lons[dep_idx][site]
+        self._effective_coords_cache[vp.name] = coords
+        return coords
+
+    # ------------------------------------------------------------------
+    # Census phases
+    # ------------------------------------------------------------------
+
+    def run_precensus(self, vp_platform_index: int = 0) -> int:
+        """Single-VP pre-census building the initial blacklist.
+
+        Returns the number of /24s blacklisted.
+        """
+        result = self._scan_vp(vp_platform_index, census_id=0, probe_mask=None)
+        greylist = Greylist()
+        errors = result.records.greylistable()
+        from .recordio import outcome_for
+
+        for prefix, flag in zip(errors.prefix, errors.flag):
+            greylist.add(int(prefix), outcome_for(int(flag)))
+        return greylist.merge_into(self.blacklist)
+
+    def run_census(
+        self,
+        availability: float = 0.85,
+        rate_pps: Optional[float] = None,
+        target_prefixes: Optional[Sequence[int]] = None,
+    ) -> Census:
+        """Run one full census from the currently-available nodes.
+
+        ``target_prefixes`` restricts the scan to the given /24s — used for
+        follow-up campaigns (e.g. refining detected anycast deployments
+        from a second platform) where re-probing the whole hitlist would be
+        wasteful.
+        """
+        self._census_counter += 1
+        census_id = self._census_counter
+        rate = rate_pps if rate_pps is not None else self.rate_pps
+
+        available = self.platform.sample_available(self._rng, availability)
+        # Map available VPs back to their platform indices for catchments.
+        index_of = {vp.name: i for i, vp in enumerate(self.platform.vantage_points)}
+
+        probe_mask = self._current_probe_mask()
+        if target_prefixes is not None:
+            restricted = np.zeros(self.internet.n_targets, dtype=bool)
+            for prefix in target_prefixes:
+                restricted[self.internet.target_index(prefix)] = True
+            probe_mask &= restricted
+        n = self.internet.n_targets
+        base_order = np.array(lfsr_permutation(n, seed=census_id), dtype=np.int64)
+
+        batches, durations, drops = [], [], []
+        greylist = Greylist()
+        from .recordio import outcome_for
+
+        degraded_flags = self._rng.random(len(available)) < self.degraded_fraction
+        for census_vp_index, vp in enumerate(available.vantage_points):
+            platform_index = index_of[vp.name]
+            result = self._scan_vp(
+                platform_index,
+                census_id=census_id,
+                probe_mask=probe_mask,
+                census_vp_index=census_vp_index,
+                base_order=base_order,
+                rate_pps=rate,
+                degraded=bool(degraded_flags[census_vp_index]),
+            )
+            batches.append(result.records)
+            durations.append(result.duration_hours)
+            drops.append(result.drop_rate)
+            errors = result.records.greylistable()
+            for prefix, flag in zip(errors.prefix, errors.flag):
+                p = int(prefix)
+                if p not in self.blacklist:
+                    greylist.observe(p, outcome_for(int(flag)))
+
+        greylist.merge_into(self.blacklist)
+        return Census(
+            census_id=census_id,
+            platform=available,
+            records=concatenate(tuple(batches)),
+            vp_duration_hours=np.array(durations),
+            vp_drop_rate=np.array(drops),
+            greylist=greylist,
+            rate_pps=rate,
+        )
+
+    def run(self, n_censuses: int = 4, availability: float = 0.85) -> List[Census]:
+        """Pre-census plus ``n_censuses`` full censuses."""
+        self.run_precensus()
+        return [self.run_census(availability=availability) for _ in range(n_censuses)]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _current_probe_mask(self) -> np.ndarray:
+        mask = np.ones(self.internet.n_targets, dtype=bool)
+        for prefix in self.blacklist.prefixes:
+            mask[self.internet.target_index(prefix)] = False
+        return mask
+
+    def _scan_vp(
+        self,
+        platform_index: int,
+        census_id: int,
+        probe_mask: Optional[np.ndarray],
+        census_vp_index: int = 0,
+        base_order: Optional[np.ndarray] = None,
+        rate_pps: Optional[float] = None,
+        degraded: bool = False,
+    ) -> VpScanResult:
+        vp = self.platform.vantage_points[platform_index]
+        coords = self.effective_coords(platform_index)
+        base = base_rtt_row(self.internet, vp, coords[0], coords[1])
+        n = self.internet.n_targets
+        if base_order is None:
+            base_order = np.array(lfsr_permutation(n, seed=census_id + 1), dtype=np.int64)
+        # Per-VP rotation of the shared LFSR order: desynchronizes VPs
+        # without recomputing a full permutation per node.
+        shift = (platform_index * 7919 + census_id * 104729) % n
+        order = np.roll(base_order, shift)
+        rng = np.random.default_rng(self.seed * 1_000_003 + census_id * 1009 + platform_index)
+        return simulate_vp_scan(
+            internet=self.internet,
+            vp=vp,
+            vp_index=census_vp_index,
+            census_id=census_id,
+            base_rtts=base,
+            order=order,
+            rate_pps=rate_pps if rate_pps is not None else self.rate_pps,
+            rng=rng,
+            probe_mask=probe_mask,
+            degraded=degraded,
+        )

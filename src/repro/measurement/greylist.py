@@ -1,0 +1,87 @@
+"""Blacklist/greylist bookkeeping.
+
+Good-citizen mechanics from Sec. 3.3: before a full census, a single-VP
+pre-census builds an initial **blacklist** of targets that answer with
+administratively-prohibited ICMP errors.  During each census, newly seen
+error senders accumulate in a temporary **greylist**, which is merged into
+the blacklist afterwards so those hosts are never probed again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set
+
+from ..net.icmp import IcmpOutcome
+
+
+@dataclass
+class Greylist:
+    """Targets that asked (via ICMP errors) not to be probed."""
+
+    _members: Dict[int, IcmpOutcome] = field(default_factory=dict)
+
+    def add(self, prefix: int, outcome: IcmpOutcome) -> None:
+        """Record a greylist-triggering outcome for a /24 prefix index."""
+        if not outcome.triggers_greylist:
+            raise ValueError(f"{outcome} does not trigger greylisting")
+        self._members.setdefault(prefix, outcome)
+
+    def observe(self, prefix: int, outcome: IcmpOutcome) -> bool:
+        """Add the target iff the outcome is greylistable; return whether added."""
+        if outcome.triggers_greylist:
+            self.add(prefix, outcome)
+            return True
+        return False
+
+    def __contains__(self, prefix: int) -> bool:
+        return prefix in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def prefixes(self) -> Set[int]:
+        return set(self._members)
+
+    def composition(self) -> Dict[IcmpOutcome, float]:
+        """Fraction of entries per ICMP error family.
+
+        The paper reports 98.5% code 13, 1.3% code 10, 0.2% code 9.
+        """
+        if not self._members:
+            return {}
+        counts: Dict[IcmpOutcome, int] = {}
+        for outcome in self._members.values():
+            counts[outcome] = counts.get(outcome, 0) + 1
+        total = len(self._members)
+        return {o: c / total for o, c in counts.items()}
+
+    def merge_into(self, blacklist: "Blacklist") -> int:
+        """Fold this greylist into a blacklist; return newly added count."""
+        return blacklist.extend(self._members.items())
+
+
+@dataclass
+class Blacklist:
+    """The persistent do-not-probe set carried across censuses."""
+
+    _members: Dict[int, IcmpOutcome] = field(default_factory=dict)
+
+    def extend(self, items: Iterable) -> int:
+        added = 0
+        for prefix, outcome in items:
+            if prefix not in self._members:
+                self._members[prefix] = outcome
+                added += 1
+        return added
+
+    def __contains__(self, prefix: int) -> bool:
+        return prefix in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def prefixes(self) -> Set[int]:
+        return set(self._members)

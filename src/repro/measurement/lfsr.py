@@ -1,0 +1,125 @@
+"""Galois linear-feedback shift register for target randomization.
+
+fastping probes "the target list in a randomized order to reduce
+intrusiveness ... achieved via a Linear Feedback Shift Register (LFSR) with
+Galois configuration" (Sec. 3.3/3.5).  A maximal-period LFSR of width *w*
+cycles through every nonzero *w*-bit value exactly once, giving a
+memoryless full permutation of up to 2^w − 1 targets — no shuffled index
+array to keep in memory, which matters at O(10^7) targets.
+
+We implement the standard Galois stepping plus the skip trick: to permute
+``n`` targets, use the smallest width with 2^w − 1 ≥ n and discard states
+exceeding ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+# Maximal-length polynomial tap masks by register width (Xilinx app-note
+# XAPP052 table).  Entry w maps to the XOR mask applied on shift-out.
+_TAP_MASKS = {
+    2: 0b11,
+    3: 0b110,
+    4: 0b1100,
+    5: 0b10100,
+    6: 0b110000,
+    7: 0b1100000,
+    8: 0b10111000,
+    9: 0b100010000,
+    10: 0b1001000000,
+    11: 0b10100000000,
+    12: 0b100000101001,
+    13: 0b1000000001101,
+    14: 0b10000000010101,
+    15: 0b110000000000000,
+    16: 0b1101000000001000,
+    17: 0b10010000000000000,
+    18: 0b100000010000000000,
+    19: 0b1000000000000100011,
+    20: 0b10010000000000000000,
+    21: 0b101000000000000000000,
+    22: 0b1100000000000000000000,
+    23: 0b10000100000000000000000,
+    24: 0b111000010000000000000000,
+    25: 0b1001000000000000000000000,
+    26: 0b10000000000000000000100011,
+    27: 0b100000000000000000000010011,
+    28: 0b1001000000000000000000000000,
+    29: 0b10100000000000000000000000000,
+    30: 0b100000000000000000000000101001,
+    31: 0b1001000000000000000000000000000,
+    32: 0b10000000001000000000000000000011,
+}
+
+
+class GaloisLFSR:
+    """A maximal-period Galois LFSR over ``width`` bits.
+
+    The state sequence visits every value in [1, 2^width − 1] exactly once
+    before repeating.  State 0 is unreachable (and invalid as a seed).
+    """
+
+    def __init__(self, width: int, seed: int = 1) -> None:
+        if width not in _TAP_MASKS:
+            raise ValueError(f"unsupported LFSR width {width} (need 2–32)")
+        period = (1 << width) - 1
+        if not 1 <= seed <= period:
+            raise ValueError(f"seed must be in [1, {period}], got {seed}")
+        self.width = width
+        self.period = period
+        self._mask = _TAP_MASKS[width]
+        self._state = seed
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def step(self) -> int:
+        """Advance one step and return the new state."""
+        lsb = self._state & 1
+        self._state >>= 1
+        if lsb:
+            self._state ^= self._mask
+        return self._state
+
+    def cycle(self) -> Iterator[int]:
+        """Yield the full period of states starting from the current one."""
+        start = self._state
+        yield start
+        while True:
+            nxt = self.step()
+            if nxt == start:
+                return
+            yield nxt
+
+
+def width_for(n: int) -> int:
+    """Smallest supported LFSR width whose period covers ``n`` values."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    for width in range(2, 33):
+        if (1 << width) - 1 >= n:
+            return width
+    raise ValueError(f"n={n} exceeds 32-bit LFSR period")
+
+
+def lfsr_permutation(n: int, seed: int = 1) -> List[int]:
+    """A pseudo-random permutation of ``range(n)`` via the skip trick.
+
+    States larger than ``n`` are discarded; surviving states minus one give
+    indices 0..n−1, each exactly once.  Deterministic in ``seed``.
+    """
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    width = width_for(n)
+    period = (1 << width) - 1
+    start = (seed - 1) % period + 1
+    lfsr = GaloisLFSR(width, seed=start)
+    out = []
+    for state in lfsr.cycle():
+        if state <= n:
+            out.append(state - 1)
+    return out

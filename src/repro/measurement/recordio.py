@@ -1,0 +1,251 @@
+"""Census record formats: compact binary vs textual CSV.
+
+A scalability lesson of the paper (Sec. 3.5, Tab. 1): the first census was
+logged as text (270 MB per node, 79 GB total) and took >3 days to analyze;
+switching to "a stripped-down binary format containing a timestamp, delay
+and ICMP flag" (~20 MB per node, 6 GB per census) brought analysis under
+three hours.  We implement both formats so the benchmark can reproduce the
+size/throughput gap.
+
+A record exists for every probe that got *some* answer (echo reply or ICMP
+error); silence produces no packet and hence no record.  The ``flag`` field
+encodes the outcome exactly as the paper does — "encoding greylist return
+codes 9, 10, or 13 as a negative sign":
+
+* ``0``   echo reply (``rtt_ms`` is valid),
+* ``-13`` / ``-10`` / ``-9``  administratively-prohibited errors,
+* ``1``   other ICMP error.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, TextIO, Tuple
+
+import numpy as np
+
+from ..net.addresses import format_slash24, parse_slash24
+from ..net.icmp import IcmpOutcome
+
+FLAG_REPLY = 0
+FLAG_OTHER_ERROR = 1
+
+_MAGIC = b"ACEN"
+_VERSION = 2
+_HEADER = struct.Struct("<4sHHQ")  # magic, version, census_id, n_records
+
+#: RTT quantum of the binary format: 0.01 ms.
+RTT_QUANTUM_MS = 0.01
+
+
+def flag_for(outcome: IcmpOutcome) -> int:
+    """Encode an ICMP outcome in the record flag convention."""
+    if outcome is IcmpOutcome.ECHO_REPLY:
+        return FLAG_REPLY
+    if outcome.triggers_greylist:
+        return -outcome.icmp_code
+    if outcome.is_error:
+        return FLAG_OTHER_ERROR
+    raise ValueError(f"{outcome} produces no record")
+
+
+def outcome_for(flag: int) -> IcmpOutcome:
+    """Decode a record flag back to an ICMP outcome."""
+    if flag == FLAG_REPLY:
+        return IcmpOutcome.ECHO_REPLY
+    if flag == FLAG_OTHER_ERROR:
+        return IcmpOutcome.UNREACHABLE
+    if flag < 0:
+        from ..net.icmp import outcome_from_code
+
+        return outcome_from_code(-flag)
+    raise ValueError(f"unknown record flag {flag!r}")
+
+
+@dataclass
+class CensusRecords:
+    """Columnar storage of one census's probe records.
+
+    Parallel arrays indexed by record number:
+
+    * ``vp_index``   uint16 — vantage-point position within the census;
+    * ``prefix``     uint32 — the /24 prefix index probed;
+    * ``timestamp_ms`` float64 — probe send time since census start;
+    * ``rtt_ms``     float32 — RTT (NaN unless the flag says reply);
+    * ``flag``       int8   — outcome encoding (see module docstring).
+    """
+
+    census_id: int
+    vp_index: np.ndarray
+    prefix: np.ndarray
+    timestamp_ms: np.ndarray
+    rtt_ms: np.ndarray
+    flag: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.vp_index)
+        for name in ("prefix", "timestamp_ms", "rtt_ms", "flag"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name} length mismatch")
+        self.vp_index = np.asarray(self.vp_index, dtype=np.uint16)
+        self.prefix = np.asarray(self.prefix, dtype=np.uint32)
+        self.timestamp_ms = np.asarray(self.timestamp_ms, dtype=np.float64)
+        self.rtt_ms = np.asarray(self.rtt_ms, dtype=np.float32)
+        self.flag = np.asarray(self.flag, dtype=np.int8)
+
+    def __len__(self) -> int:
+        return len(self.vp_index)
+
+    @property
+    def reply_mask(self) -> np.ndarray:
+        return self.flag == FLAG_REPLY
+
+    def replies(self) -> "CensusRecords":
+        """Only the echo-reply records (the analysis input)."""
+        return self.select(self.reply_mask)
+
+    def greylistable(self) -> "CensusRecords":
+        """Only records carrying administratively-prohibited errors."""
+        return self.select(self.flag < 0)
+
+    def select(self, mask: np.ndarray) -> "CensusRecords":
+        return CensusRecords(
+            census_id=self.census_id,
+            vp_index=self.vp_index[mask],
+            prefix=self.prefix[mask],
+            timestamp_ms=self.timestamp_ms[mask],
+            rtt_ms=self.rtt_ms[mask],
+            flag=self.flag[mask],
+        )
+
+    # ------------------------------------------------------------------
+    # Binary format
+    # ------------------------------------------------------------------
+
+    def write_binary(self, fp: BinaryIO) -> int:
+        """Write the compact binary format; return bytes written."""
+        n = len(self)
+        header = _HEADER.pack(_MAGIC, _VERSION, self.census_id, n)
+        fp.write(header)
+        written = len(header)
+        # RTT quantized to centi-milliseconds; NaN encoded as 0 (the flag
+        # already says whether the RTT is meaningful).
+        rtt_q = np.where(np.isnan(self.rtt_ms), 0.0, self.rtt_ms / RTT_QUANTUM_MS)
+        columns = (
+            self.vp_index.astype("<u2"),
+            self.prefix.astype("<u4"),
+            np.round(self.timestamp_ms).astype("<u4"),
+            np.round(rtt_q).astype("<u4"),
+            self.flag.astype("i1"),
+        )
+        for col in columns:
+            buf = col.tobytes()
+            fp.write(buf)
+            written += len(buf)
+        return written
+
+    @classmethod
+    def read_binary(cls, fp: BinaryIO) -> "CensusRecords":
+        header = fp.read(_HEADER.size)
+        magic, version, census_id, n = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise ValueError("not a census binary file")
+        if version != _VERSION:
+            raise ValueError(f"unsupported census format version {version}")
+        def col(dtype: str, width: int) -> np.ndarray:
+            raw = fp.read(n * width)
+            if len(raw) != n * width:
+                raise ValueError("truncated census binary file")
+            return np.frombuffer(raw, dtype=dtype)
+
+        vp = col("<u2", 2)
+        prefix = col("<u4", 4)
+        ts = col("<u4", 4).astype(np.float64)
+        rtt_q = col("<u4", 4)
+        flag = col("i1", 1)
+        rtt = rtt_q.astype(np.float32) * RTT_QUANTUM_MS
+        rtt = np.where(flag == FLAG_REPLY, rtt, np.float32(np.nan))
+        return cls(census_id, vp, prefix, ts, rtt.astype(np.float32), flag)
+
+    def binary_size_bytes(self) -> int:
+        """Size of the binary serialization without writing it out."""
+        return _HEADER.size + len(self) * (2 + 4 + 4 + 4 + 1)
+
+    # ------------------------------------------------------------------
+    # Textual format
+    # ------------------------------------------------------------------
+
+    def write_csv(self, fp: TextIO) -> int:
+        """Write the verbose textual format; return characters written."""
+        written = fp.write("# census_id,vp_index,prefix,timestamp_ms,rtt_ms,flag\n")
+        for i in range(len(self)):
+            rtt = self.rtt_ms[i]
+            rtt_text = "" if np.isnan(rtt) else f"{float(rtt):.6f}"
+            line = (
+                f"{self.census_id},{int(self.vp_index[i])},"
+                f"{format_slash24(int(self.prefix[i]))},"
+                f"{float(self.timestamp_ms[i]):.3f},{rtt_text},{int(self.flag[i])}\n"
+            )
+            written += fp.write(line)
+        return written
+
+    @classmethod
+    def read_csv(cls, fp: TextIO) -> "CensusRecords":
+        census_id = 0
+        vp, prefix, ts, rtt, flag = [], [], [], [], []
+        for line in fp:
+            if not line.strip() or line.startswith("#"):
+                continue
+            parts = line.rstrip("\n").split(",")
+            if len(parts) != 6:
+                raise ValueError(f"malformed census CSV line: {line!r}")
+            census_id = int(parts[0])
+            vp.append(int(parts[1]))
+            prefix.append(parse_slash24(parts[2]))
+            ts.append(float(parts[3]))
+            rtt.append(float(parts[4]) if parts[4] else np.nan)
+            flag.append(int(parts[5]))
+        return cls(
+            census_id,
+            np.array(vp, dtype=np.uint16),
+            np.array(prefix, dtype=np.uint32),
+            np.array(ts, dtype=np.float64),
+            np.array(rtt, dtype=np.float32),
+            np.array(flag, dtype=np.int8),
+        )
+
+    def csv_size_bytes(self) -> int:
+        """Size of the CSV serialization without keeping it around."""
+        sink = _CountingTextSink()
+        self.write_csv(sink)
+        return sink.count
+
+
+class _CountingTextSink(io.TextIOBase):
+    """A write-only text stream that just counts characters."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def write(self, s: str) -> int:  # type: ignore[override]
+        self.count += len(s)
+        return len(s)
+
+
+def concatenate(parts: Tuple[CensusRecords, ...]) -> CensusRecords:
+    """Concatenate per-VP record batches into one census-wide set."""
+    if not parts:
+        raise ValueError("nothing to concatenate")
+    ids = {p.census_id for p in parts}
+    if len(ids) != 1:
+        raise ValueError(f"mixed census ids: {sorted(ids)}")
+    return CensusRecords(
+        census_id=parts[0].census_id,
+        vp_index=np.concatenate([p.vp_index for p in parts]),
+        prefix=np.concatenate([p.prefix for p in parts]),
+        timestamp_ms=np.concatenate([p.timestamp_ms for p in parts]),
+        rtt_ms=np.concatenate([p.rtt_ms for p in parts]),
+        flag=np.concatenate([p.flag for p in parts]),
+    )

@@ -1,0 +1,170 @@
+"""IPv4 address and /24-prefix arithmetic.
+
+The census operates at /24 granularity: "BGP standard practice is to ignore
+or block prefixes shorter [longer] than /24. Thus, /24 is the minimum
+granularity for anycasted services" (Sec. 3.1).  Every target in the hitlist
+is one representative IP/32 per /24.
+
+We deliberately avoid the stdlib ``ipaddress`` module in the hot paths:
+census-scale code manipulates hundreds of thousands of prefixes, and packing
+them as plain ``int`` indices (the /24 "prefix index" = the top 24 bits) is
+both faster and friendlier to numpy vectorization.  Conversion helpers keep
+the human-readable dotted-quad forms at the edges.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+#: Number of /24 prefixes in the full IPv4 space.
+TOTAL_SLASH24 = 1 << 24
+
+_DOTTED_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+def parse_ipv4(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into a 32-bit integer."""
+    match = _DOTTED_RE.match(text.strip())
+    if match is None:
+        raise ValueError(f"malformed IPv4 address: {text!r}")
+    octets = [int(g) for g in match.groups()]
+    if any(o > 255 for o in octets):
+        raise ValueError(f"IPv4 octet out of range: {text!r}")
+    return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+
+
+def format_ipv4(addr: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 address."""
+    if not 0 <= addr <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {addr!r}")
+    return f"{(addr >> 24) & 0xFF}.{(addr >> 16) & 0xFF}.{(addr >> 8) & 0xFF}.{addr & 0xFF}"
+
+
+def slash24_of(addr: int) -> int:
+    """The /24 prefix index (top 24 bits) of an address."""
+    if not 0 <= addr <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {addr!r}")
+    return addr >> 8
+
+
+def slash24_base_address(prefix_index: int) -> int:
+    """The .0 address of a /24 given its prefix index."""
+    if not 0 <= prefix_index < TOTAL_SLASH24:
+        raise ValueError(f"/24 index out of range: {prefix_index!r}")
+    return prefix_index << 8
+
+
+def host_in_slash24(prefix_index: int, host: int) -> int:
+    """The address of host ``host`` (0–255) inside a /24."""
+    if not 0 <= host <= 255:
+        raise ValueError(f"host octet out of range: {host!r}")
+    return slash24_base_address(prefix_index) | host
+
+
+def format_slash24(prefix_index: int) -> str:
+    """Render a /24 prefix index in CIDR notation, e.g. ``'192.0.2.0/24'``."""
+    return format_ipv4(slash24_base_address(prefix_index)) + "/24"
+
+
+def parse_slash24(text: str) -> int:
+    """Parse ``'a.b.c.0/24'`` (or any address with /24 suffix) to its index."""
+    body, _, plen = text.strip().partition("/")
+    if plen != "24":
+        raise ValueError(f"not a /24 prefix: {text!r}")
+    return slash24_of(parse_ipv4(body))
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A CIDR prefix of arbitrary length (used for announced BGP prefixes).
+
+    ``base`` is the network address as an int with host bits zeroed;
+    ``length`` the prefix length.  Announced prefixes shorter than /24 are
+    split into /24s for census purposes (:meth:`slash24s`), mirroring the
+    paper's handling of BGP aggregates.
+    """
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length out of range: {self.length!r}")
+        mask = self.netmask
+        if self.base & ~mask & 0xFFFFFFFF:
+            raise ValueError(f"host bits set in prefix base {format_ipv4(self.base)}/{self.length}")
+
+    @property
+    def netmask(self) -> int:
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF if self.length else 0
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered."""
+        return 1 << (32 - self.length)
+
+    def contains(self, addr: int) -> bool:
+        return (addr & self.netmask) == self.base
+
+    def slash24s(self) -> Iterator[int]:
+        """Iterate the /24 prefix indices covered by this prefix.
+
+        A /25-or-longer prefix is contained in a single /24 and yields just
+        that one (the mapping back from /24 to announced prefix is done a
+        posteriori, as in the paper).
+        """
+        if self.length >= 24:
+            yield self.base >> 8
+            return
+        first = self.base >> 8
+        count = 1 << (24 - self.length)
+        for i in range(count):
+            yield first + i
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        body, _, plen = text.strip().partition("/")
+        if not plen:
+            raise ValueError(f"missing prefix length: {text!r}")
+        return cls(parse_ipv4(body), int(plen))
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.base)}/{self.length}"
+
+
+#: Prefixes never routed on the public Internet; excluded from hitlists.
+RESERVED_PREFIXES: Tuple[Prefix, ...] = (
+    Prefix.parse("0.0.0.0/8"),       # "this network"
+    Prefix.parse("10.0.0.0/8"),      # RFC 1918
+    Prefix.parse("100.64.0.0/10"),   # CGN shared space
+    Prefix.parse("127.0.0.0/8"),     # loopback
+    Prefix.parse("169.254.0.0/16"),  # link local
+    Prefix.parse("172.16.0.0/12"),   # RFC 1918
+    Prefix.parse("192.0.2.0/24"),    # TEST-NET-1
+    Prefix.parse("192.168.0.0/16"),  # RFC 1918
+    Prefix.parse("198.18.0.0/15"),   # benchmarking
+    Prefix.parse("198.51.100.0/24"), # TEST-NET-2
+    Prefix.parse("203.0.113.0/24"),  # TEST-NET-3
+    Prefix.parse("224.0.0.0/4"),     # multicast
+    Prefix.parse("240.0.0.0/4"),     # reserved
+)
+
+
+def is_reserved(addr: int) -> bool:
+    """True if the address falls in a reserved/non-routable block."""
+    return any(p.contains(addr) for p in RESERVED_PREFIXES)
+
+
+def split_to_slash24(prefixes: List[Prefix]) -> List[int]:
+    """Split announced prefixes into the sorted, deduplicated /24 universe.
+
+    This mirrors the paper's coverage computation: the RIS/RouteViews
+    announced-prefix dump is split into 10,616,435 /24s and matched against
+    the hitlist.
+    """
+    seen = set()
+    for prefix in prefixes:
+        seen.update(prefix.slash24s())
+    return sorted(seen)

@@ -1,0 +1,166 @@
+"""Autonomous-system registry.
+
+Each anycast deployment in the census belongs to an AS, identified in the
+paper by its WHOIS name (Fig. 9's x-axis) and characterized by a business
+category (Fig. 11's breakdown).  This module provides the AS object model
+and a registry supporting the joins the characterization step performs:
+prefix → AS, AS → category, AS → CAIDA/Alexa rank.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+class BusinessCategory(enum.Enum):
+    """Main business activity of an AS, as labelled in the paper's Fig. 9.
+
+    The paper notes the category is informal; for multi-service ASes only
+    the most prominent activity is kept.
+    """
+
+    DNS = "DNS"
+    CDN = "CDN"
+    CLOUD = "Cloud"
+    ISP = "ISP"
+    ISP_TIER1 = "ISP-tier1"
+    SECURITY = "Security"
+    SOCIAL_NETWORK = "Social Network"
+    WEB_PORTAL = "Web Portal"
+    WEB_ANALYTICS = "Web Analytics"
+    ONLINE_MARKETING = "Online Marketing"
+    AD_TECHNOLOGY = "AD technology"
+    CLOUD_MESSAGING = "Cloud messaging"
+    BLOGGING = "Blogging"
+    VIDEO_CONFERENCING = "Video Conferencing"
+    TELECOM_VENDOR = "Telecom Vendor"
+    BACKBONE = "Backbone Network"
+    UNKNOWN = "unknown"
+
+    @property
+    def coarse(self) -> str:
+        """Coarse bucket used in the Fig. 11 breakdown.
+
+        The paper's histogram shows DNS, CDN, Cloud, ISP, Security, Social,
+        Unknown, and Other.
+        """
+        mapping = {
+            BusinessCategory.DNS: "DNS",
+            BusinessCategory.CDN: "CDN",
+            BusinessCategory.CLOUD: "Cloud",
+            BusinessCategory.CLOUD_MESSAGING: "Cloud",
+            BusinessCategory.ISP: "ISP",
+            BusinessCategory.ISP_TIER1: "ISP",
+            BusinessCategory.BACKBONE: "ISP",
+            BusinessCategory.SECURITY: "Security",
+            BusinessCategory.SOCIAL_NETWORK: "Social",
+            BusinessCategory.UNKNOWN: "Unknown",
+        }
+        return mapping.get(self, "Other")
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """An AS: number, WHOIS-style name, registration country, category."""
+
+    asn: int
+    name: str
+    country: str
+    category: BusinessCategory = BusinessCategory.UNKNOWN
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive: {self.asn!r}")
+        if not self.name:
+            raise ValueError("AS name must be non-empty")
+
+    @property
+    def whois_label(self) -> str:
+        """WHOIS name capped to 12 characters, as rendered in Fig. 9."""
+        return self.name[:12]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AS{self.asn} {self.name}"
+
+
+class ASRegistry:
+    """Registry of ASes with prefix ownership.
+
+    Supports the lookups the analysis pipeline needs:
+
+    * ``registry[asn]`` — AS by number.
+    * :meth:`owner_of` — AS owning a /24 prefix index.
+    * :meth:`prefixes_of` — /24s registered to an AS.
+    """
+
+    def __init__(self) -> None:
+        self._by_asn: Dict[int, AutonomousSystem] = {}
+        self._prefix_owner: Dict[int, int] = {}
+        self._as_prefixes: Dict[int, List[int]] = {}
+
+    def add(self, asys: AutonomousSystem) -> AutonomousSystem:
+        """Register an AS; re-adding the same ASN must be identical."""
+        existing = self._by_asn.get(asys.asn)
+        if existing is not None:
+            if existing != asys:
+                raise ValueError(f"conflicting registration for AS{asys.asn}")
+            return existing
+        self._by_asn[asys.asn] = asys
+        self._as_prefixes.setdefault(asys.asn, [])
+        return asys
+
+    def assign_prefix(self, prefix_index: int, asn: int) -> None:
+        """Record that a /24 belongs to an AS (each /24 has one owner)."""
+        if asn not in self._by_asn:
+            raise KeyError(f"unknown AS{asn}")
+        current = self._prefix_owner.get(prefix_index)
+        if current is not None and current != asn:
+            raise ValueError(
+                f"/24 index {prefix_index} already owned by AS{current}, "
+                f"cannot reassign to AS{asn}"
+            )
+        if current is None:
+            self._prefix_owner[prefix_index] = asn
+            self._as_prefixes[asn].append(prefix_index)
+
+    def __getitem__(self, asn: int) -> AutonomousSystem:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise KeyError(f"unknown AS{asn}") from None
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._by_asn.values())
+
+    def owner_of(self, prefix_index: int) -> Optional[AutonomousSystem]:
+        """The AS owning a /24 prefix index, or ``None`` if unassigned."""
+        asn = self._prefix_owner.get(prefix_index)
+        return None if asn is None else self._by_asn[asn]
+
+    def prefixes_of(self, asn: int) -> List[int]:
+        """Sorted /24 prefix indices registered to an AS."""
+        if asn not in self._by_asn:
+            raise KeyError(f"unknown AS{asn}")
+        return sorted(self._as_prefixes[asn])
+
+    def by_category(self, category: BusinessCategory) -> List[AutonomousSystem]:
+        """All ASes in a business category, ordered by ASN."""
+        return sorted(
+            (a for a in self._by_asn.values() if a.category is category),
+            key=lambda a: a.asn,
+        )
+
+    def find_by_name(self, name: str) -> AutonomousSystem:
+        """Look up an AS by exact WHOIS name."""
+        for asys in self._by_asn.values():
+            if asys.name == name:
+                return asys
+        raise KeyError(f"no AS named {name!r}")

@@ -1,0 +1,133 @@
+"""ICMP message taxonomy and rate-limiting model.
+
+The census prober speaks ICMP echo (ping).  Targets answer with an echo
+reply, an error, or silence.  Three error codes matter to the pipeline
+because they trigger greylisting (Sec. 3.3):
+
+* type 3 code 13 — communication administratively filtered (RFC 1812);
+  98.5% of the paper's greylist;
+* type 3 code 10 — host administratively prohibited (RFC 1122); 1.3%;
+* type 3 code 9  — network administratively prohibited; 0.2%.
+
+The binary census record encodes these greylist codes "as a negative sign"
+on the flag field; :mod:`repro.measurement.recordio` relies on the numeric
+values defined here.
+
+This module also models *ICMP rate limiting*: routers and hosts cap the
+rate of ICMP responses, and — the paper's key scalability lesson (Sec. 3.5)
+— reply aggregates near the vantage point get policed when the probing rate
+is too high, causing heterogeneous per-VP drop rates that disappear once
+the prober slows down by an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class IcmpOutcome(enum.Enum):
+    """Outcome of one ICMP echo probe."""
+
+    ECHO_REPLY = "echo-reply"
+    #: Type 3 code 13 (RFC 1812): communication administratively filtered.
+    ADMIN_FILTERED = "admin-filtered"
+    #: Type 3 code 10 (RFC 1122): host administratively prohibited.
+    HOST_PROHIBITED = "host-prohibited"
+    #: Type 3 code 9 (RFC 1122): network administratively prohibited.
+    NET_PROHIBITED = "net-prohibited"
+    #: Other type-3 errors (unreachable host/net/port), not greylisted.
+    UNREACHABLE = "unreachable"
+    #: No answer at all (dead host, silent drop, rate-limit loss).
+    SILENT = "silent"
+
+    @property
+    def is_reply(self) -> bool:
+        return self is IcmpOutcome.ECHO_REPLY
+
+    @property
+    def is_error(self) -> bool:
+        return self in _ERROR_OUTCOMES
+
+    @property
+    def triggers_greylist(self) -> bool:
+        """True for the administratively-prohibited family (codes 9/10/13)."""
+        return self in _GREYLIST_OUTCOMES
+
+    @property
+    def icmp_code(self) -> int:
+        """The ICMP type-3 code, or -1 when not applicable."""
+        return _CODES.get(self, -1)
+
+
+_ERROR_OUTCOMES = frozenset(
+    {
+        IcmpOutcome.ADMIN_FILTERED,
+        IcmpOutcome.HOST_PROHIBITED,
+        IcmpOutcome.NET_PROHIBITED,
+        IcmpOutcome.UNREACHABLE,
+    }
+)
+_GREYLIST_OUTCOMES = frozenset(
+    {IcmpOutcome.ADMIN_FILTERED, IcmpOutcome.HOST_PROHIBITED, IcmpOutcome.NET_PROHIBITED}
+)
+_CODES = {
+    IcmpOutcome.ADMIN_FILTERED: 13,
+    IcmpOutcome.HOST_PROHIBITED: 10,
+    IcmpOutcome.NET_PROHIBITED: 9,
+    IcmpOutcome.UNREACHABLE: 1,
+}
+
+
+def outcome_from_code(code: int) -> IcmpOutcome:
+    """Map an ICMP type-3 code back to an outcome (greylist decoding)."""
+    for outcome, c in _CODES.items():
+        if c == code:
+            return outcome
+    raise ValueError(f"unmapped ICMP type-3 code: {code!r}")
+
+
+#: Paper-reported composition of the greylist (Sec. 3.3).
+GREYLIST_COMPOSITION = {
+    IcmpOutcome.ADMIN_FILTERED: 0.985,
+    IcmpOutcome.HOST_PROHIBITED: 0.013,
+    IcmpOutcome.NET_PROHIBITED: 0.002,
+}
+
+
+@dataclass(frozen=True)
+class RateLimitPolicy:
+    """Token-bucket-style policing of the reply aggregate near a VP.
+
+    The paper found that while the LFSR permutation spreads requests across
+    *targets*, the **replies** all converge on the vantage point, arriving at
+    the full probing rate; some VP-side networks police that aggregate.
+    We model the surviving fraction as::
+
+        keep(rate) = 1                                  if rate <= safe_rate
+                   = (safe_rate / rate) ** severity     otherwise
+
+    ``severity`` = 0 disables policing (a well-provisioned network);
+    ``severity`` = 1 is a hard cap at ``safe_rate`` replies/s.
+    """
+
+    safe_rate_pps: float = 1000.0
+    severity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.safe_rate_pps <= 0:
+            raise ValueError("safe_rate_pps must be positive")
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError("severity must be in [0, 1]")
+
+    def keep_probability(self, rate_pps: float) -> float:
+        """Probability a reply survives policing at the given probe rate."""
+        if rate_pps < 0:
+            raise ValueError("rate must be non-negative")
+        if rate_pps <= self.safe_rate_pps or self.severity == 0.0:
+            return 1.0
+        return (self.safe_rate_pps / rate_pps) ** self.severity
+
+
+#: A VP hosted on a network that never polices (the lucky case).
+NO_RATE_LIMIT = RateLimitPolicy(safe_rate_pps=float("inf"), severity=0.0)

@@ -1,0 +1,196 @@
+"""TCP service registry and software fingerprints.
+
+The portscan step (Sec. 4.3) maps open TCP ports to well-known services
+(via the IANA-style port classification nmap uses) and fingerprints the
+software answering on them.  This module embeds:
+
+* a port → service-name registry covering the ports that actually appear in
+  the paper's Fig. 14 top-10s plus the common well-known range;
+* the set of SSL-wrapped service ports;
+* the 30-software fingerprint catalog of Fig. 16, grouped into the paper's
+  DNS / Web / Mail / Other categories.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+# Frequently-referenced ports, named for readability at call sites.
+PORT_SSH = 22
+PORT_DNS = 53
+PORT_HTTP = 80
+PORT_BGP = 179
+PORT_HTTPS = 443
+PORT_RTMP = 1935
+PORT_MYSQL = 3306
+PORT_HTTP_ALT = 8080
+PORT_US_SRV = 8083
+PORT_MOVAZ_SSC = 5252
+
+#: Port → well-known service name.  Mirrors nmap's nmap-services view for
+#: the ports relevant to the census; ports absent here are "unknown".
+WELL_KNOWN_SERVICES: Dict[int, str] = {
+    20: "ftp-data",
+    21: "ftp",
+    22: "ssh",
+    23: "telnet",
+    25: "smtp",
+    43: "whois",
+    53: "domain",
+    80: "http",
+    88: "kerberos",
+    110: "pop3",
+    111: "rpcbind",
+    119: "nntp",
+    123: "ntp",
+    135: "msrpc",
+    139: "netbios-ssn",
+    143: "imap",
+    161: "snmp",
+    179: "bgp",
+    389: "ldap",
+    443: "https",
+    445: "microsoft-ds",
+    465: "smtps",
+    514: "syslog",
+    587: "submission",
+    636: "ldaps",
+    853: "domain-s",
+    873: "rsync",
+    990: "ftps",
+    993: "imaps",
+    995: "pop3s",
+    1433: "ms-sql-s",
+    1723: "pptp",
+    1935: "rtmp",
+    2052: "clearvisn",
+    2053: "knetd",
+    2082: "cpanel",
+    2083: "cpanel-ssl",
+    2086: "whm",
+    2087: "whm-ssl",
+    2095: "webmail",
+    2096: "webmail-ssl",
+    3128: "squid-http",
+    3306: "mysql",
+    3389: "ms-wbt-server",
+    5060: "sip",
+    5061: "sips",
+    5222: "xmpp-client",
+    5252: "movaz-ssc",
+    5432: "postgresql",
+    5900: "vnc",
+    6379: "redis",
+    8000: "http-alt",
+    8080: "http-proxy",
+    8083: "us-srv",
+    8443: "https-alt",
+    8888: "sun-answerbook",
+    9418: "git",
+    11211: "memcache",
+    25565: "minecraft",
+    27017: "mongodb",
+    8554: "rtsp-alt",
+    3690: "svn",
+    6667: "irc",
+    5000: "upnp",
+    7070: "realserver",
+    5269: "xmpp-server",
+    1194: "openvpn",
+    500: "isakmp",
+    4500: "ipsec-nat-t",
+    9000: "cslistener",
+    10000: "snet-sensor-mgmt",
+}
+
+#: Ports whose service runs over SSL/TLS (used for the "(SSL)" count in Fig. 14).
+SSL_PORTS: FrozenSet[int] = frozenset(
+    {443, 465, 563, 636, 853, 990, 993, 995, 2053, 2083, 2087, 2096, 5061, 8443}
+)
+
+
+def service_name(port: int) -> Optional[str]:
+    """The well-known service on ``port``, or ``None`` if unregistered."""
+    if not 0 < port <= 65535:
+        raise ValueError(f"TCP port out of range: {port!r}")
+    return WELL_KNOWN_SERVICES.get(port)
+
+
+def is_well_known(port: int) -> bool:
+    """True if the port maps to a well-known service."""
+    return service_name(port) is not None
+
+
+def is_ssl(port: int) -> bool:
+    """True if the port conventionally carries SSL/TLS."""
+    if not 0 < port <= 65535:
+        raise ValueError(f"TCP port out of range: {port!r}")
+    return port in SSL_PORTS
+
+
+class SoftwareCategory(enum.Enum):
+    """Coarse grouping of fingerprinted software (paper Fig. 16)."""
+
+    DNS = "DNS"
+    WEB = "Web"
+    MAIL = "Mail"
+    OTHER = "Other"
+
+
+@dataclass(frozen=True)
+class Software:
+    """A fingerprintable server implementation."""
+
+    name: str
+    category: SoftwareCategory
+    #: Whether the implementation is open source (paper remarks the census
+    #: covers both open-source and proprietary daemons).
+    open_source: bool = False
+
+
+# The 30 software implementations of Fig. 16, left-to-right.
+SOFTWARE_CATALOG: Dict[str, Software] = {
+    sw.name: sw
+    for sw in (
+        Software("ISC BIND", SoftwareCategory.DNS, open_source=True),
+        Software("NLnet Labs NSD", SoftwareCategory.DNS, open_source=True),
+        Software("Microsoft DNS", SoftwareCategory.DNS),
+        Software("OpenDNS", SoftwareCategory.DNS),
+        Software("nginx", SoftwareCategory.WEB, open_source=True),
+        Software("lighttpd", SoftwareCategory.WEB, open_source=True),
+        Software("Apache httpd", SoftwareCategory.WEB, open_source=True),
+        Software("ECD", SoftwareCategory.WEB),
+        Software("Microsoft IIS", SoftwareCategory.WEB),
+        Software("Varnish", SoftwareCategory.WEB, open_source=True),
+        Software("Apache Tomcat", SoftwareCategory.WEB, open_source=True),
+        Software("bitasicv2", SoftwareCategory.WEB),
+        Software("CFS 0213", SoftwareCategory.WEB),
+        Software("cloudflare-nginx", SoftwareCategory.WEB),
+        Software("cPanel httpd", SoftwareCategory.WEB),
+        Software("thttpd", SoftwareCategory.WEB, open_source=True),
+        Software("ECAcc/ECS", SoftwareCategory.WEB),
+        Software("Google httpd", SoftwareCategory.WEB),
+        Software("instart/160", SoftwareCategory.WEB),
+        Software("Gmail imapd", SoftwareCategory.MAIL),
+        Software("Gmail pop3d", SoftwareCategory.MAIL),
+        Software("Google gsmtp", SoftwareCategory.MAIL),
+        Software("OpenSSH", SoftwareCategory.OTHER, open_source=True),
+        Software("MySQL", SoftwareCategory.OTHER, open_source=True),
+        Software("sslstrip", SoftwareCategory.OTHER, open_source=True),
+        Software("Microsoft RPC", SoftwareCategory.OTHER),
+        Software("Microsoft HTTP", SoftwareCategory.OTHER),
+        Software("Microsoft SQL", SoftwareCategory.OTHER),
+        Software("PowerDNS", SoftwareCategory.DNS, open_source=True),
+        Software("Unbound", SoftwareCategory.DNS, open_source=True),
+    )
+}
+
+
+def software(name: str) -> Software:
+    """Look up a fingerprint by exact name."""
+    try:
+        return SOFTWARE_CATALOG[name]
+    except KeyError:
+        raise KeyError(f"unknown software fingerprint {name!r}") from None

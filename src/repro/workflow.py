@@ -1,0 +1,190 @@
+"""High-level workflow facade: from nothing to a characterized census.
+
+Wires the full pipeline of the paper's Fig. 1 together:
+
+    hitlist -> PlanetLab measurement -> detection/enumeration/geolocation
+            -> characterization (+ validation, + portscan)
+
+:class:`CensusStudy` is the one-stop entry point used by the examples and
+the benchmark harness; each stage is also available individually through
+the subpackage APIs for custom studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .census.analysis import AnalysisResult, CensusFunnel, analyze_matrix, census_funnel
+from .census.characterize import Characterization
+from .census.combine import RttMatrix, combine_censuses
+from .census.ranks import alexa_hosted_prefixes, caida_top_asns
+from .census.validation import ValidationReport, validate_deployment
+from .core.igreedy import IGreedyConfig
+from .geo.cities import CityDB, default_city_db
+from .internet.hitlist import Hitlist, generate_hitlist
+from .internet.topology import InternetConfig, SyntheticInternet
+from .measurement.campaign import Census, CensusCampaign
+from .measurement.httpprobe import SiteCodeBook
+from .measurement.platform import Platform, planetlab_platform
+from .measurement.portscan import PortscanReport, run_portscan
+
+
+@dataclass
+class StudyConfig:
+    """Scale and seeds of a complete census study."""
+
+    internet: InternetConfig = field(default_factory=InternetConfig)
+    n_vantage_points: int = 308
+    n_censuses: int = 4
+    availability: float = 0.85
+    rate_pps: float = 1000.0
+    platform_seed: int = 41
+    campaign_seed: int = 500
+    igreedy: IGreedyConfig = field(default_factory=IGreedyConfig)
+
+
+class CensusStudy:
+    """Lazily-evaluated end-to-end census study.
+
+    Stages are computed on first access and cached, so a single study can
+    back many experiments without recomputation::
+
+        study = CensusStudy(StudyConfig())
+        study.characterization.glance_table(...)
+        study.validate("CLOUDFLARENET,US")
+    """
+
+    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+        self.config = config or StudyConfig()
+        self._internet: Optional[SyntheticInternet] = None
+        self._platform: Optional[Platform] = None
+        self._campaign: Optional[CensusCampaign] = None
+        self._censuses: Optional[List[Census]] = None
+        self._matrix: Optional[RttMatrix] = None
+        self._analysis: Optional[AnalysisResult] = None
+        self._characterization: Optional[Characterization] = None
+        self._hitlist: Optional[Hitlist] = None
+        self._portscan: Optional[PortscanReport] = None
+        self._codebook: Optional[SiteCodeBook] = None
+        self.city_db: CityDB = default_city_db()
+
+    # -- substrate -----------------------------------------------------
+
+    @property
+    def internet(self) -> SyntheticInternet:
+        if self._internet is None:
+            self._internet = SyntheticInternet(self.config.internet)
+        return self._internet
+
+    @property
+    def platform(self) -> Platform:
+        if self._platform is None:
+            self._platform = planetlab_platform(
+                count=self.config.n_vantage_points,
+                seed=self.config.platform_seed,
+                city_db=self.city_db,
+            )
+        return self._platform
+
+    @property
+    def hitlist(self) -> Hitlist:
+        if self._hitlist is None:
+            self._hitlist = generate_hitlist(self.internet)
+        return self._hitlist
+
+    # -- measurement ----------------------------------------------------
+
+    @property
+    def campaign(self) -> CensusCampaign:
+        if self._campaign is None:
+            self._campaign = CensusCampaign(
+                self.internet,
+                self.platform,
+                rate_pps=self.config.rate_pps,
+                seed=self.config.campaign_seed,
+            )
+        return self._campaign
+
+    @property
+    def censuses(self) -> List[Census]:
+        if self._censuses is None:
+            self._censuses = self.campaign.run(
+                n_censuses=self.config.n_censuses,
+                availability=self.config.availability,
+            )
+        return self._censuses
+
+    # -- analysis --------------------------------------------------------
+
+    @property
+    def matrix(self) -> RttMatrix:
+        """Minimum-RTT combination of all censuses."""
+        if self._matrix is None:
+            self._matrix = combine_censuses(self.censuses)
+        return self._matrix
+
+    @property
+    def analysis(self) -> AnalysisResult:
+        if self._analysis is None:
+            self._analysis = analyze_matrix(
+                self.matrix, city_db=self.city_db, config=self.config.igreedy
+            )
+        return self._analysis
+
+    @property
+    def characterization(self) -> Characterization:
+        if self._characterization is None:
+            self._characterization = Characterization(self.analysis, self.internet)
+        return self._characterization
+
+    # -- cross-checks ------------------------------------------------------
+
+    def glance_table(self):
+        """The Fig. 10 summary table with CAIDA and Alexa intersections."""
+        return self.characterization.glance_table(
+            caida_asns=caida_top_asns(self.internet),
+            alexa_prefixes=alexa_hosted_prefixes(self.internet),
+        )
+
+    def funnels(self) -> List[CensusFunnel]:
+        """Per-census magnitude funnels (Fig. 4)."""
+        return [census_funnel(c, self.internet, self.analysis) for c in self.censuses]
+
+    @property
+    def portscan(self) -> PortscanReport:
+        if self._portscan is None:
+            self._portscan = run_portscan(self.internet)
+        return self._portscan
+
+    @property
+    def codebook(self) -> SiteCodeBook:
+        if self._codebook is None:
+            self._codebook = SiteCodeBook(self.city_db)
+        return self._codebook
+
+    def deployment(self, name: str):
+        """Look up a ground-truth deployment by catalog name."""
+        for dep in self.internet.deployments:
+            if dep.entry.name == name:
+                return dep
+        raise KeyError(f"no deployment named {name!r}")
+
+    def validate(self, as_name: str) -> ValidationReport:
+        """Fig. 7 validation of one HTTP-instrumented deployment."""
+        return validate_deployment(
+            self.analysis, self.deployment(as_name), self.platform, self.codebook
+        )
+
+
+def small_study(seed: int = 2015) -> CensusStudy:
+    """A laptop-scale study (seconds, not minutes) for examples and tests."""
+    return CensusStudy(
+        StudyConfig(
+            internet=InternetConfig(
+                seed=seed, n_unicast_slash24=2_000, tail_deployments=80
+            ),
+            n_vantage_points=120,
+            n_censuses=2,
+        )
+    )

@@ -1,0 +1,77 @@
+"""Tests for census-wide analysis: detection, enumeration, the funnel."""
+
+import numpy as np
+import pytest
+
+from repro.census.analysis import analyze_matrix, census_funnel
+from repro.census.combine import matrix_from_census
+
+
+@pytest.fixture(scope="module")
+def analysis(tiny_census, city_db):
+    return analyze_matrix(matrix_from_census(tiny_census), city_db=city_db)
+
+
+class TestAnalysis:
+    def test_no_false_positives(self, analysis, tiny_internet):
+        """Every detected /24 must be genuinely anycast — the technique's
+        core soundness guarantee."""
+        truly_anycast = {
+            int(p) for p, a in zip(tiny_internet.prefixes, tiny_internet.is_anycast) if a
+        }
+        assert set(analysis.anycast_prefixes) <= truly_anycast
+
+    def test_high_recall_on_wide_deployments(self, analysis, tiny_internet):
+        """Deployments with many well-spread sites are essentially always
+        caught from 60 global VPs."""
+        wide = [d for d in tiny_internet.deployments if d.entry.n_sites >= 20]
+        detected = set(analysis.anycast_prefixes)
+        for dep in wide:
+            hits = sum(1 for p in dep.prefixes if p in detected)
+            assert hits / len(dep.prefixes) > 0.9, dep.entry.name
+
+    def test_most_anycast_found_overall(self, analysis, tiny_internet):
+        assert analysis.n_anycast > 0.7 * tiny_internet.n_anycast_slash24
+
+    def test_results_only_for_detected(self, analysis):
+        assert set(analysis.results) == set(analysis.anycast_prefixes)
+        for result in analysis.results.values():
+            assert result.is_anycast
+
+    def test_replica_counts_bounded_by_truth(self, analysis, tiny_internet):
+        """Strict enumeration: never more replicas than the deployment has."""
+        for prefix, count in analysis.replica_counts().items():
+            dep = tiny_internet.deployment_of(prefix)
+            assert 1 <= count <= dep.entry.n_sites
+
+    def test_replica_count_zero_for_unknown(self, analysis):
+        assert analysis.replica_count(424242) == 0
+
+    def test_total_replicas_consistent(self, analysis):
+        assert analysis.total_replicas == sum(analysis.replica_counts().values())
+
+    def test_min_samples_guard(self, tiny_census, city_db):
+        matrix = matrix_from_census(tiny_census)
+        strict = analyze_matrix(matrix, city_db=city_db, min_samples=10**6)
+        assert strict.n_anycast == 0
+
+
+class TestFunnel:
+    def test_funnel_counts(self, tiny_census, tiny_internet, analysis):
+        funnel = census_funnel(tiny_census, tiny_internet, analysis)
+        assert funnel.targets == tiny_internet.n_targets
+        assert funnel.valid_targets <= funnel.targets
+        assert funnel.echo_replies >= funnel.valid_targets
+        assert funnel.anycast_found == analysis.n_anycast
+        assert 0.0 < funnel.reply_ratio
+
+    def test_funnel_rows_shape(self, tiny_census, tiny_internet):
+        funnel = census_funnel(tiny_census, tiny_internet)
+        rows = funnel.rows()
+        assert len(rows) == 6
+        assert all(isinstance(c, int) for _, c in rows)
+
+    def test_reply_ratio_below_one(self, tiny_census, tiny_internet):
+        funnel = census_funnel(tiny_census, tiny_internet)
+        # Under half of unicast targets reply; anycast is a minority.
+        assert funnel.valid_targets / funnel.targets < 0.9

@@ -1,0 +1,107 @@
+"""Tests for per-AS characterization."""
+
+import numpy as np
+import pytest
+
+from repro.census.analysis import analyze_matrix
+from repro.census.characterize import Characterization
+from repro.census.combine import matrix_from_census
+from repro.census.ranks import alexa_hosted_prefixes, caida_top_asns
+
+
+@pytest.fixture(scope="module")
+def char(tiny_census, tiny_internet, city_db):
+    analysis = analyze_matrix(matrix_from_census(tiny_census), city_db=city_db)
+    return Characterization(analysis, tiny_internet)
+
+
+class TestFootprints:
+    def test_footprints_cover_detected_prefixes(self, char):
+        total = sum(fp.n_ip24 for fp in char.footprints.values())
+        assert total == char.analysis.n_anycast
+
+    def test_prefixes_owned_by_their_as(self, char, tiny_internet):
+        for fp in char.footprints.values():
+            for prefix in fp.prefixes:
+                assert tiny_internet.registry.owner_of(prefix).asn == fp.asn
+
+    def test_stats_consistency(self, char):
+        for fp in char.footprints.values():
+            assert fp.total_replicas == sum(fp.replicas_per_prefix)
+            assert fp.max_replicas >= fp.mean_replicas >= 1
+            assert len(fp.countries) <= len(fp.cities)
+
+    def test_cloudflare_has_largest_ip24_footprint(self, char):
+        biggest = max(char.footprints.values(), key=lambda fp: fp.n_ip24)
+        assert biggest.autonomous_system.name == "CLOUDFLARENET,US"
+
+
+class TestTopAses:
+    def test_ordering(self, char):
+        top = char.top_ases(k=50)
+        means = [fp.mean_replicas for fp in top]
+        assert means == sorted(means, reverse=True)
+
+    def test_min_replica_cut(self, char):
+        for fp in char.top_ases(k=100, min_replicas=5):
+            assert fp.max_replicas >= 5
+
+    def test_k_limit(self, char):
+        assert len(char.top_ases(k=10)) == 10
+
+
+class TestGlanceTable:
+    def test_rows_present(self, char, tiny_internet):
+        rows = char.glance_table(
+            caida_asns=caida_top_asns(tiny_internet),
+            alexa_prefixes=alexa_hosted_prefixes(tiny_internet),
+        )
+        labels = [r.label for r in rows]
+        assert labels[0] == "All"
+        assert len(rows) == 4
+
+    def test_all_row_dominates(self, char, tiny_internet):
+        rows = char.glance_table(
+            caida_asns=caida_top_asns(tiny_internet),
+            alexa_prefixes=alexa_hosted_prefixes(tiny_internet),
+        )
+        all_row = rows[0]
+        for row in rows[1:]:
+            assert row.ip24 <= all_row.ip24
+            assert row.ases <= all_row.ases
+            assert row.replicas <= all_row.replicas
+
+    def test_caida_intersection_near_paper(self, char, tiny_internet):
+        rows = char.glance_table(caida_asns=caida_top_asns(tiny_internet))
+        caida = rows[-1]
+        # Ground truth: 8 ASes / 19 IP24; detection may miss a couple.
+        assert 6 <= caida.ases <= 8
+        assert 15 <= caida.ip24 <= 19
+
+    def test_without_optional_rows(self, char):
+        rows = char.glance_table()
+        assert len(rows) == 2
+
+
+class TestBreakdowns:
+    def test_category_fractions_sum_to_one(self, char):
+        breakdown = char.category_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_dns_prominent(self, char):
+        breakdown = char.category_breakdown()
+        assert breakdown.get("DNS", 0.0) > 0.2  # paper: about one third
+
+    def test_replicas_cdf_sorted(self, char):
+        counts = char.replicas_per_ip24()
+        assert (np.diff(counts) >= 0).all()
+        assert len(counts) == char.analysis.n_anycast
+
+    def test_ip24_per_as_matches_footprints(self, char):
+        per_as = char.ip24_per_as()
+        for asn, count in per_as.items():
+            assert count == char.footprints[asn].n_ip24
+
+    def test_ip24_per_as_with_cut(self, char):
+        cut = char.ip24_per_as(min_replicas=5)
+        assert len(cut) <= len(char.ip24_per_as())

@@ -1,0 +1,93 @@
+"""Tests for multi-census combination."""
+
+import numpy as np
+import pytest
+
+from repro.census.combine import combine_censuses, matrix_from_census
+
+
+@pytest.fixture(scope="module")
+def two_censuses(tiny_internet, tiny_platform):
+    from repro.measurement.campaign import CensusCampaign
+
+    campaign = CensusCampaign(tiny_internet, tiny_platform, seed=123)
+    return [campaign.run_census(availability=0.8), campaign.run_census(availability=0.8)]
+
+
+class TestMatrix:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_censuses([])
+
+    def test_single_census_matrix(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        assert matrix.n_vps == tiny_census.n_vps
+        assert matrix.rtt_ms.shape == (matrix.n_targets, matrix.n_vps)
+        assert matrix.sample_count.shape == matrix.rtt_ms.shape
+
+    def test_prefixes_sorted_unique(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        assert np.array_equal(matrix.prefixes, np.unique(matrix.prefixes))
+
+    def test_matrix_values_match_records(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        replies = tiny_census.records.replies()
+        # Check a handful of cells against a manual group-by-min.
+        for i in range(0, len(replies), max(len(replies) // 40, 1)):
+            prefix = int(replies.prefix[i])
+            vp = int(replies.vp_index[i])
+            name = tiny_census.platform.vantage_points[vp].name
+            col = matrix.vp_names.index(name)
+            row = matrix.row_of(prefix)
+            mask = (replies.prefix == prefix) & (replies.vp_index == vp)
+            assert matrix.rtt_ms[row, col] == pytest.approx(float(replies.rtt_ms[mask].min()))
+
+    def test_row_of_unknown(self, tiny_census):
+        with pytest.raises(KeyError):
+            matrix_from_census(tiny_census).row_of(12345678)
+
+    def test_samples_for(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        prefix = int(matrix.prefixes[0])
+        samples = matrix.samples_for(prefix)
+        assert samples
+        for name, loc, rtt in samples:
+            assert name in matrix.vp_names
+            assert rtt > 0
+
+    def test_vp_distance_matrix_symmetric(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        d = matrix.vp_distance_matrix()
+        assert d.shape == (matrix.n_vps, matrix.n_vps)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+
+class TestCombination:
+    def test_vp_union(self, two_censuses):
+        combined = combine_censuses(two_censuses)
+        names = set()
+        for census in two_censuses:
+            names.update(vp.name for vp in census.platform.vantage_points)
+        assert set(combined.vp_names) == names
+
+    def test_combination_only_tightens(self, two_censuses):
+        """Per-cell combined RTT is <= each individual census value."""
+        combined = combine_censuses(two_censuses)
+        single = combine_censuses(two_censuses[:1])
+        col_map = [combined.vp_names.index(n) for n in single.vp_names]
+        for row_s, prefix in enumerate(single.prefixes[:200]):
+            row_c = combined.row_of(int(prefix))
+            a = single.rtt_ms[row_s]
+            b = combined.rtt_ms[row_c][col_map]
+            mask = ~np.isnan(a)
+            assert (b[mask] <= a[mask] + 1e-6).all()
+
+    def test_sample_counts_accumulate(self, two_censuses):
+        combined = combine_censuses(two_censuses)
+        assert combined.sample_count.max() == 2
+
+    def test_combination_covers_more_or_equal_targets(self, two_censuses):
+        combined = combine_censuses(two_censuses)
+        single = combine_censuses(two_censuses[:1])
+        assert combined.n_targets >= single.n_targets

@@ -1,0 +1,88 @@
+"""Tests for ASCII geographic maps."""
+
+import numpy as np
+import pytest
+
+from repro.census.analysis import analyze_matrix
+from repro.census.combine import matrix_from_census
+from repro.census.geomap import GLYPHS, GeoGrid, deployment_map, replica_density_map
+from repro.geo.coords import GeoPoint
+
+
+class TestGeoGrid:
+    def test_dimensions(self):
+        grid = GeoGrid(rows=10, cols=20)
+        assert grid.counts.shape == (10, 20)
+        with pytest.raises(ValueError):
+            GeoGrid(rows=0, cols=5)
+
+    def test_cell_of_corners(self):
+        grid = GeoGrid(rows=18, cols=36)
+        assert grid.cell_of(GeoPoint(90.0, -180.0)) == (0, 0)
+        assert grid.cell_of(GeoPoint(-90.0, 180.0)) == (17, 35)
+        assert grid.cell_of(GeoPoint(0.0, 0.0)) == (9, 18)
+
+    def test_northern_points_have_smaller_rows(self):
+        grid = GeoGrid()
+        oslo = grid.cell_of(GeoPoint(59.9, 10.7))
+        cape_town = grid.cell_of(GeoPoint(-33.9, 18.4))
+        assert oslo[0] < cape_town[0]
+
+    def test_add_and_total(self):
+        grid = GeoGrid(rows=4, cols=4)
+        grid.add(GeoPoint(0, 0), weight=3)
+        grid.add(GeoPoint(50, 50))
+        assert grid.total == 4
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            GeoGrid().add(GeoPoint(0, 0), weight=-1)
+
+    def test_render_shape(self):
+        grid = GeoGrid(rows=6, cols=30)
+        text = grid.render()
+        lines = text.splitlines()
+        assert len(lines) == 6
+        assert all(len(line) == 30 for line in lines)
+
+    def test_empty_grid_renders_blank(self):
+        assert set(GeoGrid(rows=3, cols=3).render()) <= {" ", "\n"}
+
+    def test_density_monotone_in_glyphs(self):
+        grid = GeoGrid(rows=1, cols=3)
+        grid.add(GeoPoint(0, -150), weight=1)
+        grid.add(GeoPoint(0, 0), weight=100)
+        line = grid.render()
+        low = GLYPHS.index(line[grid.cell_of(GeoPoint(0, -150))[1]])
+        high = GLYPHS.index(line[grid.cell_of(GeoPoint(0, 0))[1]])
+        assert 0 < low <= high == len(GLYPHS) - 1
+
+    def test_markers_override(self):
+        grid = GeoGrid(rows=2, cols=2)
+        cell = grid.cell_of(GeoPoint(45, -90))
+        text = grid.render(markers={cell: "O"})
+        assert "O" in text
+
+
+class TestReplicaDensity:
+    def test_density_from_analysis(self, tiny_census, city_db):
+        analysis = analyze_matrix(matrix_from_census(tiny_census), city_db=city_db)
+        grid = replica_density_map(analysis)
+        assert grid.total == analysis.total_replicas
+        rendered = grid.render()
+        # The anycast world is dense enough that multiple glyph levels show.
+        assert len(set(rendered) - {"\n", " "}) >= 2
+
+
+class TestDeploymentMap:
+    def test_markers_for_observed_and_truth(self, tiny_internet):
+        dep = tiny_internet.deployments[0]
+        observed = dep.site_cities[:5]
+        text = deployment_map(observed, truth_cities=dep.site_cities)
+        assert "O" in text
+        assert "x" in text  # unobserved ground-truth sites
+
+    def test_observed_wins_over_truth_marker(self, tiny_internet):
+        dep = tiny_internet.deployments[0]
+        text = deployment_map(dep.site_cities, truth_cities=dep.site_cities)
+        assert "x" not in text

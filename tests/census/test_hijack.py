@@ -1,0 +1,96 @@
+"""Tests for BGP-hijack injection and inference."""
+
+import numpy as np
+import pytest
+
+from repro.census.analysis import analyze_matrix
+from repro.census.combine import matrix_from_census
+from repro.census.hijack import detect_hijacks, inject_hijack
+from repro.geo.coords import GeoPoint
+
+MOSCOW = GeoPoint(55.76, 37.62)
+
+
+@pytest.fixture(scope="module")
+def matrix(tiny_census):
+    return matrix_from_census(tiny_census)
+
+
+@pytest.fixture(scope="module")
+def baseline(matrix, city_db):
+    return analyze_matrix(matrix, city_db=city_db)
+
+
+def pick_unicast_victim(tiny_internet, tiny_platform, baseline):
+    """A unicast prefix that replied and was (correctly) not flagged.
+
+    The victim must be well-monitored (some vantage point nearby) so that
+    its legitimate origin yields a tight disk: hijacks of prefixes with no
+    nearby VP are invisible to the technique, exactly as in the paper.
+    """
+    detected = set(baseline.anycast_prefixes)
+    replying = set(int(p) for p in baseline.prefixes)
+    for host in tiny_internet.unicast_hosts:
+        if host.prefix not in replying or host.prefix in detected:
+            continue
+        # Far from the attacker, close to at least one vantage point.
+        if host.location.distance_km(MOSCOW) < 4000:
+            continue
+        nearest_vp = min(
+            vp.location.distance_km(host.location) for vp in tiny_platform
+        )
+        if nearest_vp < 800:
+            return host
+    raise RuntimeError("no suitable victim found")
+
+
+class TestInjection:
+    def test_injection_only_touches_victim_row(self, matrix, tiny_internet, tiny_platform, baseline):
+        victim = pick_unicast_victim(tiny_internet, tiny_platform, baseline)
+        hijacked = inject_hijack(matrix, victim.prefix, MOSCOW, seed=3)
+        row = matrix.row_of(victim.prefix)
+        mask = np.ones(matrix.n_targets, dtype=bool)
+        mask[row] = False
+        a, b = matrix.rtt_ms[mask], hijacked.rtt_ms[mask]
+        assert np.array_equal(np.isnan(a), np.isnan(b))
+        assert np.allclose(a[~np.isnan(a)], b[~np.isnan(b)])
+        assert not np.allclose(
+            np.nan_to_num(matrix.rtt_ms[row]), np.nan_to_num(hijacked.rtt_ms[row])
+        )
+
+    def test_captured_fraction_bounds(self, matrix, tiny_internet, tiny_platform, baseline):
+        victim = pick_unicast_victim(tiny_internet, tiny_platform, baseline)
+        with pytest.raises(ValueError):
+            inject_hijack(matrix, victim.prefix, MOSCOW, captured_fraction=0.0)
+        with pytest.raises(ValueError):
+            inject_hijack(matrix, victim.prefix, MOSCOW, captured_fraction=1.5)
+
+    def test_unknown_victim_rejected(self, matrix):
+        with pytest.raises(KeyError):
+            inject_hijack(matrix, 123456789 % (1 << 24), MOSCOW)
+
+
+class TestDetection:
+    def test_hijack_raises_alarm(self, matrix, tiny_internet, tiny_platform, baseline, city_db):
+        victim = pick_unicast_victim(tiny_internet, tiny_platform, baseline)
+        hijacked = inject_hijack(matrix, victim.prefix, MOSCOW, seed=3)
+        current = analyze_matrix(hijacked, city_db=city_db)
+        alarms = detect_hijacks(baseline, current)
+        assert victim.prefix in {a.prefix for a in alarms}
+        alarm = next(a for a in alarms if a.prefix == victim.prefix)
+        assert alarm.replica_count >= 2
+        # One observed origin should be near the attacker.
+        nearest = min(
+            alarm.observed_cities, key=lambda c: c.location.distance_km(MOSCOW)
+        )
+        assert nearest.location.distance_km(MOSCOW) < 1500
+
+    def test_no_alarms_without_change(self, baseline):
+        assert detect_hijacks(baseline, baseline) == []
+
+    def test_whitelist_suppresses(self, matrix, tiny_internet, tiny_platform, baseline, city_db):
+        victim = pick_unicast_victim(tiny_internet, tiny_platform, baseline)
+        hijacked = inject_hijack(matrix, victim.prefix, MOSCOW, seed=3)
+        current = analyze_matrix(hijacked, city_db=city_db)
+        alarms = detect_hijacks(baseline, current, known_anycast={victim.prefix})
+        assert victim.prefix not in {a.prefix for a in alarms}

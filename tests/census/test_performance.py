@@ -1,0 +1,100 @@
+"""Tests for anycast performance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.census.performance import affinity, availability, proximity
+from repro.internet.deployments import AnycastDeployment
+
+
+def deployment(internet, name) -> AnycastDeployment:
+    for dep in internet.deployments:
+        if dep.entry.name == name:
+            return dep
+    raise KeyError(name)
+
+
+class TestProximity:
+    def test_penalties_non_negative(self, tiny_internet, tiny_platform):
+        dep = deployment(tiny_internet, "CLOUDFLARENET,US")
+        report = proximity(dep, tiny_platform)
+        assert (report.penalties_km >= -1e-6).all()
+        assert len(report.penalties_km) == len(tiny_platform)
+
+    def test_geographic_routing_mostly_optimal(self, tiny_internet, tiny_platform):
+        """With mild policy noise most clients reach a nearby replica."""
+        dep = deployment(tiny_internet, "CLOUDFLARENET,US")
+        report = proximity(dep, tiny_platform)
+        assert report.optimal_fraction > 0.4
+        assert report.median_penalty_km < 2000
+
+    def test_pure_geo_deployment_fully_optimal(self, tiny_internet, tiny_platform):
+        import dataclasses
+
+        dep = deployment(tiny_internet, "CLOUDFLARENET,US")
+        geo = dataclasses.replace(dep, policy_sigma=0.0)
+        report = proximity(geo, tiny_platform)
+        assert report.optimal_fraction == 1.0
+        assert report.median_penalty_km == pytest.approx(0.0, abs=1e-6)
+
+    def test_policy_noise_increases_penalty(self, tiny_internet, tiny_platform):
+        import dataclasses
+
+        dep = deployment(tiny_internet, "MICROSOFT,US")
+        mild = dataclasses.replace(dep, policy_sigma=0.1)
+        wild = dataclasses.replace(dep, policy_sigma=1.5)
+        assert proximity(wild, tiny_platform).penalties_km.mean() >= \
+            proximity(mild, tiny_platform).penalties_km.mean()
+
+
+class TestAffinity:
+    def test_perfect_without_flaps(self, tiny_internet, tiny_platform):
+        dep = deployment(tiny_internet, "GOOGLE,US")
+        report = affinity(dep, tiny_platform, rounds=5, flap_prob=0.0)
+        assert report.mean_affinity == 1.0
+        assert report.flapping_fraction == 0.0
+
+    def test_flaps_degrade_affinity(self, tiny_internet, tiny_platform):
+        dep = deployment(tiny_internet, "GOOGLE,US")
+        stable = affinity(dep, tiny_platform, rounds=20, flap_prob=0.02, seed=1)
+        flappy = affinity(dep, tiny_platform, rounds=20, flap_prob=0.3, seed=1)
+        assert flappy.mean_affinity < stable.mean_affinity
+        assert flappy.flapping_fraction > stable.flapping_fraction
+
+    def test_parameter_validation(self, tiny_internet, tiny_platform):
+        dep = deployment(tiny_internet, "GOOGLE,US")
+        with pytest.raises(ValueError):
+            affinity(dep, tiny_platform, rounds=0)
+        with pytest.raises(ValueError):
+            affinity(dep, tiny_platform, flap_prob=1.5)
+
+    def test_affinity_high_on_census_timescales(self, tiny_internet, tiny_platform):
+        """The paper's premise: BGP routing is stable enough that censuses
+        days apart see the same catchments."""
+        dep = deployment(tiny_internet, "CLOUDFLARENET,US")
+        report = affinity(dep, tiny_platform, rounds=10, flap_prob=0.02)
+        assert report.mean_affinity > 0.9
+
+
+class TestAvailability:
+    def test_global_deployment_fully_available(self, tiny_internet, tiny_platform):
+        dep = deployment(tiny_internet, "CLOUDFLARENET,US")
+        assert availability(dep, tiny_platform) == 1.0
+
+    def test_scoped_deployment_still_has_primary(self, tiny_internet, tiny_platform):
+        scoped = [d for d in tiny_internet.deployments if d.local_scope_km is not None]
+        assert scoped, "tail must contain scoped deployments"
+        # The globally-announced primary keeps availability at 1.0 with a
+        # generous distance bound...
+        assert availability(scoped[0], tiny_platform) == 1.0
+
+    def test_tight_bound_exposes_scoping(self, tiny_internet, tiny_platform):
+        """...but within 5,000 km, scoped deployments strand some clients."""
+        scoped = [d for d in tiny_internet.deployments if d.local_scope_km is not None]
+        values = [availability(d, tiny_platform, max_distance_km=5000.0) for d in scoped]
+        assert min(values) < 1.0
+
+    def test_bound_validation(self, tiny_internet, tiny_platform):
+        dep = deployment(tiny_internet, "GOOGLE,US")
+        with pytest.raises(ValueError):
+            availability(dep, tiny_platform, max_distance_km=0.0)

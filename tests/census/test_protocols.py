@@ -1,0 +1,75 @@
+"""Tests for the multi-protocol recall model (Fig. 6)."""
+
+import pytest
+
+from repro.census.protocols import ProbeProtocol, protocol_recall_table, response_rate
+
+
+def deployment(internet, name):
+    for dep in internet.deployments:
+        if dep.entry.name == name:
+            return dep
+    raise KeyError(name)
+
+
+class TestResponseRate:
+    def test_icmp_universal(self, tiny_internet):
+        for dep in tiny_internet.deployments[:30]:
+            assert response_rate(dep, ProbeProtocol.ICMP) > 0.85
+
+    def test_binary_recall_tcp53(self, tiny_internet):
+        opendns = deployment(tiny_internet, "OPENDNS,US")
+        microsoft = deployment(tiny_internet, "MICROSOFT,US")
+        assert response_rate(opendns, ProbeProtocol.TCP_53) > 0.85
+        assert response_rate(microsoft, ProbeProtocol.TCP_53) < 0.1
+
+    def test_binary_recall_tcp80(self, tiny_internet):
+        cloudflare = deployment(tiny_internet, "CLOUDFLARENET,US")
+        lroot = deployment(tiny_internet, "L-ROOT,US")
+        assert response_rate(cloudflare, ProbeProtocol.TCP_80) > 0.85
+        assert response_rate(lroot, ProbeProtocol.TCP_80) < 0.1
+
+    def test_dns_requires_dns_software(self, tiny_internet):
+        """Open port 53 without a DNS daemon must not answer DNS queries."""
+        cloudflare = deployment(tiny_internet, "CLOUDFLARENET,US")  # port 53 open, no DNS sw
+        opendns = deployment(tiny_internet, "OPENDNS,US")
+        assert response_rate(cloudflare, ProbeProtocol.DNS_UDP) < 0.1
+        assert response_rate(opendns, ProbeProtocol.DNS_UDP) > 0.85
+        assert response_rate(opendns, ProbeProtocol.DNS_TCP) > 0.85
+
+    def test_probes_positive(self, tiny_internet):
+        with pytest.raises(ValueError):
+            response_rate(tiny_internet.deployments[0], ProbeProtocol.ICMP, probes=0)
+
+    def test_deterministic(self, tiny_internet):
+        dep = tiny_internet.deployments[0]
+        a = response_rate(dep, ProbeProtocol.ICMP, seed=9)
+        b = response_rate(dep, ProbeProtocol.ICMP, seed=9)
+        assert a == b
+
+
+class TestTable:
+    def test_full_matrix(self, tiny_internet):
+        deps = [
+            deployment(tiny_internet, n)
+            for n in ("OPENDNS,US", "EDGECAST,US", "CLOUDFLARENET,US", "MICROSOFT,US")
+        ]
+        table = protocol_recall_table(deps)
+        assert set(table) == {d.entry.name for d in deps}
+        for rates in table.values():
+            assert set(rates) == {p.value for p in ProbeProtocol}
+            assert all(0.0 <= v <= 1.0 for v in rates.values())
+
+    def test_icmp_only_reliable_column(self, tiny_internet):
+        """ICMP is the only protocol with high recall across all targets."""
+        deps = [
+            deployment(tiny_internet, n)
+            for n in ("OPENDNS,US", "EDGECAST,US", "CLOUDFLARENET,US", "MICROSOFT,US")
+        ]
+        table = protocol_recall_table(deps)
+        for proto in ProbeProtocol:
+            min_rate = min(rates[proto.value] for rates in table.values())
+            if proto is ProbeProtocol.ICMP:
+                assert min_rate > 0.85
+            else:
+                assert min_rate < 0.5

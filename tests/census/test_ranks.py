@@ -1,0 +1,55 @@
+"""Tests for CAIDA/Alexa rank synthesis."""
+
+import pytest
+
+from repro.census.ranks import alexa_anycast_sites, alexa_hosted_prefixes, caida_top_asns
+
+
+class TestCaida:
+    def test_eight_members(self, tiny_internet):
+        assert len(caida_top_asns(tiny_internet)) == 8
+
+    def test_known_tier1s_included(self, tiny_internet):
+        asns = caida_top_asns(tiny_internet)
+        assert 3356 in asns  # Level 3
+        assert 174 in asns   # Cogent
+        assert 6939 in asns  # Hurricane Electric
+
+    def test_k_cut(self, tiny_internet):
+        assert len(caida_top_asns(tiny_internet, k=3)) <= 3
+        assert caida_top_asns(tiny_internet, k=3) <= caida_top_asns(tiny_internet)
+
+
+class TestAlexa:
+    def test_fifteen_hosting_ases(self, tiny_internet):
+        assert len(alexa_hosted_prefixes(tiny_internet)) == 15
+
+    def test_242_hosting_prefixes(self, tiny_internet):
+        total = sum(len(p) for p in alexa_hosted_prefixes(tiny_internet).values())
+        assert total == 242
+
+    def test_sites_match_catalog(self, tiny_internet):
+        sites = alexa_anycast_sites(tiny_internet)
+        per_as = {}
+        for site in sites:
+            per_as[site.asn] = per_as.get(site.asn, 0) + 1
+        assert per_as[13335] == 188  # CloudFlare
+        assert per_as[15169] == 11   # Google
+        assert per_as[15133] == 10   # EdgeCast
+
+    def test_sites_on_announced_prefixes(self, tiny_internet):
+        hosted = alexa_hosted_prefixes(tiny_internet)
+        for site in alexa_anycast_sites(tiny_internet):
+            assert site.prefix in hosted[site.asn]
+
+    def test_ranks_in_100k(self, tiny_internet):
+        for site in alexa_anycast_sites(tiny_internet):
+            assert 1 <= site.rank <= 100_000
+
+    def test_sorted_by_rank(self, tiny_internet):
+        ranks = [s.rank for s in alexa_anycast_sites(tiny_internet)]
+        assert ranks == sorted(ranks)
+
+    def test_domains_unique(self, tiny_internet):
+        domains = [s.domain for s in alexa_anycast_sites(tiny_internet)]
+        assert len(set(domains)) == len(domains)

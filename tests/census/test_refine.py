@@ -1,0 +1,103 @@
+"""Tests for cross-platform refinement and matrix merging."""
+
+import numpy as np
+import pytest
+
+from repro.census.analysis import analyze_matrix
+from repro.census.combine import matrix_from_census, merge_matrices
+from repro.census.refine import refine_detected
+from repro.measurement.platform import ripe_platform
+
+
+@pytest.fixture(scope="module")
+def base_matrix(tiny_census):
+    return matrix_from_census(tiny_census)
+
+
+@pytest.fixture(scope="module")
+def base_analysis(base_matrix, city_db):
+    return analyze_matrix(base_matrix, city_db=city_db)
+
+
+@pytest.fixture(scope="module")
+def ripe(city_db):
+    return ripe_platform(count=250, seed=19, city_db=city_db)
+
+
+@pytest.fixture(scope="module")
+def report(base_analysis, base_matrix, tiny_internet, ripe, city_db):
+    return refine_detected(
+        base_analysis, base_matrix, tiny_internet, ripe, city_db=city_db
+    )
+
+
+class TestMergeMatrices:
+    def test_self_merge_is_identity_on_values(self, base_matrix):
+        merged = merge_matrices(base_matrix, base_matrix)
+        assert merged.n_targets == base_matrix.n_targets
+        assert merged.n_vps == base_matrix.n_vps
+        both_nan = np.isnan(merged.rtt_ms) & np.isnan(base_matrix.rtt_ms)
+        close = np.isclose(merged.rtt_ms, base_matrix.rtt_ms)
+        assert (both_nan | close).all()
+
+    def test_disjoint_platforms_union_vps(self, tiny_census, tiny_internet, ripe):
+        from repro.measurement.campaign import CensusCampaign
+
+        campaign = CensusCampaign(tiny_internet, ripe, seed=31)
+        ripe_census = campaign.run_census(availability=1.0)
+        a = matrix_from_census(tiny_census)
+        b = matrix_from_census(ripe_census)
+        merged = merge_matrices(a, b)
+        assert merged.n_vps == a.n_vps + b.n_vps
+        assert set(merged.vp_names) == set(a.vp_names) | set(b.vp_names)
+
+    def test_merge_only_tightens(self, base_matrix, tiny_census, tiny_internet, ripe):
+        from repro.measurement.campaign import CensusCampaign
+
+        campaign = CensusCampaign(tiny_internet, ripe, seed=31)
+        b = matrix_from_census(campaign.run_census(availability=1.0))
+        merged = merge_matrices(base_matrix, b)
+        cols = [merged.vp_names.index(n) for n in base_matrix.vp_names]
+        for i in range(0, base_matrix.n_targets, 97):
+            row = merged.row_of(int(base_matrix.prefixes[i]))
+            old = base_matrix.rtt_ms[i]
+            new = merged.rtt_ms[row][cols]
+            mask = ~np.isnan(old)
+            assert (new[mask] <= old[mask] + 1e-6).all()
+
+
+class TestRefinement:
+    def test_covers_all_detected(self, report, base_analysis):
+        assert report.n_prefixes == base_analysis.n_anycast
+
+    def test_net_gain_positive(self, report):
+        """A RIPE-scale follow-up sees more of the big deployments."""
+        assert report.total_gain > 0
+        assert len(report.improved) > 0
+
+    def test_after_never_less_anycast(self, report):
+        """Extra measurements cannot un-detect a genuine deployment."""
+        for refinement in report.refined.values():
+            assert refinement.confirmed
+
+    def test_suspicious_accounting(self, report):
+        suspicious = [r for r in report.refined.values() if r.was_suspicious]
+        confirmed = report.suspicious_confirmed()
+        discarded = report.suspicious_discarded()
+        assert len(confirmed) + len(discarded) == len(suspicious)
+
+    def test_replica_counts_stay_conservative(self, report, tiny_internet):
+        for prefix, refinement in report.refined.items():
+            dep = tiny_internet.deployment_of(prefix)
+            assert refinement.after.replica_count <= dep.entry.n_sites
+
+    def test_empty_analysis_short_circuits(self, base_matrix, tiny_internet, ripe, city_db):
+        from repro.census.analysis import AnalysisResult
+
+        empty = AnalysisResult(
+            prefixes=base_matrix.prefixes,
+            anycast_mask=np.zeros(base_matrix.n_targets, dtype=bool),
+        )
+        report = refine_detected(empty, base_matrix, tiny_internet, ripe, city_db=city_db)
+        assert report.n_prefixes == 0
+        assert report.total_gain == 0

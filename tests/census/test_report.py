@@ -1,0 +1,68 @@
+"""Tests for reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.census.report import (
+    comparison_rows,
+    empirical_ccdf,
+    empirical_cdf,
+    format_table,
+    quantile_at,
+)
+
+
+class TestCdf:
+    def test_cdf_basic(self):
+        x, f = empirical_cdf([3, 1, 2])
+        assert x.tolist() == [1, 2, 3]
+        assert f.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_empty(self):
+        x, f = empirical_cdf([])
+        assert len(x) == 0 and len(f) == 0
+
+    def test_cdf_monotone(self):
+        rng = np.random.default_rng(0)
+        _, f = empirical_cdf(rng.normal(size=100))
+        assert (np.diff(f) >= 0).all()
+
+    def test_ccdf_basic(self):
+        x, p = empirical_ccdf([1, 2, 3, 4])
+        assert p[0] == 1.0  # P(X >= min) = 1
+        assert p[-1] == pytest.approx(0.25)
+
+    def test_ccdf_cdf_complement(self):
+        values = [1.0, 2.0, 5.0, 9.0]
+        x, f = empirical_cdf(values)
+        _, p = empirical_ccdf(values)
+        # P(X >= x_i) = 1 - P(X < x_i) = 1 - F(x_{i-1})
+        for i in range(1, len(values)):
+            assert p[i] == pytest.approx(1.0 - f[i - 1])
+
+    def test_quantile_at(self):
+        assert quantile_at([1, 2, 3, 4], 2) == 0.5
+        assert quantile_at([1, 2, 3, 4], 0) == 0.0
+        assert quantile_at([1, 2, 3, 4], 10) == 1.0
+
+    def test_quantile_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile_at([], 1.0)
+
+
+class TestFormatting:
+    def test_format_table_aligned(self):
+        text = format_table([("a", 1), ("bbbb", 22)], ["name", "n"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        widths = {len(line) for line in lines}
+        assert len(widths) <= 2  # header/sep/body align
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table([("a",)], ["x", "y"])
+
+    def test_comparison_rows(self):
+        rows = comparison_rows({"ip24": (1696, 1650.0)})
+        assert rows == [("ip24", "1696", "1650")]

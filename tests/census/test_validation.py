@@ -1,0 +1,74 @@
+"""Tests for ground-truth validation (Fig. 7 metrics)."""
+
+import pytest
+
+from repro.census.analysis import analyze_matrix
+from repro.census.combine import matrix_from_census
+from repro.census.validation import validate_deployment
+from repro.measurement.httpprobe import SiteCodeBook
+
+
+@pytest.fixture(scope="module")
+def analysis(tiny_census, city_db):
+    return analyze_matrix(matrix_from_census(tiny_census), city_db=city_db)
+
+
+@pytest.fixture(scope="module")
+def codebook(city_db):
+    return SiteCodeBook(city_db)
+
+
+def deployment(internet, name):
+    for dep in internet.deployments:
+        if dep.entry.name == name:
+            return dep
+    raise KeyError(name)
+
+
+class TestValidateCloudflare:
+    @pytest.fixture(scope="class")
+    def report(self, analysis, tiny_internet, tiny_platform, codebook):
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        return validate_deployment(analysis, cf, tiny_platform, codebook)
+
+    def test_gt_pai_in_unit_interval(self, report):
+        assert 0.0 < report.gt_pai <= 1.0
+
+    def test_tpr_reasonable(self, report):
+        # Paper: 77% city-level agreement for CloudFlare; we accept a band.
+        assert 0.5 <= report.tpr_mean <= 1.0
+
+    def test_median_error_magnitude(self, report):
+        # Paper: 434 km median error on misclassifications.
+        if report.all_errors_km:
+            assert 50 <= report.median_error_km <= 1500
+
+    def test_per_prefix_coverage(self, report, tiny_internet):
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        assert len(report.per_prefix) >= 0.9 * len(cf.prefixes)
+
+    def test_per_prefix_tpr_bounds(self, report):
+        for p in report.per_prefix:
+            assert 0.0 <= p.tpr <= 1.0
+            assert p.matched <= len(p.predicted)
+
+
+class TestValidateEdgecast:
+    def test_report_structure(self, analysis, tiny_internet, tiny_platform, codebook):
+        ec = deployment(tiny_internet, "EDGECAST,US")
+        report = validate_deployment(analysis, ec, tiny_platform, codebook)
+        assert report.as_name == "EDGECAST,US"
+        assert report.gt_cities <= report.pai_cities
+        assert len(report.pai_cities) == ec.entry.n_sites
+
+
+class TestNoGroundTruth:
+    def test_header_less_deployment_has_empty_gt(
+        self, analysis, tiny_internet, tiny_platform, codebook
+    ):
+        isc = deployment(tiny_internet, "ISC-AS,US")
+        report = validate_deployment(analysis, isc, tiny_platform, codebook)
+        assert report.gt_cities == set()
+        assert report.gt_pai == 0.0
+        # Without a GT, no misclassification distances can be computed.
+        assert report.all_errors_km == []

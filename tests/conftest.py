@@ -1,0 +1,62 @@
+"""Shared fixtures: scaled-down ground truths, platforms, and censuses.
+
+Session-scoped fixtures cache the expensive objects (a census study takes
+seconds); tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geo.cities import CityDB, default_city_db
+from repro.internet.topology import InternetConfig, SyntheticInternet
+from repro.measurement.campaign import CensusCampaign
+from repro.measurement.platform import planetlab_platform
+from repro.workflow import CensusStudy, StudyConfig
+
+
+@pytest.fixture(scope="session")
+def city_db() -> CityDB:
+    return default_city_db()
+
+
+@pytest.fixture(scope="session")
+def tiny_internet() -> SyntheticInternet:
+    """A small but complete ground truth (top-100 + 20 tail ASes)."""
+    return SyntheticInternet(
+        InternetConfig(seed=7, n_unicast_slash24=600, tail_deployments=20)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_platform(city_db):
+    return planetlab_platform(count=60, seed=11, city_db=city_db)
+
+
+@pytest.fixture(scope="session")
+def tiny_campaign(tiny_internet, tiny_platform) -> CensusCampaign:
+    return CensusCampaign(tiny_internet, tiny_platform, seed=99)
+
+
+@pytest.fixture(scope="session")
+def tiny_census(tiny_campaign):
+    """One census over the tiny internet (no pre-census blacklist)."""
+    return tiny_campaign.run_census(availability=1.0)
+
+
+@pytest.fixture(scope="session")
+def small_study() -> CensusStudy:
+    """An end-to-end study, evaluated lazily by the tests that need it."""
+    return CensusStudy(
+        StudyConfig(
+            internet=InternetConfig(seed=5, n_unicast_slash24=1200, tail_deployments=40),
+            n_vantage_points=100,
+            n_censuses=2,
+        )
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

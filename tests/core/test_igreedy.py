@@ -1,0 +1,153 @@
+"""Tests for the full iGreedy pipeline on controlled deployments."""
+
+import numpy as np
+import pytest
+
+from repro.core.igreedy import IGreedyConfig, igreedy
+from repro.core.samples import LatencySample
+from repro.geo.cities import default_city_db
+from repro.geo.coords import GeoPoint
+from repro.geo.disks import FIBER_SPEED_KM_PER_MS
+
+
+@pytest.fixture(scope="module")
+def db():
+    return default_city_db()
+
+
+def rtt_to(vp: GeoPoint, server: GeoPoint, stretch=1.25, extra=1.0) -> float:
+    return 2.0 * vp.distance_km(server) * stretch / FIBER_SPEED_KM_PER_MS + extra
+
+
+def synth_deployment_samples(db, replica_names, vp_names, stretch=1.25):
+    """Samples for an anycast deployment serving each VP from the nearest replica."""
+    replicas = [db.get(n) for n in replica_names]
+    samples = []
+    for vp_name in vp_names:
+        vp = db.get(vp_name)
+        nearest = min(replicas, key=lambda r: vp.location.distance_km(r.location))
+        samples.append(
+            LatencySample(vp_name, vp.location, rtt_to(vp.location, nearest.location, stretch))
+        )
+    return samples, replicas
+
+
+WORLD_VPS = [
+    "Paris", "London", "Frankfurt", "Madrid", "Stockholm", "Warsaw",
+    "New York", "Chicago", "Seattle", "Los Angeles", "Atlanta", "Denver",
+    "Tokyo", "Seoul", "Singapore", "Sydney", "Mumbai", "Sao Paulo",
+    "Johannesburg", "Moscow", "Toronto", "Mexico City",
+]
+
+
+class TestDetectionPath:
+    def test_unicast_no_replicas(self, db):
+        samples, _ = synth_deployment_samples(db, ["Frankfurt"], WORLD_VPS)
+        result = igreedy(samples, city_db=db)
+        assert not result.is_anycast
+        assert result.replica_count == 0
+        assert result.iterations == 0
+
+    def test_three_continent_deployment(self, db):
+        names = ["New York", "Frankfurt", "Tokyo"]
+        samples, _ = synth_deployment_samples(db, names, WORLD_VPS)
+        result = igreedy(samples, city_db=db)
+        assert result.is_anycast
+        assert result.replica_count == 3
+
+    def test_enumeration_is_lower_bound(self, db):
+        """iGreedy never claims more replicas than the ground truth has."""
+        names = ["New York", "Frankfurt", "Tokyo", "Sydney", "Sao Paulo",
+                 "Johannesburg", "Mumbai", "Los Angeles"]
+        samples, _ = synth_deployment_samples(db, names, WORLD_VPS)
+        result = igreedy(samples, city_db=db)
+        assert result.is_anycast
+        assert 2 <= result.replica_count <= len(names)
+
+    def test_well_separated_replicas_all_found(self, db):
+        names = ["New York", "Frankfurt", "Tokyo", "Sydney", "Sao Paulo"]
+        samples, _ = synth_deployment_samples(db, names, WORLD_VPS, stretch=1.05)
+        result = igreedy(samples, city_db=db)
+        assert result.replica_count == 5
+        found = {c.name for c in result.cities}
+        assert len(found & set(names)) >= 4
+
+    def test_geolocation_hits_replica_cities(self, db):
+        names = ["New York", "Frankfurt", "Tokyo"]
+        samples, _ = synth_deployment_samples(db, names, WORLD_VPS, stretch=1.05)
+        result = igreedy(samples, city_db=db)
+        # With low stretch and VPs in the replica cities themselves, the
+        # population-MLE should name the exact cities.
+        assert {c.name for c in result.cities} == set(names)
+
+
+class TestIteration:
+    def test_iterative_mode_at_least_strict_recall(self, db):
+        """The paper's collapse-iteration can only add replicas."""
+        names = ["New York", "Chicago", "Frankfurt", "London", "Tokyo", "Seoul"]
+        samples, _ = synth_deployment_samples(db, names, WORLD_VPS, stretch=1.4)
+        strict = igreedy(samples, city_db=db, config=IGreedyConfig(strict_enumeration=True))
+        loose = igreedy(
+            samples, city_db=db,
+            config=IGreedyConfig(strict_enumeration=False, max_iterations=10),
+        )
+        assert loose.replica_count >= strict.replica_count
+
+    def test_strict_mode_never_overcounts(self, db):
+        """Strict enumeration is a provable lower bound on replica count."""
+        import itertools
+
+        all_names = ["New York", "Frankfurt", "Tokyo", "Sydney", "Sao Paulo",
+                     "Johannesburg", "Mumbai", "Moscow"]
+        for k in (2, 3, 5, 8):
+            names = all_names[:k]
+            for stretch in (1.05, 1.3, 1.6):
+                samples, _ = synth_deployment_samples(db, names, WORLD_VPS, stretch=stretch)
+                result = igreedy(samples, city_db=db)
+                assert result.replica_count <= k, (names, stretch)
+
+    def test_convergence_within_budget(self, db):
+        names = ["New York", "Frankfurt", "Tokyo", "Sydney"]
+        samples, _ = synth_deployment_samples(db, names, WORLD_VPS)
+        result = igreedy(
+            samples, city_db=db,
+            config=IGreedyConfig(strict_enumeration=False, max_iterations=10),
+        )
+        assert result.iterations <= 10
+
+    def test_no_duplicate_cities(self, db):
+        names = ["New York", "Frankfurt", "Tokyo", "Sydney", "Sao Paulo"]
+        samples, _ = synth_deployment_samples(db, names, WORLD_VPS)
+        result = igreedy(samples, city_db=db)
+        keys = [c.key for c in result.cities]
+        assert len(set(keys)) == len(keys)
+
+
+class TestConfig:
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            IGreedyConfig(max_iterations=0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            IGreedyConfig(speed_km_per_ms=-1.0)
+
+    def test_conservative_speed_reduces_detection(self, db):
+        """Radius grows with assumed speed: full c is more conservative."""
+        from repro.geo.disks import LIGHT_SPEED_KM_PER_MS
+
+        names = ["Madrid", "Warsaw"]  # moderately separated replicas
+        samples, _ = synth_deployment_samples(db, names, WORLD_VPS, stretch=1.02)
+        fiber = igreedy(samples, city_db=db)
+        light = igreedy(
+            samples, city_db=db, config=IGreedyConfig(speed_km_per_ms=LIGHT_SPEED_KM_PER_MS)
+        )
+        # Fiber-speed disks are tighter, so detection/enumeration can only
+        # be at least as good.
+        assert fiber.replica_count >= light.replica_count
+
+    def test_city_names_sorted(self, db):
+        names = ["New York", "Tokyo"]
+        samples, _ = synth_deployment_samples(db, names, WORLD_VPS)
+        result = igreedy(samples, city_db=db)
+        assert result.city_names == sorted(result.city_names)

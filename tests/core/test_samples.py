@@ -1,0 +1,63 @@
+"""Tests for latency samples and disk conversion."""
+
+import pytest
+
+from repro.core.samples import LatencySample, min_rtt_samples, samples_to_disks
+from repro.geo.coords import GeoPoint
+from repro.geo.disks import FIBER_SPEED_KM_PER_MS, LIGHT_SPEED_KM_PER_MS
+
+VP = GeoPoint(48.86, 2.35)
+
+
+class TestLatencySample:
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySample("vp", VP, -1.0)
+
+    def test_to_disk(self):
+        sample = LatencySample("vp", VP, 10.0)
+        disk = sample.to_disk()
+        assert disk.center == VP
+        assert disk.radius_km == pytest.approx(5.0 * FIBER_SPEED_KM_PER_MS)
+
+    def test_to_disk_speed_override(self):
+        sample = LatencySample("vp", VP, 10.0)
+        assert sample.to_disk(LIGHT_SPEED_KM_PER_MS).radius_km > sample.to_disk().radius_km
+
+
+class TestMinRtt:
+    def test_keeps_minimum_per_vp(self):
+        samples = [
+            LatencySample("a", VP, 30.0),
+            LatencySample("a", VP, 10.0),
+            LatencySample("a", VP, 20.0),
+            LatencySample("b", VP, 5.0),
+        ]
+        out = min_rtt_samples(samples)
+        assert len(out) == 2
+        by_name = {s.vp_name: s.rtt_ms for s in out}
+        assert by_name == {"a": 10.0, "b": 5.0}
+
+    def test_sorted_by_rtt(self):
+        samples = [LatencySample(f"vp{i}", VP, float(10 - i)) for i in range(5)]
+        out = min_rtt_samples(samples)
+        rtts = [s.rtt_ms for s in out]
+        assert rtts == sorted(rtts)
+
+    def test_empty(self):
+        assert min_rtt_samples([]) == []
+
+
+class TestSamplesToDisks:
+    def test_count(self):
+        samples = [LatencySample(f"v{i}", VP, float(i + 1)) for i in range(4)]
+        assert len(samples_to_disks(samples)) == 4
+
+    def test_max_rtt_filter(self):
+        samples = [LatencySample("a", VP, 10.0), LatencySample("b", VP, 500.0)]
+        disks = samples_to_disks(samples, max_rtt_ms=300.0)
+        assert len(disks) == 1
+
+    def test_no_filter_by_default(self):
+        samples = [LatencySample("a", VP, 10.0), LatencySample("b", VP, 5000.0)]
+        assert len(samples_to_disks(samples)) == 2

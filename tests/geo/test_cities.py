@@ -1,0 +1,117 @@
+"""Tests for the embedded city gazetteer."""
+
+import numpy as np
+import pytest
+
+from repro.geo.cities import City, CityDB, default_city_db
+from repro.geo.coords import GeoPoint
+from repro.geo.disks import Disk
+
+
+@pytest.fixture(scope="module")
+def db() -> CityDB:
+    return default_city_db()
+
+
+class TestDatabase:
+    def test_nonempty_and_sizeable(self, db):
+        # Enough cities for meaningful geolocation world-wide.
+        assert len(db) >= 250
+
+    def test_unique_keys(self, db):
+        keys = [c.key for c in db]
+        assert len(set(keys)) == len(keys)
+
+    def test_get_by_name(self, db):
+        city = db.get("Paris")
+        assert city.country == "FR"
+
+    def test_get_with_country(self, db):
+        assert db.get("Ashburn", "US").population == pytest.approx(48)
+
+    def test_get_unknown_raises(self, db):
+        with pytest.raises(KeyError):
+            db.get("Atlantis")
+
+    def test_get_unknown_with_country_raises(self, db):
+        with pytest.raises(KeyError):
+            db.get("Paris", "DE")
+
+    def test_empty_db_rejected(self):
+        with pytest.raises(ValueError):
+            CityDB(cities=[])
+
+    def test_duplicate_city_rejected(self):
+        c = City("X", "XX", GeoPoint(0, 0), 1.0)
+        with pytest.raises(ValueError):
+            CityDB(cities=[c, c])
+
+    def test_iterable(self, db):
+        assert all(isinstance(c, City) for c in db)
+
+    def test_default_db_cached(self):
+        assert default_city_db() is default_city_db()
+
+
+class TestGeometryQueries:
+    def test_cities_in_small_disk(self, db):
+        paris = db.get("Paris")
+        inside = db.cities_in_disk(Disk(paris.location, 50.0))
+        assert paris in inside
+        assert db.get("Tokyo") not in inside
+
+    def test_cities_in_global_disk(self, db):
+        everything = db.cities_in_disk(Disk(GeoPoint(0, 0), 30000.0))
+        assert len(everything) == len(db)
+
+    def test_largest_in_disk_prefers_population(self, db):
+        # A disk around Ashburn that also contains Philadelphia must pick
+        # Philadelphia — the paper's documented misclassification.
+        ashburn = db.get("Ashburn", "US")
+        disk = Disk(ashburn.location, 300.0)
+        best = db.largest_in_disk(disk)
+        assert best is not None
+        assert best.name == "Philadelphia"
+
+    def test_largest_in_empty_disk_is_none(self, db):
+        # Middle of the South Pacific, tiny radius.
+        assert db.largest_in_disk(Disk(GeoPoint(-48.0, -120.0), 10.0)) is None
+
+    def test_philadelphia_ashburn_population_ratio(self, db):
+        # The paper: Philadelphia is ~33x more populated than Ashburn.
+        ratio = db.get("Philadelphia").population / db.get("Ashburn", "US").population
+        assert 25 <= ratio <= 40
+
+    def test_nearest(self, db):
+        near_paris = GeoPoint(48.9, 2.4)
+        assert db.nearest(near_paris).name == "Paris"
+
+    def test_nearest_exact(self, db):
+        tokyo = db.get("Tokyo")
+        assert db.nearest(tokyo.location) is tokyo
+
+
+class TestSampling:
+    def test_sample_count(self, db, rng):
+        assert len(db.sample(rng, 17)) == 17
+
+    def test_sample_zero(self, db, rng):
+        assert db.sample(rng, 0) == []
+
+    def test_sample_negative_rejected(self, db, rng):
+        with pytest.raises(ValueError):
+            db.sample(rng, -1)
+
+    def test_population_weighting_biases_large_cities(self, db):
+        rng = np.random.default_rng(0)
+        cities = db.sample(rng, 4000, weight_by_population=True)
+        mean_pop = np.mean([c.population for c in cities])
+        uniform = np.mean([c.population for c in db])
+        assert mean_pop > 2 * uniform
+
+    def test_unweighted_sampling(self, db):
+        rng = np.random.default_rng(0)
+        cities = db.sample(rng, 1000, weight_by_population=False)
+        mean_pop = np.mean([c.population for c in cities])
+        uniform = np.mean([c.population for c in db])
+        assert mean_pop < 2 * uniform

@@ -1,0 +1,179 @@
+"""Tests for geodesic disks and the speed-of-light radius conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import GeoPoint, destination_point
+from repro.geo.disks import (
+    FIBER_SPEED_KM_PER_MS,
+    LIGHT_SPEED_KM_PER_MS,
+    Disk,
+    any_disjoint_pair,
+    disk_from_sample,
+    disks_containing,
+    min_enclosing_radius_km,
+    overlap_matrix,
+    rtt_to_radius_km,
+    smallest_disk,
+)
+
+LONDON = GeoPoint(51.5074, -0.1278)
+TOKYO = GeoPoint(35.6762, 139.6503)
+
+lat_st = st.floats(min_value=-89.0, max_value=89.0)
+lon_st = st.floats(min_value=-180.0, max_value=180.0)
+radius_st = st.floats(min_value=0.0, max_value=6000.0)
+disk_st = st.builds(Disk, st.builds(GeoPoint, lat_st, lon_st), radius_st)
+
+
+class TestDisk:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Disk(LONDON, -1.0)
+
+    def test_contains_center(self):
+        assert Disk(LONDON, 0.0).contains(LONDON)
+
+    def test_contains_boundary_point(self):
+        d = Disk(LONDON, 500.0)
+        edge = destination_point(LONDON, 45.0, 500.0)
+        assert d.contains(edge)
+
+    def test_does_not_contain_outside(self):
+        assert not Disk(LONDON, 100.0).contains(TOKYO)
+
+    def test_overlap_identical(self):
+        d = Disk(LONDON, 10.0)
+        assert d.overlaps(d)
+
+    def test_overlap_touching(self):
+        a = Disk(LONDON, 100.0)
+        far = destination_point(LONDON, 90.0, 200.0)
+        b = Disk(far, 100.0)
+        assert a.overlaps(b)
+
+    def test_disjoint_when_gap_exceeds_radii(self):
+        a = Disk(LONDON, 100.0)
+        b = Disk(TOKYO, 100.0)
+        assert not a.overlaps(b)
+
+    @given(disk_st, disk_st)
+    @settings(max_examples=60)
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(disk_st, disk_st)
+    @settings(max_examples=60)
+    def test_containment_implies_overlap(self, a, b):
+        if a.contains_disk(b):
+            assert a.overlaps(b)
+
+    def test_contains_disk(self):
+        outer = Disk(LONDON, 1000.0)
+        inner = Disk(destination_point(LONDON, 0.0, 100.0), 100.0)
+        assert outer.contains_disk(inner)
+        assert not inner.contains_disk(outer)
+
+    def test_shrunk_to(self):
+        d = Disk(LONDON, 500.0)
+        collapsed = d.shrunk_to(TOKYO)
+        assert collapsed.radius_km == 0.0
+        assert collapsed.center == TOKYO
+
+    def test_covers_earth(self):
+        assert Disk(LONDON, 30000.0).covers_earth()
+        assert not Disk(LONDON, 5000.0).covers_earth()
+
+
+class TestRttConversion:
+    def test_zero_rtt_zero_radius(self):
+        assert rtt_to_radius_km(0.0) == 0.0
+
+    def test_fiber_speed_default(self):
+        # 100 ms RTT -> 50 ms one-way -> ~9993 km at 2/3 c.
+        assert rtt_to_radius_km(100.0) == pytest.approx(
+            50.0 * FIBER_SPEED_KM_PER_MS, rel=1e-12
+        )
+
+    def test_light_speed_larger_radius(self):
+        assert rtt_to_radius_km(10.0, LIGHT_SPEED_KM_PER_MS) > rtt_to_radius_km(10.0)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            rtt_to_radius_km(-0.1)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ValueError):
+            rtt_to_radius_km(1.0, 0.0)
+
+    @given(st.floats(min_value=0, max_value=1000), st.floats(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_radius_monotone_in_rtt(self, r1, r2):
+        if r1 <= r2:
+            assert rtt_to_radius_km(r1) <= rtt_to_radius_km(r2)
+
+    def test_disk_from_sample(self):
+        d = disk_from_sample(LONDON, 20.0)
+        assert d.center == LONDON
+        assert d.radius_km == pytest.approx(rtt_to_radius_km(20.0))
+
+
+class TestOverlapMatrix:
+    def test_empty(self):
+        assert overlap_matrix([]).shape == (0, 0)
+
+    def test_diagonal_true(self):
+        disks = [Disk(LONDON, 1.0), Disk(TOKYO, 1.0)]
+        m = overlap_matrix(disks)
+        assert m[0, 0] and m[1, 1]
+
+    def test_matches_pairwise(self):
+        disks = [
+            Disk(LONDON, 300.0),
+            Disk(destination_point(LONDON, 90.0, 500.0), 300.0),
+            Disk(TOKYO, 200.0),
+        ]
+        m = overlap_matrix(disks)
+        for i in range(3):
+            for j in range(3):
+                assert m[i, j] == disks[i].overlaps(disks[j])
+
+    def test_symmetric(self):
+        disks = [Disk(GeoPoint(i * 10.0, i * 10.0), 500.0) for i in range(5)]
+        m = overlap_matrix(disks)
+        assert (m == m.T).all()
+
+
+class TestHelpers:
+    def test_any_disjoint_pair_found(self):
+        disks = [Disk(LONDON, 50.0), Disk(TOKYO, 50.0)]
+        pair = any_disjoint_pair(disks)
+        assert pair is not None
+        i, j = pair
+        assert not disks[i].overlaps(disks[j])
+
+    def test_any_disjoint_pair_none_when_all_overlap(self):
+        disks = [Disk(LONDON, 20000.0), Disk(TOKYO, 20000.0)]
+        assert any_disjoint_pair(disks) is None
+
+    def test_smallest_disk(self):
+        disks = [Disk(LONDON, 5.0), Disk(TOKYO, 1.0), Disk(LONDON, 9.0)]
+        assert smallest_disk(disks).radius_km == 1.0
+
+    def test_smallest_disk_empty_raises(self):
+        with pytest.raises(ValueError):
+            smallest_disk([])
+
+    def test_disks_containing(self):
+        disks = [Disk(LONDON, 10000.0), Disk(TOKYO, 10.0)]
+        assert disks_containing(disks, LONDON) == [0]
+
+    def test_min_enclosing_radius(self):
+        points = [destination_point(LONDON, b, 250.0) for b in (0, 90, 180, 270)]
+        r = min_enclosing_radius_km(LONDON, points)
+        assert r == pytest.approx(250.0, abs=1e-3)
+
+    def test_min_enclosing_radius_empty(self):
+        assert min_enclosing_radius_km(LONDON, []) == 0.0

@@ -1,0 +1,86 @@
+"""Geodesy edge cases: antimeridian, poles, and degenerate disks."""
+
+import pytest
+
+from repro.geo.coords import GeoPoint, destination_point, great_circle_km
+from repro.geo.disks import Disk, any_disjoint_pair, overlap_matrix
+
+
+class TestAntimeridian:
+    def test_distance_across_dateline_is_short(self):
+        """179.9E and 179.9W are ~22 km apart, not ~40,000 km."""
+        east = GeoPoint(0.0, 179.9)
+        west = GeoPoint(0.0, -179.9)
+        assert east.distance_km(west) < 30.0
+
+    def test_disks_overlap_across_dateline(self):
+        fiji_side = Disk(GeoPoint(-17.0, 179.0), 300.0)
+        samoa_side = Disk(GeoPoint(-17.0, -178.0), 300.0)
+        assert fiji_side.overlaps(samoa_side)
+
+    def test_detection_not_fooled_by_dateline(self):
+        """Two tight disks straddling the dateline are the same place —
+        they must NOT look like a speed-of-light violation."""
+        disks = [
+            Disk(GeoPoint(0.0, 179.99), 50.0),
+            Disk(GeoPoint(0.0, -179.99), 50.0),
+        ]
+        assert any_disjoint_pair(disks) is None
+
+    def test_destination_eastward_across_dateline(self):
+        start = GeoPoint(10.0, 179.5)
+        dest = destination_point(start, 90.0, 300.0)
+        assert dest.lon < 0  # wrapped into the western hemisphere
+        assert start.distance_km(dest) == pytest.approx(300.0, abs=0.5)
+
+
+class TestPoles:
+    def test_all_longitudes_equal_at_pole(self):
+        north1 = GeoPoint(90.0, 0.0)
+        north2 = GeoPoint(90.0, 135.0)
+        assert north1.distance_km(north2) == pytest.approx(0.0, abs=1e-6)
+
+    def test_pole_to_pole(self):
+        from repro.geo.coords import MAX_SURFACE_DISTANCE_KM
+
+        assert GeoPoint(90.0, 0.0).distance_km(GeoPoint(-90.0, 0.0)) == pytest.approx(
+            MAX_SURFACE_DISTANCE_KM, rel=1e-9
+        )
+
+    def test_destination_over_the_pole(self):
+        near_pole = GeoPoint(89.0, 0.0)
+        dest = destination_point(near_pole, 0.0, 400.0)  # through the pole
+        assert dest.lat <= 90.0
+        assert near_pole.distance_km(dest) == pytest.approx(400.0, abs=0.5)
+
+    def test_polar_disk_contains_all_longitudes(self):
+        polar = Disk(GeoPoint(90.0, 0.0), 1500.0)
+        for lon in (-180.0, -90.0, 0.0, 90.0, 180.0):
+            assert polar.contains(GeoPoint(80.0, lon))
+
+
+class TestDegenerateDisks:
+    def test_zero_radius_disks_at_same_point_overlap(self):
+        p = GeoPoint(10.0, 10.0)
+        assert Disk(p, 0.0).overlaps(Disk(p, 0.0))
+
+    def test_zero_radius_disks_apart_disjoint(self):
+        a = Disk(GeoPoint(10.0, 10.0), 0.0)
+        b = Disk(GeoPoint(10.1, 10.0), 0.0)
+        assert not a.overlaps(b)
+
+    def test_earth_covering_disk_overlaps_everything(self):
+        whole = Disk(GeoPoint(0.0, 0.0), 25_000.0)
+        tiny = Disk(GeoPoint(-89.0, 170.0), 0.0)
+        assert whole.overlaps(tiny)
+        assert whole.contains_disk(tiny)
+
+    def test_overlap_matrix_mixed_degenerate(self):
+        disks = [
+            Disk(GeoPoint(0.0, 0.0), 0.0),
+            Disk(GeoPoint(0.0, 0.0), 25_000.0),
+            Disk(GeoPoint(45.0, 90.0), 0.0),
+        ]
+        m = overlap_matrix(disks)
+        assert m[0, 1] and m[1, 2]
+        assert not m[0, 2]

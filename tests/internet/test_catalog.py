@@ -1,0 +1,159 @@
+"""Tests for the deployment catalog — the paper-encoded facts must hold."""
+
+import pytest
+
+from repro.internet.catalog import (
+    TOP100_ENTRIES,
+    CatalogEntry,
+    catalog_total_slash24,
+    full_catalog,
+    tail_entries,
+)
+from repro.net.asn import BusinessCategory
+
+
+def entry(name: str) -> CatalogEntry:
+    for e in TOP100_ENTRIES:
+        if e.name == name:
+            return e
+    raise KeyError(name)
+
+
+class TestStructure:
+    def test_exactly_100_entries(self):
+        assert len(TOP100_ENTRIES) == 100
+
+    def test_ranks_are_1_to_100(self):
+        assert [e.rank for e in TOP100_ENTRIES] == list(range(1, 101))
+
+    def test_asns_unique(self):
+        asns = [e.asn for e in TOP100_ENTRIES]
+        assert len(set(asns)) == 100
+
+    def test_names_unique(self):
+        names = [e.name for e in TOP100_ENTRIES]
+        assert len(set(names)) == 100
+
+    def test_all_have_sites_and_prefixes(self):
+        for e in TOP100_ENTRIES:
+            assert e.n_sites >= 5, e.name  # top-100 cut is >= 5 replicas
+            assert e.n_slash24 >= 1
+
+    def test_software_names_resolve(self):
+        from repro.net.services import SOFTWARE_CATALOG
+
+        for e in TOP100_ENTRIES:
+            for name in e.software:
+                assert name in SOFTWARE_CATALOG, (e.name, name)
+
+    def test_validation_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            CatalogEntry(1, 1, "X", "US", BusinessCategory.DNS, n_slash24=0, n_sites=1)
+        with pytest.raises(ValueError):
+            CatalogEntry(1, 1, "X", "US", BusinessCategory.DNS, n_slash24=1, n_sites=0)
+        with pytest.raises(ValueError):
+            CatalogEntry(1, 1, "X", "US", BusinessCategory.DNS, n_slash24=1,
+                         n_sites=1, alexa_ip24=2)
+
+
+class TestPaperFacts:
+    def test_cloudflare_footprint(self):
+        cf = entry("CLOUDFLARENET,US")
+        assert cf.n_slash24 == 328  # paper Sec. 4.2
+        assert cf.alexa_sites == 188  # paper Sec. 4.1
+        assert cf.http_location_header == "CF-RAY"
+
+    def test_google_footprint(self):
+        g = entry("GOOGLE,US")
+        assert g.n_slash24 == 102
+        assert len(g.ports) == 9  # "Google with 9 open TCP ports"
+        assert g.alexa_sites == 11
+
+    def test_edgecast_footprint(self):
+        ec = entry("EDGECAST,US")
+        assert ec.n_slash24 == 37
+        assert len(ec.ports) == 5
+        assert ec.http_location_header == "Server"
+
+    def test_prolexic_footprint(self):
+        assert entry("PROLEXIC,US").n_slash24 == 21
+        assert entry("PROLEXIC,US").alexa_sites == 10
+
+    def test_cloudflare_edgecast_port_overlap(self):
+        # Paper: in common only ports 53, 80 and 443, out of 22 total.
+        cf, ec = set(entry("CLOUDFLARENET,US").ports), set(entry("EDGECAST,US").ports)
+        assert cf & ec == {53, 80, 443}
+        assert len(cf | ec) == 22
+        assert len(cf) == 4 * len(ec)  # "CloudFlare using 4x more ports"
+
+    def test_ovh_port_count(self):
+        ovh = entry("OVH,FR")
+        assert ovh.total_ports == 10_148  # paper Fig. 15
+
+    def test_incapsula_port_count(self):
+        assert entry("INCAPSULA,US").total_ports == 313
+
+    def test_caida_members(self):
+        # Paper Fig. 10: 8 ASes in the CAIDA top-100 own 19 anycast /24s.
+        members = [e for e in TOP100_ENTRIES if e.caida_rank is not None and e.caida_rank <= 100]
+        assert len(members) == 8
+        assert sum(e.n_slash24 for e in members) == 19
+
+    def test_alexa_members(self):
+        # Paper Fig. 10: 242 /24s of 15 ASes host Alexa-100k websites.
+        members = [e for e in TOP100_ENTRIES if e.alexa_sites > 0]
+        assert len(members) == 15
+        assert sum(e.alexa_ip24 for e in members) == 242
+
+    def test_nsd_users(self):
+        # Paper Sec. 4.3: Apple, K-root, L-root run NLnet Labs NSD.
+        nsd = {e.name for e in TOP100_ENTRIES if "NLnet Labs NSD" in e.software}
+        assert nsd == {"APPLE-ENGINEERING,US", "K-ROOT-SERVER,EU", "L-ROOT,US"}
+
+    def test_ten_ases_with_ten_slash24(self):
+        # Paper Fig. 13: about 10 ASes employ at least 10 subnets.
+        big = [e for e in TOP100_ENTRIES if e.n_slash24 >= 10]
+        assert 8 <= len(big) <= 14
+
+    def test_dns_roughly_one_third(self):
+        # Paper Fig. 11: DNS is about one third of anycast ASes.
+        dns = sum(1 for e in TOP100_ENTRIES if e.category is BusinessCategory.DNS)
+        assert 25 <= dns <= 45
+
+    def test_total_footprint_near_paper(self):
+        # Paper: 897 /24s across the top-100 ASes.
+        total = catalog_total_slash24(TOP100_ENTRIES)
+        assert 800 <= total <= 1000
+
+
+class TestTail:
+    def test_deterministic(self):
+        assert tail_entries(50, seed=3) == tail_entries(50, seed=3)
+
+    def test_seed_changes_output(self):
+        assert tail_entries(50, seed=3) != tail_entries(50, seed=4)
+
+    def test_count(self):
+        assert len(tail_entries(123)) == 123
+
+    def test_zero(self):
+        assert tail_entries(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            tail_entries(-1)
+
+    def test_tail_sites_below_cut(self):
+        for e in tail_entries(200):
+            assert 2 <= e.n_sites <= 4  # below the >= 5 replica cut
+
+    def test_tail_asns_dont_collide_with_top100(self):
+        top = {e.asn for e in TOP100_ENTRIES}
+        tail = {e.asn for e in tail_entries(300)}
+        assert not top & tail
+
+    def test_full_catalog_totals(self):
+        cat = full_catalog()
+        assert len(cat) == 360
+        # Paper: ~1,696 anycast /24s in ~346 ASes overall.
+        assert 1400 <= catalog_total_slash24(cat) <= 1900

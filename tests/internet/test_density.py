@@ -1,0 +1,70 @@
+"""Tests for per-/24 host density (paper Sec. 4.2 sparse/dense examples)."""
+
+import pytest
+
+from repro.internet.deployments import alive_hosts
+
+
+def deployment(internet, name):
+    for dep in internet.deployments:
+        if dep.entry.name == name:
+            return dep
+    raise KeyError(name)
+
+
+class TestDensity:
+    def test_google_is_sparse(self, tiny_internet):
+        """Google: a single alive address per /24 (the 8.8.8.8 pattern)."""
+        google = deployment(tiny_internet, "GOOGLE,US")
+        for prefix in google.prefixes[:5]:
+            assert len(alive_hosts(google, prefix)) == 1
+
+    def test_cloudflare_is_dense(self, tiny_internet):
+        """CloudFlare: well over 99% of addresses alive."""
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        hosts = alive_hosts(cf, cf.prefixes[0])
+        assert len(hosts) / 254 > 0.99
+
+    def test_host_octets_valid(self, tiny_internet):
+        dep = deployment(tiny_internet, "EDGECAST,US")
+        hosts = alive_hosts(dep, dep.prefixes[0])
+        assert all(1 <= h <= 254 for h in hosts)
+        assert hosts == sorted(set(hosts))
+
+    def test_deterministic(self, tiny_internet):
+        dep = deployment(tiny_internet, "EDGECAST,US")
+        a = alive_hosts(dep, dep.prefixes[0])
+        b = alive_hosts(dep, dep.prefixes[0])
+        assert a == b
+
+    def test_varies_per_prefix(self, tiny_internet):
+        dep = deployment(tiny_internet, "EDGECAST,US")
+        assert alive_hosts(dep, dep.prefixes[0]) != alive_hosts(dep, dep.prefixes[1])
+
+    def test_unannounced_prefix_rejected(self, tiny_internet):
+        dep = deployment(tiny_internet, "EDGECAST,US")
+        with pytest.raises(ValueError):
+            alive_hosts(dep, 123)
+
+    def test_density_validation(self):
+        from repro.internet.catalog import CatalogEntry
+        from repro.net.asn import BusinessCategory
+
+        with pytest.raises(ValueError):
+            CatalogEntry(1, 1, "X", "US", BusinessCategory.DNS,
+                         n_slash24=1, n_sites=1, ip_density=0.0)
+        with pytest.raises(ValueError):
+            CatalogEntry(1, 1, "X", "US", BusinessCategory.DNS,
+                         n_slash24=1, n_sites=1, ip_density=1.5)
+
+    def test_any_alive_host_equivalent_for_detection(self, tiny_internet):
+        """The paper's spot check: every alive IP of an anycast /24 yields
+        the same detection verdict, because routing operates on the /24."""
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        prefix = cf.prefixes[0]
+        # Our substrate models routing at /24 granularity by construction:
+        # the serving replica is a function of (client, prefix) only.
+        from repro.geo.coords import GeoPoint
+
+        client = GeoPoint(48.86, 2.35)
+        assert cf.serving_replica(client) is cf.serving_replica(client)

@@ -1,0 +1,107 @@
+"""Tests for deployments and BGP catchments."""
+
+import numpy as np
+import pytest
+
+from repro.geo.cities import default_city_db
+from repro.geo.coords import GeoPoint
+from repro.internet.catalog import TOP100_ENTRIES
+from repro.internet.deployments import (
+    AnycastDeployment,
+    Replica,
+    choose_replica_cities,
+)
+
+
+def make_deployment(n_sites=4, policy_sigma=0.0, seed=5) -> AnycastDeployment:
+    db = default_city_db()
+    cities = [db.get("New York"), db.get("London"), db.get("Tokyo"), db.get("Sydney"),
+              db.get("Sao Paulo"), db.get("Johannesburg")][:n_sites]
+    entry = TOP100_ENTRIES[0]
+    replicas = [Replica(city=c, location=c.location) for c in cities]
+    return AnycastDeployment(
+        entry=entry,
+        replicas=replicas,
+        prefixes=list(range(100, 100 + entry.n_slash24)),
+        policy_sigma=policy_sigma,
+        catchment_seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_requires_replicas(self):
+        dep = make_deployment()
+        with pytest.raises(ValueError):
+            AnycastDeployment(entry=dep.entry, replicas=[], prefixes=[1])
+
+    def test_requires_prefixes(self):
+        dep = make_deployment()
+        with pytest.raises(ValueError):
+            AnycastDeployment(entry=dep.entry, replicas=dep.replicas, prefixes=[])
+
+    def test_alexa_prefixes_must_be_announced(self):
+        dep = make_deployment()
+        with pytest.raises(ValueError):
+            AnycastDeployment(
+                entry=dep.entry, replicas=dep.replicas, prefixes=[1], alexa_prefixes=[2]
+            )
+
+    def test_properties(self):
+        dep = make_deployment(n_sites=3)
+        assert dep.site_count == 3
+        assert len(dep.site_cities) == 3
+        assert dep.autonomous_system.asn == dep.entry.asn
+
+
+class TestCatchment:
+    def test_geographic_routing_when_sigma_zero(self):
+        dep = make_deployment(policy_sigma=0.0)
+        # A client in Paris must hit London, one in Osaka must hit Tokyo.
+        idx = dep.catchment([48.86, 34.69], [2.35, 135.50])
+        assert dep.replicas[idx[0]].city.name == "London"
+        assert dep.replicas[idx[1]].city.name == "Tokyo"
+
+    def test_deterministic(self):
+        dep = make_deployment(policy_sigma=0.4)
+        lats, lons = [10.0, 20.0, -30.0], [0.0, 100.0, -60.0]
+        a = dep.catchment(lats, lons)
+        b = dep.catchment(lats, lons)
+        assert np.array_equal(a, b)
+
+    def test_policy_noise_changes_some_mappings(self):
+        geo = make_deployment(policy_sigma=0.0)
+        noisy = make_deployment(policy_sigma=1.0, seed=12)
+        rng = np.random.default_rng(0)
+        lats = rng.uniform(-60, 60, 300)
+        lons = rng.uniform(-180, 180, 300)
+        a = geo.catchment(lats, lons)
+        b = noisy.catchment(lats, lons)
+        diff = (a != b).mean()
+        assert 0.05 < diff < 0.9  # detours exist but geography still rules
+
+    def test_serving_replica_single_client(self):
+        dep = make_deployment(policy_sigma=0.0)
+        replica = dep.serving_replica(GeoPoint(40.7, -74.0))
+        assert replica.city.name == "New York"
+
+    def test_client_on_site_served_locally(self):
+        dep = make_deployment(policy_sigma=0.0)
+        tokyo = dep.replicas[2]
+        assert dep.serving_replica(tokyo.location) is tokyo
+
+
+class TestChooseReplicaCities:
+    def test_count_and_distinct(self):
+        db = default_city_db()
+        rng = np.random.default_rng(0)
+        entry = TOP100_ENTRIES[0]
+        cities = choose_replica_cities(entry, list(db.cities), rng)
+        assert len(cities) == entry.n_sites
+        assert len({c.key for c in cities}) == entry.n_sites
+
+    def test_too_few_cities_rejected(self):
+        db = default_city_db()
+        rng = np.random.default_rng(0)
+        entry = TOP100_ENTRIES[0]
+        with pytest.raises(ValueError):
+            choose_replica_cities(entry, list(db.cities)[:3], rng)

@@ -1,0 +1,92 @@
+"""Tests for hitlist generation and pruning."""
+
+import pytest
+
+from repro.internet.hitlist import Hitlist, HitlistEntry, generate_hitlist
+from repro.internet.topology import RESP_REPLY, RESP_SILENT
+from repro.net.addresses import slash24_of
+
+
+class TestEntry:
+    def test_never_alive_threshold(self):
+        assert HitlistEntry(1, 256, -2).never_alive
+        assert HitlistEntry(1, 256, -5).never_alive
+        assert not HitlistEntry(1, 256, -1).never_alive
+        assert not HitlistEntry(1, 256, 10).never_alive
+
+
+class TestHitlist:
+    def test_duplicate_prefix_rejected(self):
+        e = HitlistEntry(1, 256, 1)
+        with pytest.raises(ValueError):
+            Hitlist([e, e])
+
+    def test_pruned_removes_never_alive(self):
+        entries = [HitlistEntry(1, 256, 5), HitlistEntry(2, 512, -3)]
+        pruned = Hitlist(entries).pruned()
+        assert len(pruned) == 1
+        assert pruned[0].prefix == 1
+
+    def test_without_prefixes(self):
+        entries = [HitlistEntry(i, i * 256, 5) for i in range(5)]
+        filtered = Hitlist(entries).without_prefixes([1, 3])
+        assert [e.prefix for e in filtered] == [0, 2, 4]
+
+    def test_coverage(self):
+        entries = [HitlistEntry(i, i * 256 + 1, 5) for i in range(10)]
+        hl = Hitlist(entries)
+        assert hl.coverage_of(range(10)) == 1.0
+        assert hl.coverage_of(range(20)) == 0.5
+
+    def test_coverage_empty_routed_rejected(self):
+        with pytest.raises(ValueError):
+            Hitlist([HitlistEntry(1, 256, 1)]).coverage_of([])
+
+
+class TestGeneration:
+    def test_one_entry_per_target(self, tiny_internet):
+        hl = generate_hitlist(tiny_internet)
+        assert len(hl) == tiny_internet.n_targets
+
+    def test_full_coverage_of_routed_space(self, tiny_internet):
+        hl = generate_hitlist(tiny_internet)
+        routed = [int(p) for p in tiny_internet.prefixes]
+        assert hl.coverage_of(routed) == 1.0
+
+    def test_representative_inside_its_slash24(self, tiny_internet):
+        hl = generate_hitlist(tiny_internet)
+        for e in list(hl)[:200]:
+            assert slash24_of(e.address) == e.prefix
+            assert 1 <= (e.address & 0xFF) <= 254
+
+    def test_responsive_targets_get_positive_scores(self, tiny_internet):
+        hl = generate_hitlist(tiny_internet)
+        for e in hl:
+            pos = tiny_internet.target_index(e.prefix)
+            if tiny_internet.responsiveness[pos] == RESP_REPLY:
+                assert e.score > 0
+
+    def test_most_silent_targets_marked_never_alive(self, tiny_internet):
+        hl = generate_hitlist(tiny_internet, stale_score_fraction=0.02)
+        silent = stale = 0
+        for e in hl:
+            pos = tiny_internet.target_index(e.prefix)
+            if tiny_internet.responsiveness[pos] == RESP_SILENT:
+                silent += 1
+                if not e.never_alive:
+                    stale += 1
+        assert silent > 0
+        assert stale / silent < 0.1
+
+    def test_stale_fraction_bounds(self, tiny_internet):
+        with pytest.raises(ValueError):
+            generate_hitlist(tiny_internet, stale_score_fraction=1.5)
+
+    def test_deterministic(self, tiny_internet):
+        a = generate_hitlist(tiny_internet, seed=4)
+        b = generate_hitlist(tiny_internet, seed=4)
+        assert [e.address for e in a] == [e.address for e in b]
+
+    def test_pruning_shrinks_census_target_list(self, tiny_internet):
+        hl = generate_hitlist(tiny_internet)
+        assert len(hl.pruned()) < len(hl)

@@ -1,0 +1,61 @@
+"""Tests for census archival round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.archive import load_census, save_census
+
+
+class TestArchive:
+    def test_roundtrip(self, tiny_census, tmp_path):
+        save_census(tiny_census, tmp_path / "census1")
+        back = load_census(tmp_path / "census1")
+
+        assert back.census_id == tiny_census.census_id
+        assert back.rate_pps == tiny_census.rate_pps
+        assert [vp.name for vp in back.platform.vantage_points] == [
+            vp.name for vp in tiny_census.platform.vantage_points
+        ]
+        assert np.allclose(back.vp_duration_hours, tiny_census.vp_duration_hours)
+        assert np.allclose(back.vp_drop_rate, tiny_census.vp_drop_rate)
+        assert len(back.records) == len(tiny_census.records)
+        assert np.array_equal(back.records.prefix, tiny_census.records.prefix)
+        assert np.array_equal(back.records.flag, tiny_census.records.flag)
+        assert back.greylist.prefixes == tiny_census.greylist.prefixes
+
+    def test_vp_details_survive(self, tiny_census, tmp_path):
+        save_census(tiny_census, tmp_path / "c")
+        back = load_census(tmp_path / "c")
+        for a, b in zip(tiny_census.platform.vantage_points, back.platform.vantage_points):
+            assert a.city.key == b.city.key
+            assert a.location.distance_km(b.location) < 0.001
+            assert a.host_load == pytest.approx(b.host_load)
+            assert a.rate_limit.keep_probability(5000.0) == pytest.approx(
+                b.rate_limit.keep_probability(5000.0)
+            )
+
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_census(tmp_path / "nope")
+
+    def test_analysis_identical_after_reload(self, tiny_census, tmp_path, city_db):
+        """Measurement and analysis can run as separate processes."""
+        from repro.census.analysis import analyze_matrix
+        from repro.census.combine import matrix_from_census
+
+        save_census(tiny_census, tmp_path / "c")
+        back = load_census(tmp_path / "c")
+        a = analyze_matrix(matrix_from_census(tiny_census), city_db=city_db)
+        b = analyze_matrix(matrix_from_census(back), city_db=city_db)
+        assert set(a.anycast_prefixes) == set(b.anycast_prefixes)
+        # Replica counts agree despite the RTT quantization of the archive.
+        diffs = [
+            abs(a.results[p].replica_count - b.results[p].replica_count)
+            for p in a.anycast_prefixes
+        ]
+        assert np.mean(diffs) < 0.2
+
+    def test_overwrite_same_directory(self, tiny_census, tmp_path):
+        save_census(tiny_census, tmp_path / "c")
+        save_census(tiny_census, tmp_path / "c")
+        assert load_census(tmp_path / "c").census_id == tiny_census.census_id

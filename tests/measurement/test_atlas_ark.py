@@ -1,0 +1,98 @@
+"""Tests for the platform-suitability models (RIPE Atlas, Archipelago)."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.ark import ARK_TEAMS, ark_round
+from repro.measurement.atlas import AtlasBudget, campaign_cost, census_feasible
+
+
+class TestAtlasBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AtlasBudget(credits_per_ping=0)
+        with pytest.raises(ValueError):
+            AtlasBudget(max_targets_per_measurement=0)
+
+    def test_cost_arithmetic(self):
+        cost = campaign_cost(n_targets=1000, n_probes=10)
+        assert cost.total_pings == 10_000
+        assert cost.total_credits == 10_000
+        assert cost.days_at_daily_cap == pytest.approx(0.01)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            campaign_cost(0, 10)
+        with pytest.raises(ValueError):
+            campaign_cost(10, 0)
+
+    def test_full_census_infeasible(self):
+        """The paper's argument: 6.6M targets x 100s of probes cannot fit
+        a census-like deadline on Atlas credits."""
+        assert not census_feasible(
+            n_targets=6_600_000, n_probes=300, deadline_days=7.0
+        )
+
+    def test_detected_prefix_followup_feasible(self):
+        """...but refining the O(10^3) detected prefixes fits easily."""
+        assert census_feasible(n_targets=1_700, n_probes=300, deadline_days=1.0)
+
+    def test_measurement_count_explodes(self):
+        cost = campaign_cost(n_targets=6_600_000, n_probes=300)
+        assert cost.measurements_needed >= 6_600  # thousands of definitions
+
+    def test_deadline_positive(self):
+        with pytest.raises(ValueError):
+            census_feasible(10, 10, deadline_days=0.0)
+
+
+class TestArkDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self, tiny_internet, tiny_platform):
+        return ark_round(tiny_internet, tiny_platform, seed=5)
+
+    def test_team_partition(self, dataset, tiny_platform):
+        assert len(dataset.team_of_vp) == len(tiny_platform)
+        assert set(np.unique(dataset.team_of_vp)) <= set(range(ARK_TEAMS))
+
+    def test_hit_rate_low(self, dataset, tiny_internet):
+        """Random in-prefix IPs respond rarely: ~6% of responsive space."""
+        from repro.internet.topology import RESP_REPLY
+
+        responsive = int((tiny_internet.responsiveness == RESP_REPLY).sum())
+        hits = len(set(dataset.records.prefix.tolist()))
+        assert hits < 0.15 * responsive
+
+    def test_at_most_one_monitor_per_target_per_round(self, dataset):
+        assert dataset.monitors_per_target <= ARK_TEAMS
+        # One round: each /24 probed by a single monitor.
+        prefixes = dataset.records.prefix
+        assert len(prefixes) == len(set(prefixes.tolist()))
+
+    def test_detection_collapses_on_ark_data(self, dataset, tiny_internet, tiny_platform, city_db):
+        """The paper's conclusion: the Ark dataset cannot support an
+        anycast census — with <= 1 monitor per /24 per round there are
+        never two disks to compare."""
+        from repro.census.analysis import analyze_matrix
+        from repro.census.combine import RttMatrix
+
+        # Build a matrix directly from the Ark records.
+        prefixes = np.unique(dataset.records.prefix)
+        names = [vp.name for vp in tiny_platform.vantage_points]
+        locations = [vp.location for vp in tiny_platform.vantage_points]
+        rtt = np.full((len(prefixes), len(names)), np.nan, dtype=np.float32)
+        rows = np.searchsorted(prefixes, dataset.records.prefix)
+        rtt[rows, dataset.records.vp_index] = dataset.records.rtt_ms
+        matrix = RttMatrix(
+            prefixes=prefixes,
+            vp_names=names,
+            vp_locations=locations,
+            rtt_ms=rtt,
+            sample_count=(~np.isnan(rtt)).astype(np.uint8),
+        )
+        analysis = analyze_matrix(matrix, city_db=city_db)
+        assert analysis.n_anycast == 0
+
+    def test_invalid_hit_rate(self, tiny_internet, tiny_platform):
+        with pytest.raises(ValueError):
+            ark_round(tiny_internet, tiny_platform, hit_rate=0.0)

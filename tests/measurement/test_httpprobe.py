@@ -1,0 +1,111 @@
+"""Tests for the HTTP ground-truth probe."""
+
+import pytest
+
+from repro.measurement.httpprobe import (
+    HttpResponse,
+    SiteCodeBook,
+    http_probe,
+    measure_http_ground_truth,
+    publicly_advertised_cities,
+    replica_city_from_headers,
+)
+
+
+def deployment(internet, name):
+    for dep in internet.deployments:
+        if dep.entry.name == name:
+            return dep
+    raise KeyError(name)
+
+
+@pytest.fixture(scope="module")
+def codebook(city_db) -> SiteCodeBook:
+    return SiteCodeBook(city_db)
+
+
+class TestCodeBook:
+    def test_bijection(self, codebook, city_db):
+        codes = {codebook.code(c) for c in city_db}
+        assert len(codes) == len(city_db)
+        for city in city_db:
+            assert codebook.city(codebook.code(city)) == city
+
+    def test_code_shape(self, codebook, city_db):
+        for city in list(city_db)[:50]:
+            code = codebook.code(city)
+            assert len(code) == 3
+            assert code.isupper() or any(ch.isdigit() for ch in code)
+
+    def test_unknown_code(self, codebook):
+        with pytest.raises(KeyError):
+            codebook.city("???")
+
+    def test_unknown_city(self, codebook, city_db):
+        from repro.geo.cities import City
+        from repro.geo.coords import GeoPoint
+
+        with pytest.raises(KeyError):
+            codebook.code(City("Atlantis", "XX", GeoPoint(0, 0), 1))
+
+
+class TestProbe:
+    def test_cloudflare_reveals_city(self, tiny_internet, tiny_platform, codebook):
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        vp = tiny_platform.vantage_points[0]
+        response = http_probe(cf, vp, codebook)
+        assert response.status == 200
+        assert "CF-RAY" in response.headers
+        city = replica_city_from_headers(response, codebook)
+        assert city in set(cf.site_cities)
+
+    def test_edgecast_reveals_city(self, tiny_internet, tiny_platform, codebook):
+        ec = deployment(tiny_internet, "EDGECAST,US")
+        vp = tiny_platform.vantage_points[3]
+        response = http_probe(ec, vp, codebook)
+        assert "Server" in response.headers
+        assert response.headers["Server"].startswith("ECS (")
+        city = replica_city_from_headers(response, codebook)
+        assert city in set(ec.site_cities)
+
+    def test_plain_deployment_reveals_nothing(self, tiny_internet, tiny_platform, codebook):
+        goog = deployment(tiny_internet, "GOOGLE,US")
+        vp = tiny_platform.vantage_points[0]
+        response = http_probe(goog, vp, codebook)
+        assert replica_city_from_headers(response, codebook) is None
+
+    def test_probe_matches_catchment(self, tiny_internet, tiny_platform, codebook):
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        vp = tiny_platform.vantage_points[7]
+        response = http_probe(cf, vp, codebook)
+        city = replica_city_from_headers(response, codebook)
+        assert city == cf.serving_replica(vp.location).city
+
+    def test_malformed_cf_ray_rejected(self, codebook):
+        bad = HttpResponse(200, {"CF-RAY": "zzz"})
+        with pytest.raises(ValueError):
+            replica_city_from_headers(bad, codebook)
+
+    def test_ordinary_server_header_ignored(self, codebook):
+        response = HttpResponse(200, {"Server": "nginx/1.9.2"})
+        assert replica_city_from_headers(response, codebook) is None
+
+
+class TestGroundTruth:
+    def test_gt_subset_of_pai(self, tiny_internet, tiny_platform, codebook):
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        gt = measure_http_ground_truth(cf, tiny_platform, codebook)
+        pai = publicly_advertised_cities(cf)
+        assert gt <= pai
+        assert len(gt) > 1
+
+    def test_gt_empty_without_header(self, tiny_internet, tiny_platform, codebook):
+        goog = deployment(tiny_internet, "GOOGLE,US")
+        assert measure_http_ground_truth(goog, tiny_platform, codebook) == set()
+
+    def test_more_vps_see_more(self, tiny_internet, tiny_platform, codebook):
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        few = tiny_platform.subset(range(5))
+        gt_few = measure_http_ground_truth(cf, few, codebook)
+        gt_all = measure_http_ground_truth(cf, tiny_platform, codebook)
+        assert gt_few <= gt_all

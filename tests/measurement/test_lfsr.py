@@ -1,0 +1,86 @@
+"""Tests for the Galois LFSR target randomization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurement.lfsr import GaloisLFSR, lfsr_permutation, width_for
+
+
+class TestGaloisLFSR:
+    @pytest.mark.parametrize("width", [2, 3, 4, 8, 12, 16])
+    def test_full_period(self, width):
+        """A maximal LFSR must visit every nonzero state exactly once."""
+        lfsr = GaloisLFSR(width, seed=1)
+        states = list(lfsr.cycle())
+        assert len(states) == (1 << width) - 1
+        assert len(set(states)) == len(states)
+        assert 0 not in states
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(1)
+        with pytest.raises(ValueError):
+            GaloisLFSR(33)
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValueError):
+            GaloisLFSR(4, seed=0)
+        with pytest.raises(ValueError):
+            GaloisLFSR(4, seed=16)
+
+    def test_step_never_reaches_zero(self):
+        lfsr = GaloisLFSR(6, seed=33)
+        for _ in range(200):
+            assert lfsr.step() != 0
+
+    def test_deterministic(self):
+        a = [GaloisLFSR(8, seed=5).step() for _ in range(1)]
+        b = [GaloisLFSR(8, seed=5).step() for _ in range(1)]
+        assert a == b
+
+
+class TestWidthFor:
+    def test_exact_boundaries(self):
+        assert width_for(3) == 2
+        assert width_for(4) == 3
+        assert width_for(7) == 3
+        assert width_for(8) == 4
+
+    def test_one(self):
+        assert width_for(1) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            width_for(0)
+
+
+class TestPermutation:
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=40)
+    def test_is_permutation(self, n, seed):
+        perm = lfsr_permutation(n, seed=seed)
+        assert sorted(perm) == list(range(n))
+
+    def test_empty(self):
+        assert lfsr_permutation(0) == []
+
+    def test_single(self):
+        assert lfsr_permutation(1) == [0]
+
+    def test_deterministic_in_seed(self):
+        assert lfsr_permutation(100, seed=3) == lfsr_permutation(100, seed=3)
+
+    def test_seed_varies_order(self):
+        assert lfsr_permutation(100, seed=3) != lfsr_permutation(100, seed=4)
+
+    def test_not_identity(self):
+        # Randomized probing order must actually shuffle.
+        perm = lfsr_permutation(1000, seed=1)
+        fixed = sum(1 for i, v in enumerate(perm) if i == v)
+        assert fixed < 50
+
+    def test_large_n(self):
+        perm = lfsr_permutation(70_000, seed=1)
+        assert len(perm) == 70_000
+        assert len(set(perm)) == 70_000

@@ -1,0 +1,118 @@
+"""Tests for measurement platforms and vantage points."""
+
+import numpy as np
+import pytest
+
+from repro.geo.cities import default_city_db
+from repro.measurement.platform import (
+    Platform,
+    VantagePoint,
+    planetlab_platform,
+    ripe_platform,
+)
+from repro.net.icmp import NO_RATE_LIMIT
+
+
+class TestVantagePoint:
+    def test_host_load_floor(self, city_db):
+        city = city_db.get("Paris")
+        with pytest.raises(ValueError):
+            VantagePoint("x", city, city.location, host_load=0.5)
+
+
+class TestPlatform:
+    def test_duplicate_names_rejected(self, city_db):
+        city = city_db.get("Paris")
+        vp = VantagePoint("a", city, city.location)
+        with pytest.raises(ValueError):
+            Platform("p", [vp, vp])
+
+    def test_len_iter_coords(self, tiny_platform):
+        assert len(tiny_platform) == 60
+        assert len(list(tiny_platform)) == 60
+        assert tiny_platform.lats.shape == (60,)
+        assert tiny_platform.lons.shape == (60,)
+
+    def test_subset(self, tiny_platform):
+        sub = tiny_platform.subset([0, 2, 4])
+        assert len(sub) == 3
+        assert sub.vantage_points[1] is tiny_platform.vantage_points[2]
+
+    def test_sample_available_fraction(self, tiny_platform):
+        rng = np.random.default_rng(0)
+        sub = tiny_platform.sample_available(rng, availability=0.85)
+        assert 0 < len(sub) <= len(tiny_platform)
+        assert abs(len(sub) / len(tiny_platform) - 0.85) < 0.2
+
+    def test_sample_available_never_empty(self, tiny_platform):
+        rng = np.random.default_rng(0)
+        sub = tiny_platform.sample_available(rng, availability=0.01)
+        assert len(sub) >= 1
+
+    def test_sample_availability_bounds(self, tiny_platform):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            tiny_platform.sample_available(rng, availability=0.0)
+
+
+class TestPlanetLab:
+    def test_count(self):
+        assert len(planetlab_platform(count=50, seed=1)) == 50
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            planetlab_platform(count=0)
+
+    def test_deterministic(self):
+        a = planetlab_platform(count=30, seed=5)
+        b = planetlab_platform(count=30, seed=5)
+        assert [vp.name for vp in a] == [vp.name for vp in b]
+        assert np.array_equal(a.lats, b.lats)
+
+    def test_us_eu_skew(self):
+        plat = planetlab_platform(count=400, seed=2)
+        western = sum(
+            1 for vp in plat
+            if vp.city.country in {"US", "CA", "DE", "FR", "GB", "IT", "ES", "NL",
+                                   "BE", "CH", "SE", "PL", "CZ", "AT", "PT", "IE"}
+        )
+        assert western / len(plat) > 0.6
+
+    def test_some_nodes_rate_limited(self):
+        plat = planetlab_platform(count=300, seed=2, limited_fraction=0.3)
+        limited = sum(1 for vp in plat if vp.rate_limit is not NO_RATE_LIMIT)
+        assert 0.15 * 300 < limited < 0.5 * 300
+
+    def test_no_limits_when_fraction_zero(self):
+        plat = planetlab_platform(count=50, seed=2, limited_fraction=0.0)
+        assert all(vp.rate_limit is NO_RATE_LIMIT for vp in plat)
+
+    def test_host_load_heavy_tail(self):
+        plat = planetlab_platform(count=400, seed=2)
+        loads = np.array([vp.host_load for vp in plat])
+        assert (loads >= 1.0).all()
+        assert (loads < 1.1).mean() > 0.25  # fast cohort exists
+        assert loads.max() > 1.5            # and a slow tail
+
+
+class TestRipe:
+    def test_larger_and_broader(self):
+        ripe = ripe_platform(count=600, seed=3)
+        pl = planetlab_platform(count=300, seed=3)
+        assert len(ripe) > len(pl)
+        ripe_countries = {vp.city.country for vp in ripe}
+        pl_countries = {vp.city.country for vp in pl}
+        assert len(ripe_countries) > len(pl_countries)
+
+    def test_no_rate_limits(self):
+        ripe = ripe_platform(count=100, seed=3)
+        assert all(vp.rate_limit is NO_RATE_LIMIT for vp in ripe)
+
+    def test_eu_heavy(self):
+        ripe = ripe_platform(count=500, seed=3)
+        eu = sum(
+            1 for vp in ripe
+            if vp.city.country in {"DE", "FR", "GB", "NL", "IT", "ES", "SE", "CH",
+                                   "BE", "AT", "PL", "CZ", "FI", "NO", "DK"}
+        )
+        assert eu / len(ripe) > 0.4

@@ -1,0 +1,159 @@
+"""Tests for the nmap-like portscan simulation."""
+
+import pytest
+
+from repro.measurement.portscan import (
+    FILTER_PROB,
+    PortscanReport,
+    nmap_is_ssl,
+    nmap_service_name,
+    run_portscan,
+    scan_deployment,
+    _deployment_open_ports,
+)
+
+
+def deployment(internet, name):
+    for dep in internet.deployments:
+        if dep.entry.name == name:
+            return dep
+    raise KeyError(name)
+
+
+@pytest.fixture(scope="module")
+def report(tiny_internet) -> PortscanReport:
+    return run_portscan(tiny_internet, seed=77)
+
+
+class TestPseudoRegistry:
+    def test_exact_registry_takes_precedence(self):
+        assert nmap_service_name(53) == "domain"
+        assert nmap_service_name(443) == "https"
+
+    def test_pseudo_density_near_nmap(self):
+        named = sum(1 for p in range(10_000, 30_000) if nmap_service_name(p))
+        assert 0.03 < named / 20_000 < 0.07
+
+    def test_deterministic(self):
+        assert nmap_service_name(23456) == nmap_service_name(23456)
+
+    def test_ssl_flags(self):
+        assert nmap_is_ssl(443)
+        assert not nmap_is_ssl(80)
+
+    def test_pseudo_ssl_fraction(self):
+        named = [p for p in range(1024, 65535) if nmap_service_name(p, )]
+        pseudo = [p for p in named if nmap_service_name(p).startswith("svc-")]
+        ssl = sum(1 for p in pseudo if nmap_is_ssl(p))
+        assert 0.25 < ssl / len(pseudo) < 0.5
+
+
+class TestDeploymentPorts:
+    def test_profile_ports_included(self, tiny_internet):
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        ports = _deployment_open_ports(cf)
+        assert set(cf.entry.ports) <= set(ports)
+
+    def test_seedbox_tail_size(self, tiny_internet):
+        ovh = deployment(tiny_internet, "OVH,FR")
+        ports = _deployment_open_ports(ovh)
+        assert len(ports) == ovh.entry.total_ports == 10_148
+
+    def test_seedbox_deterministic(self, tiny_internet):
+        ovh = deployment(tiny_internet, "OVH,FR")
+        assert _deployment_open_ports(ovh) == _deployment_open_ports(ovh)
+
+
+class TestScanDeployment:
+    def test_one_scan_per_prefix(self, tiny_internet):
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        scans = scan_deployment(cf, seed=1)
+        assert len(scans) == len(cf.prefixes)
+
+    def test_filtering_is_conservative(self, tiny_internet):
+        """Observed ports are a subset of true ports, slightly undercounted."""
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        true_ports = set(_deployment_open_ports(cf))
+        scans = scan_deployment(cf, seed=1)
+        total_possible = len(true_ports) * len(scans)
+        observed = sum(len(s.observations) for s in scans)
+        for s in scans:
+            assert set(s.open_ports) <= true_ports
+        assert observed < total_possible  # some filtering happened
+        assert observed > total_possible * (1 - 3 * FILTER_PROB)
+
+    def test_software_from_profile(self, tiny_internet):
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        for scan in scan_deployment(cf, seed=1):
+            for obs in scan.observations:
+                if obs.software is not None:
+                    assert obs.software in cf.entry.software
+
+    def test_fingerprinting_partial(self, tiny_internet):
+        """Some services stay tcpwrapped, as with real nmap."""
+        cf = deployment(tiny_internet, "CLOUDFLARENET,US")
+        obs = [o for s in scan_deployment(cf, seed=1) for o in s.observations]
+        wrapped = sum(1 for o in obs if o.is_tcpwrapped)
+        assert 0 < wrapped < len(obs)
+
+
+class TestReport:
+    def test_scans_cover_top100_prefixes(self, report, tiny_internet):
+        top = [d for d in tiny_internet.deployments if d.entry.rank <= 100]
+        assert report.n_hosts == sum(len(d.prefixes) for d in top)
+
+    def test_most_ases_respond(self, report):
+        # Paper: 81 of the top-100 ASes have at least one open TCP port.
+        assert 70 <= report.n_ases <= 100
+
+    def test_total_ports_dominated_by_ovh(self, report):
+        per_as = report.open_ports_per_as()
+        assert max(per_as.values()) > 9000
+        assert report.total_open_ports > 10_000
+
+    def test_well_known_service_count_near_paper(self, report):
+        # Paper: ~457 well-known services, ~185 over SSL.
+        well_known = report.well_known_services()
+        ssl = report.ssl_services()
+        assert 300 <= len(well_known) <= 700
+        assert 100 <= len(ssl) <= 300
+        assert ssl <= well_known
+
+    def test_top_ports_by_as(self, report):
+        top = report.top_ports_by_as(k=10)
+        assert len(top) == 10
+        ports = [p for p, _ in top]
+        # DNS, HTTP, HTTPS must lead the per-AS ranking.
+        assert 53 in ports[:3]
+        assert 80 in ports[:3]
+        assert 443 in ports[:3]
+        counts = [c for _, c in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_class_imbalance_in_per_prefix_ranking(self, report):
+        """CloudFlare's 328 /24s push its management ports into the per-/24
+        top-10 — the paper's class-imbalance warning (Fig. 14)."""
+        per_prefix = dict(report.top_ports_by_prefix(k=10))
+        cloudflare_only = {2052, 2053, 2082, 2083, 2086, 2087, 2095, 2096}
+        assert len(cloudflare_only & set(per_prefix)) >= 2
+        # ... while the head of the per-AS ranking stays generic (the odd
+        # seedbox port can reach the sparse tail with 2-3 ASes).
+        per_as_head = [p for p, _ in report.top_ports_by_as(k=5)]
+        assert not (cloudflare_only & set(per_as_head))
+        assert {53, 80, 443} <= set(per_as_head)
+
+    def test_software_seen_subset_of_catalog(self, report):
+        from repro.net.services import SOFTWARE_CATALOG
+
+        seen = report.software_seen()
+        assert seen <= set(SOFTWARE_CATALOG)
+        assert len(seen) >= 15
+
+    def test_software_by_as_counts(self, report):
+        by_as = report.software_by_as()
+        # ISC BIND is the dominant DNS daemon across DNS ASes.
+        dns_counts = {
+            name: len(ases) for name, ases in by_as.items()
+            if name in ("ISC BIND", "NLnet Labs NSD")
+        }
+        assert dns_counts.get("ISC BIND", 0) > dns_counts.get("NLnet Labs NSD", 0)

@@ -1,0 +1,175 @@
+"""Tests for census record formats (binary vs textual)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.measurement.recordio import (
+    FLAG_OTHER_ERROR,
+    FLAG_REPLY,
+    CensusRecords,
+    concatenate,
+    flag_for,
+    outcome_for,
+)
+from repro.net.icmp import IcmpOutcome
+
+
+def make_records(n=100, census_id=1, seed=0) -> CensusRecords:
+    rng = np.random.default_rng(seed)
+    flags = rng.choice([FLAG_REPLY, FLAG_REPLY, FLAG_REPLY, -13, -10, -9, 1], size=n).astype(np.int8)
+    rtt = np.where(flags == FLAG_REPLY, rng.uniform(0.5, 300.0, n), np.nan).astype(np.float32)
+    return CensusRecords(
+        census_id=census_id,
+        vp_index=rng.integers(0, 50, n).astype(np.uint16),
+        prefix=rng.integers(70000, 90000, n).astype(np.uint32),
+        timestamp_ms=np.sort(rng.uniform(0, 1e7, n)),
+        rtt_ms=rtt,
+        flag=flags,
+    )
+
+
+class TestFlags:
+    def test_reply_flag(self):
+        assert flag_for(IcmpOutcome.ECHO_REPLY) == FLAG_REPLY
+
+    @pytest.mark.parametrize(
+        "outcome,flag",
+        [
+            (IcmpOutcome.ADMIN_FILTERED, -13),
+            (IcmpOutcome.HOST_PROHIBITED, -10),
+            (IcmpOutcome.NET_PROHIBITED, -9),
+            (IcmpOutcome.UNREACHABLE, FLAG_OTHER_ERROR),
+        ],
+    )
+    def test_error_flags_roundtrip(self, outcome, flag):
+        assert flag_for(outcome) == flag
+        assert outcome_for(flag) is outcome
+
+    def test_silent_has_no_record(self):
+        with pytest.raises(ValueError):
+            flag_for(IcmpOutcome.SILENT)
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ValueError):
+            outcome_for(7)
+
+
+class TestColumns:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CensusRecords(
+                1,
+                np.zeros(3, np.uint16),
+                np.zeros(2, np.uint32),
+                np.zeros(3),
+                np.zeros(3, np.float32),
+                np.zeros(3, np.int8),
+            )
+
+    def test_replies_filter(self):
+        records = make_records(500)
+        replies = records.replies()
+        assert (replies.flag == FLAG_REPLY).all()
+        assert not np.isnan(replies.rtt_ms).any()
+
+    def test_greylistable_filter(self):
+        records = make_records(500)
+        grey = records.greylistable()
+        assert (grey.flag < 0).all()
+
+    def test_select_preserves_census_id(self):
+        records = make_records(10, census_id=7)
+        assert records.select(records.flag == FLAG_REPLY).census_id == 7
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self):
+        records = make_records(300)
+        buf = io.BytesIO()
+        written = records.write_binary(buf)
+        assert written == buf.tell() == records.binary_size_bytes()
+        buf.seek(0)
+        back = CensusRecords.read_binary(buf)
+        assert back.census_id == records.census_id
+        assert np.array_equal(back.vp_index, records.vp_index)
+        assert np.array_equal(back.prefix, records.prefix)
+        assert np.array_equal(back.flag, records.flag)
+        # RTTs quantized to 0.01 ms.
+        mask = records.flag == FLAG_REPLY
+        assert np.allclose(back.rtt_ms[mask], records.rtt_ms[mask], atol=0.006)
+        assert np.isnan(back.rtt_ms[~mask]).all()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            CensusRecords.read_binary(io.BytesIO(b"NOPE" + b"\0" * 20))
+
+    def test_truncation_detected(self):
+        records = make_records(50)
+        buf = io.BytesIO()
+        records.write_binary(buf)
+        truncated = io.BytesIO(buf.getvalue()[:-10])
+        with pytest.raises(ValueError):
+            CensusRecords.read_binary(truncated)
+
+    def test_empty_roundtrip(self):
+        records = make_records(0)
+        buf = io.BytesIO()
+        records.write_binary(buf)
+        buf.seek(0)
+        assert len(CensusRecords.read_binary(buf)) == 0
+
+
+class TestCsvFormat:
+    def test_roundtrip(self):
+        records = make_records(120)
+        buf = io.StringIO()
+        records.write_csv(buf)
+        buf.seek(0)
+        back = CensusRecords.read_csv(buf)
+        assert np.array_equal(back.prefix, records.prefix)
+        assert np.array_equal(back.flag, records.flag)
+        mask = records.flag == FLAG_REPLY
+        assert np.allclose(back.rtt_ms[mask], records.rtt_ms[mask], rtol=1e-5)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            CensusRecords.read_csv(io.StringIO("1,2,3\n"))
+
+    def test_comments_skipped(self):
+        records = make_records(5)
+        buf = io.StringIO()
+        records.write_csv(buf)
+        buf.seek(0)
+        assert len(CensusRecords.read_csv(buf)) == 5
+
+
+class TestSizes:
+    def test_binary_much_smaller_than_csv(self):
+        """The Tab. 1 effect: binary is a fraction of the textual size."""
+        records = make_records(2000)
+        assert records.binary_size_bytes() * 2 < records.csv_size_bytes()
+
+    def test_csv_size_matches_actual_write(self):
+        records = make_records(50)
+        buf = io.StringIO()
+        records.write_csv(buf)
+        assert len(buf.getvalue()) == records.csv_size_bytes()
+
+
+class TestConcatenate:
+    def test_concatenate(self):
+        a, b = make_records(10, seed=1), make_records(20, seed=2)
+        merged = concatenate((a, b))
+        assert len(merged) == 30
+
+    def test_mixed_census_ids_rejected(self):
+        a = make_records(5, census_id=1)
+        b = make_records(5, census_id=2)
+        with pytest.raises(ValueError):
+            concatenate((a, b))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concatenate(())

@@ -1,0 +1,154 @@
+"""Tests for IPv4 /24 arithmetic and prefix handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import (
+    Prefix,
+    TOTAL_SLASH24,
+    format_ipv4,
+    format_slash24,
+    host_in_slash24,
+    is_reserved,
+    parse_ipv4,
+    parse_slash24,
+    slash24_base_address,
+    slash24_of,
+    split_to_slash24,
+)
+
+addr_st = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestParseFormat:
+    def test_parse_known(self):
+        assert parse_ipv4("192.0.2.1") == 0xC0000201
+
+    def test_format_known(self):
+        assert format_ipv4(0xC0000201) == "192.0.2.1"
+
+    def test_parse_extremes(self):
+        assert parse_ipv4("0.0.0.0") == 0
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3"])
+    def test_parse_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_ipv4(bad)
+
+    def test_format_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ipv4(-1)
+        with pytest.raises(ValueError):
+            format_ipv4(1 << 32)
+
+    @given(addr_st)
+    @settings(max_examples=80)
+    def test_roundtrip(self, addr):
+        assert parse_ipv4(format_ipv4(addr)) == addr
+
+
+class TestSlash24:
+    def test_slash24_of(self):
+        assert slash24_of(parse_ipv4("10.1.2.3")) == parse_ipv4("10.1.2.0") >> 8
+
+    def test_base_address(self):
+        idx = slash24_of(parse_ipv4("10.1.2.3"))
+        assert format_ipv4(slash24_base_address(idx)) == "10.1.2.0"
+
+    def test_host_in_slash24(self):
+        idx = slash24_of(parse_ipv4("10.1.2.0"))
+        assert format_ipv4(host_in_slash24(idx, 77)) == "10.1.2.77"
+
+    def test_host_octet_bounds(self):
+        with pytest.raises(ValueError):
+            host_in_slash24(0, 256)
+        with pytest.raises(ValueError):
+            host_in_slash24(0, -1)
+
+    def test_format_parse_slash24(self):
+        idx = slash24_of(parse_ipv4("198.41.0.4"))
+        text = format_slash24(idx)
+        assert text == "198.41.0.0/24"
+        assert parse_slash24(text) == idx
+
+    def test_parse_slash24_rejects_other_lengths(self):
+        with pytest.raises(ValueError):
+            parse_slash24("10.0.0.0/8")
+
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            slash24_base_address(TOTAL_SLASH24)
+
+    @given(addr_st)
+    @settings(max_examples=50)
+    def test_slash24_roundtrip(self, addr):
+        idx = slash24_of(addr)
+        base = slash24_base_address(idx)
+        assert base <= addr < base + 256
+
+
+class TestPrefix:
+    def test_parse(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.length == 8
+        assert p.size == 1 << 24
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(parse_ipv4("10.0.0.1"), 8)
+
+    def test_length_bounds(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+    def test_contains(self):
+        p = Prefix.parse("192.168.0.0/16")
+        assert p.contains(parse_ipv4("192.168.3.4"))
+        assert not p.contains(parse_ipv4("192.169.0.0"))
+
+    def test_slash24s_of_slash22(self):
+        p = Prefix.parse("10.0.0.0/22")
+        indices = list(p.slash24s())
+        assert len(indices) == 4
+        assert indices == sorted(indices)
+
+    def test_slash24s_of_longer_prefix(self):
+        p = Prefix.parse("10.0.0.128/25")
+        assert list(p.slash24s()) == [slash24_of(parse_ipv4("10.0.0.0"))]
+
+    def test_str(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_parse_requires_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+
+class TestReserved:
+    @pytest.mark.parametrize(
+        "addr",
+        ["10.1.2.3", "127.0.0.1", "192.168.1.1", "224.0.0.5", "169.254.0.1", "0.1.2.3"],
+    )
+    def test_reserved(self, addr):
+        assert is_reserved(parse_ipv4(addr))
+
+    @pytest.mark.parametrize("addr", ["8.8.8.8", "1.1.1.1", "198.41.0.4", "93.184.216.34"])
+    def test_public(self, addr):
+        assert not is_reserved(parse_ipv4(addr))
+
+
+class TestSplit:
+    def test_split_deduplicates_and_sorts(self):
+        prefixes = [Prefix.parse("10.0.0.0/23"), Prefix.parse("10.0.1.0/24")]
+        out = split_to_slash24(prefixes)
+        assert out == sorted(set(out))
+        assert len(out) == 2
+
+    def test_split_counts(self):
+        prefixes = [Prefix.parse("10.0.0.0/20")]
+        assert len(split_to_slash24(prefixes)) == 16
+
+    def test_split_empty(self):
+        assert split_to_slash24([]) == []

@@ -1,0 +1,138 @@
+"""Tests for the AS registry."""
+
+import pytest
+
+from repro.net.asn import ASRegistry, AutonomousSystem, BusinessCategory
+
+
+def make_as(asn=13335, name="CLOUDFLARENET,US", category=BusinessCategory.CDN):
+    return AutonomousSystem(asn=asn, name=name, country="US", category=category)
+
+
+class TestAutonomousSystem:
+    def test_valid(self):
+        asys = make_as()
+        assert asys.asn == 13335
+
+    def test_positive_asn_required(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(0, "X", "US")
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(1, "", "US")
+
+    def test_whois_label_capped_at_12(self):
+        asys = AutonomousSystem(1, "AVERYLONGWHOISNAME,US", "US")
+        assert asys.whois_label == "AVERYLONGWHO"
+        assert len(asys.whois_label) == 12
+
+    def test_default_category_unknown(self):
+        assert AutonomousSystem(1, "X", "US").category is BusinessCategory.UNKNOWN
+
+
+class TestCoarseCategories:
+    @pytest.mark.parametrize(
+        "category,coarse",
+        [
+            (BusinessCategory.DNS, "DNS"),
+            (BusinessCategory.CDN, "CDN"),
+            (BusinessCategory.CLOUD, "Cloud"),
+            (BusinessCategory.CLOUD_MESSAGING, "Cloud"),
+            (BusinessCategory.ISP, "ISP"),
+            (BusinessCategory.ISP_TIER1, "ISP"),
+            (BusinessCategory.BACKBONE, "ISP"),
+            (BusinessCategory.SECURITY, "Security"),
+            (BusinessCategory.SOCIAL_NETWORK, "Social"),
+            (BusinessCategory.UNKNOWN, "Unknown"),
+            (BusinessCategory.BLOGGING, "Other"),
+            (BusinessCategory.WEB_PORTAL, "Other"),
+            (BusinessCategory.TELECOM_VENDOR, "Other"),
+        ],
+    )
+    def test_mapping(self, category, coarse):
+        assert category.coarse == coarse
+
+
+class TestRegistry:
+    def test_add_and_get(self):
+        reg = ASRegistry()
+        asys = reg.add(make_as())
+        assert reg[13335] is asys
+        assert 13335 in reg
+        assert len(reg) == 1
+
+    def test_add_idempotent(self):
+        reg = ASRegistry()
+        reg.add(make_as())
+        reg.add(make_as())
+        assert len(reg) == 1
+
+    def test_conflicting_registration_rejected(self):
+        reg = ASRegistry()
+        reg.add(make_as())
+        with pytest.raises(ValueError):
+            reg.add(make_as(name="OTHER,US"))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            ASRegistry()[1]
+
+    def test_assign_prefix_and_owner(self):
+        reg = ASRegistry()
+        reg.add(make_as())
+        reg.assign_prefix(1000, 13335)
+        assert reg.owner_of(1000).asn == 13335
+        assert reg.owner_of(1001) is None
+
+    def test_assign_prefix_unknown_as(self):
+        reg = ASRegistry()
+        with pytest.raises(KeyError):
+            reg.assign_prefix(1, 99)
+
+    def test_reassign_prefix_rejected(self):
+        reg = ASRegistry()
+        reg.add(make_as(asn=1))
+        reg.add(make_as(asn=2, name="B,US"))
+        reg.assign_prefix(5, 1)
+        with pytest.raises(ValueError):
+            reg.assign_prefix(5, 2)
+
+    def test_assign_same_owner_idempotent(self):
+        reg = ASRegistry()
+        reg.add(make_as(asn=1))
+        reg.assign_prefix(5, 1)
+        reg.assign_prefix(5, 1)
+        assert reg.prefixes_of(1) == [5]
+
+    def test_prefixes_of_sorted(self):
+        reg = ASRegistry()
+        reg.add(make_as(asn=1))
+        for p in (9, 3, 7):
+            reg.assign_prefix(p, 1)
+        assert reg.prefixes_of(1) == [3, 7, 9]
+
+    def test_prefixes_of_unknown(self):
+        with pytest.raises(KeyError):
+            ASRegistry().prefixes_of(404)
+
+    def test_by_category(self):
+        reg = ASRegistry()
+        reg.add(make_as(asn=1, category=BusinessCategory.DNS, name="A,US"))
+        reg.add(make_as(asn=2, category=BusinessCategory.CDN, name="B,US"))
+        reg.add(make_as(asn=3, category=BusinessCategory.DNS, name="C,US"))
+        dns = reg.by_category(BusinessCategory.DNS)
+        assert [a.asn for a in dns] == [1, 3]
+
+    def test_find_by_name(self):
+        reg = ASRegistry()
+        reg.add(make_as())
+        assert reg.find_by_name("CLOUDFLARENET,US").asn == 13335
+        with pytest.raises(KeyError):
+            reg.find_by_name("NOPE")
+
+    def test_iteration(self):
+        reg = ASRegistry()
+        reg.add(make_as(asn=1, name="A,US"))
+        reg.add(make_as(asn=2, name="B,US"))
+        assert {a.asn for a in reg} == {1, 2}

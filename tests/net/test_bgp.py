@@ -1,0 +1,140 @@
+"""Tests for the BGP announcement table."""
+
+import numpy as np
+import pytest
+
+from repro.net.addresses import Prefix, parse_ipv4, slash24_of
+from repro.net.bgp import (
+    Announcement,
+    AnnouncementTable,
+    announce_owned_slash24s,
+    table_for_internet,
+    _contiguous_runs,
+)
+
+
+class TestContiguousRuns:
+    def test_empty(self):
+        assert _contiguous_runs([]) == []
+
+    def test_single(self):
+        assert _contiguous_runs([5]) == [(5, 1)]
+
+    def test_multiple_runs(self):
+        assert _contiguous_runs([1, 2, 3, 7, 8, 10]) == [(1, 3), (7, 2), (10, 1)]
+
+
+class TestAnnounceOwned:
+    def test_full_slash24_mode(self):
+        rng = np.random.default_rng(0)
+        owned = list(range(1000, 1008))
+        out = announce_owned_slash24s(owned, 65000, rng, slash24_prob=1.0)
+        assert len(out) == 8
+        assert all(a.prefix.length == 24 for a in out)
+
+    def test_aggregation_mode(self):
+        rng = np.random.default_rng(0)
+        # An aligned run of 8 /24s aggregates into a single /21.
+        owned = list(range(1024, 1032))
+        out = announce_owned_slash24s(owned, 65000, rng, slash24_prob=0.0)
+        assert len(out) == 1
+        assert out[0].prefix.length == 21
+
+    def test_unaligned_run_splits(self):
+        rng = np.random.default_rng(0)
+        # 3 /24s starting at an odd index: cannot form one aggregate.
+        owned = [1001, 1002, 1003]
+        out = announce_owned_slash24s(owned, 65000, rng, slash24_prob=0.0)
+        assert sum(1 << (24 - a.prefix.length) for a in out) == 3
+        covered = set()
+        for a in out:
+            covered.update(a.prefix.slash24s())
+        assert covered == set(owned)
+
+    def test_coverage_always_exact(self):
+        rng = np.random.default_rng(1)
+        owned = sorted(rng.choice(10_000, size=50, replace=False).tolist())
+        out = announce_owned_slash24s(owned, 1, rng, slash24_prob=0.3)
+        covered = set()
+        for a in out:
+            covered.update(a.prefix.slash24s())
+        assert covered == set(owned)
+
+    def test_prob_validation(self):
+        with pytest.raises(ValueError):
+            announce_owned_slash24s([1], 1, np.random.default_rng(0), slash24_prob=2.0)
+
+
+class TestTable:
+    def test_lookup_exact(self):
+        table = AnnouncementTable(
+            [Announcement(Prefix(parse_ipv4("10.1.2.0"), 24), 7)]
+        )
+        idx = slash24_of(parse_ipv4("10.1.2.0"))
+        hit = table.lookup_slash24(idx)
+        assert hit is not None and hit.origin_asn == 7
+
+    def test_lookup_aggregate(self):
+        table = AnnouncementTable(
+            [Announcement(Prefix(parse_ipv4("10.0.0.0"), 16), 9)]
+        )
+        idx = slash24_of(parse_ipv4("10.0.200.0"))
+        hit = table.lookup_slash24(idx)
+        assert hit is not None and hit.prefix.length == 16
+
+    def test_longest_prefix_wins(self):
+        table = AnnouncementTable(
+            [
+                Announcement(Prefix(parse_ipv4("10.0.0.0"), 16), 1),
+                Announcement(Prefix(parse_ipv4("10.0.5.0"), 24), 2),
+            ]
+        )
+        hit = table.lookup_slash24(slash24_of(parse_ipv4("10.0.5.0")))
+        assert hit.origin_asn == 2
+        hit = table.lookup_slash24(slash24_of(parse_ipv4("10.0.6.0")))
+        assert hit.origin_asn == 1
+
+    def test_lookup_miss(self):
+        table = AnnouncementTable(
+            [Announcement(Prefix(parse_ipv4("10.0.0.0"), 16), 1)]
+        )
+        assert table.lookup_slash24(slash24_of(parse_ipv4("11.0.0.0"))) is None
+
+    def test_empty_share_rejected(self):
+        with pytest.raises(ValueError):
+            AnnouncementTable([]).slash24_share()
+
+
+class TestInternetTable:
+    @pytest.fixture(scope="class")
+    def table(self, tiny_internet):
+        return table_for_internet(tiny_internet)
+
+    def test_every_target_resolvable(self, table, tiny_internet):
+        """The paper's a-posteriori mapping: every census /24 joins back to
+        an announced prefix."""
+        for pos in range(0, tiny_internet.n_targets, 37):
+            hit = table.lookup_slash24(int(tiny_internet.prefixes[pos]))
+            assert hit is not None
+
+    def test_anycast_origins_correct(self, table, tiny_internet):
+        for dep in tiny_internet.deployments[:20]:
+            for prefix in dep.prefixes:
+                hit = table.lookup_slash24(prefix)
+                assert hit.origin_asn == dep.entry.asn
+
+    def test_anycast_announcements_dominated_by_slash24(self, table, tiny_internet):
+        """[35]: 88% of anycast announced prefixes are /24."""
+        anycast_asns = {d.entry.asn for d in tiny_internet.deployments}
+        anycast = [a for a in table if a.origin_asn in anycast_asns]
+        share = sum(1 for a in anycast if a.prefix.length == 24) / len(anycast)
+        assert 0.8 <= share <= 0.97
+
+    def test_unicast_aggregates_more(self, table, tiny_internet):
+        """Unicast announcements cover more /24s apiece (BGP aggregation);
+        anycast space is announced in near-atomic /24 units."""
+        anycast_asns = {d.entry.asn for d in tiny_internet.deployments}
+        unicast = [a for a in table if a.origin_asn not in anycast_asns]
+        anycast = [a for a in table if a.origin_asn in anycast_asns]
+        mean_cover = lambda xs: np.mean([1 << (24 - a.prefix.length) for a in xs])
+        assert mean_cover(unicast) > 1.5 * mean_cover(anycast)

@@ -1,0 +1,95 @@
+"""Tests for ICMP outcome taxonomy and rate-limit policy."""
+
+import pytest
+
+from repro.net.icmp import (
+    GREYLIST_COMPOSITION,
+    NO_RATE_LIMIT,
+    IcmpOutcome,
+    RateLimitPolicy,
+    outcome_from_code,
+)
+
+
+class TestOutcomes:
+    def test_reply_is_reply(self):
+        assert IcmpOutcome.ECHO_REPLY.is_reply
+        assert not IcmpOutcome.ECHO_REPLY.is_error
+
+    def test_greylist_family(self):
+        for outcome in (
+            IcmpOutcome.ADMIN_FILTERED,
+            IcmpOutcome.HOST_PROHIBITED,
+            IcmpOutcome.NET_PROHIBITED,
+        ):
+            assert outcome.triggers_greylist
+            assert outcome.is_error
+
+    def test_non_greylist_error(self):
+        assert IcmpOutcome.UNREACHABLE.is_error
+        assert not IcmpOutcome.UNREACHABLE.triggers_greylist
+
+    def test_silent_neither(self):
+        assert not IcmpOutcome.SILENT.is_error
+        assert not IcmpOutcome.SILENT.is_reply
+        assert not IcmpOutcome.SILENT.triggers_greylist
+
+    @pytest.mark.parametrize(
+        "outcome,code",
+        [
+            (IcmpOutcome.ADMIN_FILTERED, 13),
+            (IcmpOutcome.HOST_PROHIBITED, 10),
+            (IcmpOutcome.NET_PROHIBITED, 9),
+        ],
+    )
+    def test_rfc_codes(self, outcome, code):
+        assert outcome.icmp_code == code
+        assert outcome_from_code(code) is outcome
+
+    def test_reply_has_no_code(self):
+        assert IcmpOutcome.ECHO_REPLY.icmp_code == -1
+
+    def test_unmapped_code_rejected(self):
+        with pytest.raises(ValueError):
+            outcome_from_code(99)
+
+    def test_greylist_composition_sums_to_one(self):
+        assert sum(GREYLIST_COMPOSITION.values()) == pytest.approx(1.0)
+
+    def test_admin_filtered_dominates_composition(self):
+        # Paper: 98.5% of the greylist is type-3 code-13.
+        assert GREYLIST_COMPOSITION[IcmpOutcome.ADMIN_FILTERED] == pytest.approx(0.985)
+
+
+class TestRateLimit:
+    def test_under_safe_rate_no_loss(self):
+        policy = RateLimitPolicy(safe_rate_pps=1000.0)
+        assert policy.keep_probability(999.0) == 1.0
+        assert policy.keep_probability(1000.0) == 1.0
+
+    def test_above_safe_rate_loses(self):
+        policy = RateLimitPolicy(safe_rate_pps=1000.0, severity=1.0)
+        assert policy.keep_probability(10_000.0) == pytest.approx(0.1)
+
+    def test_keep_probability_monotone_decreasing(self):
+        policy = RateLimitPolicy(safe_rate_pps=1000.0, severity=0.7)
+        rates = [500, 1000, 2000, 5000, 20000]
+        probs = [policy.keep_probability(r) for r in rates]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_zero_severity_never_drops(self):
+        policy = RateLimitPolicy(safe_rate_pps=10.0, severity=0.0)
+        assert policy.keep_probability(1e9) == 1.0
+
+    def test_no_rate_limit_constant(self):
+        assert NO_RATE_LIMIT.keep_probability(1e12) == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RateLimitPolicy(safe_rate_pps=0.0)
+        with pytest.raises(ValueError):
+            RateLimitPolicy(severity=1.5)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimitPolicy().keep_probability(-1.0)

@@ -1,0 +1,99 @@
+"""Tests for the RTT model: the speed-of-light floor must never be broken."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.latency import CLEAN_MODEL, DEFAULT_MODEL, NOISY_MODEL, LatencyModel
+
+
+class TestValidation:
+    def test_default_valid(self):
+        LatencyModel()
+
+    def test_stretch_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            LatencyModel(stretch_min=1.5, stretch_mode=1.2, stretch_max=2.0)
+
+    def test_stretch_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(stretch_min=0.9, stretch_mode=1.0, stretch_max=1.1)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(last_mile_ms_mean=-1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(jitter_ms_scale=-0.1)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(speed_km_per_ms=0.0)
+
+
+class TestPropagationFloor:
+    def test_zero_distance_zero_floor(self):
+        assert DEFAULT_MODEL.propagation_rtt_ms(np.array([0.0]))[0] == 0.0
+
+    def test_floor_linear_in_distance(self):
+        floor = DEFAULT_MODEL.propagation_rtt_ms(np.array([100.0, 200.0]))
+        assert floor[1] == pytest.approx(2 * floor[0])
+
+    def test_known_value(self):
+        # 1000 km at ~200 km/ms one way -> ~10 ms RTT.
+        rtt = DEFAULT_MODEL.propagation_rtt_ms(np.array([1000.0]))[0]
+        assert rtt == pytest.approx(10.0, rel=0.02)
+
+    @given(st.lists(st.floats(min_value=0, max_value=20000), min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40)
+    def test_path_rtt_never_beats_light(self, distances, seed):
+        """The core soundness property: no path is faster than propagation."""
+        rng = np.random.default_rng(seed)
+        d = np.array(distances)
+        base = DEFAULT_MODEL.path_rtt_ms(d, rng)
+        floor = DEFAULT_MODEL.propagation_rtt_ms(d)
+        assert (base >= floor - 1e-9).all()
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30)
+    def test_probe_rtt_never_beats_baseline(self, seed):
+        rng = np.random.default_rng(seed)
+        base = np.array([5.0, 50.0, 500.0])
+        probe = DEFAULT_MODEL.probe_rtt_ms(base, rng)
+        assert (probe >= base).all()
+
+    def test_negative_distance_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            DEFAULT_MODEL.path_rtt_ms(np.array([-1.0]), rng)
+
+
+class TestModelBehaviour:
+    def test_matrix_shape_preserved(self):
+        rng = np.random.default_rng(0)
+        d = np.ones((3, 4)) * 100.0
+        assert DEFAULT_MODEL.path_rtt_ms(d, rng).shape == (3, 4)
+
+    def test_clean_model_tighter_than_noisy(self):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        d = np.full(2000, 1000.0)
+        clean = CLEAN_MODEL.path_rtt_ms(d, rng1)
+        noisy = NOISY_MODEL.path_rtt_ms(d, rng2)
+        assert clean.mean() < noisy.mean()
+        assert clean.std() < noisy.std()
+
+    def test_deterministic_given_rng(self):
+        d = np.full(100, 500.0)
+        a = DEFAULT_MODEL.path_rtt_ms(d, np.random.default_rng(42))
+        b = DEFAULT_MODEL.path_rtt_ms(d, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_stretch_bounded(self):
+        rng = np.random.default_rng(0)
+        d = np.full(5000, 10000.0)
+        base = DEFAULT_MODEL.path_rtt_ms(d, rng)
+        floor = DEFAULT_MODEL.propagation_rtt_ms(d)
+        # base = floor * stretch + last mile; stretch <= max, last mile small
+        # relative to a 10,000 km path.
+        assert (base <= floor * DEFAULT_MODEL.stretch_max + 60.0).all()

@@ -1,0 +1,101 @@
+"""Tests for the TCP service registry and software catalog."""
+
+import pytest
+
+from repro.net.services import (
+    SOFTWARE_CATALOG,
+    SSL_PORTS,
+    WELL_KNOWN_SERVICES,
+    Software,
+    SoftwareCategory,
+    is_ssl,
+    is_well_known,
+    service_name,
+    software,
+)
+
+
+class TestServiceRegistry:
+    @pytest.mark.parametrize(
+        "port,name",
+        [(53, "domain"), (80, "http"), (443, "https"), (22, "ssh"),
+         (179, "bgp"), (1935, "rtmp"), (3306, "mysql"), (8080, "http-proxy"),
+         (5252, "movaz-ssc"), (25565, "minecraft")],
+    )
+    def test_known_ports(self, port, name):
+        assert service_name(port) == name
+        assert is_well_known(port)
+
+    def test_unknown_port(self):
+        assert service_name(49152) is None
+        assert not is_well_known(49152)
+
+    @pytest.mark.parametrize("port", [0, -1, 65536])
+    def test_port_bounds(self, port):
+        with pytest.raises(ValueError):
+            service_name(port)
+
+    def test_registry_ports_valid(self):
+        assert all(0 < p <= 65535 for p in WELL_KNOWN_SERVICES)
+
+    def test_fig14_top_ports_covered(self):
+        # Every port named in the paper's Fig. 14 top-10s must be known.
+        for port in (53, 80, 443, 179, 22, 8080, 8083, 3306, 1935, 5252,
+                     2052, 2053, 2082, 2083, 8443, 2087):
+            assert is_well_known(port), port
+
+
+class TestSsl:
+    @pytest.mark.parametrize("port", [443, 993, 995, 8443, 2053, 2083, 2087])
+    def test_ssl_ports(self, port):
+        assert is_ssl(port)
+
+    @pytest.mark.parametrize("port", [80, 53, 22, 8080])
+    def test_plain_ports(self, port):
+        assert not is_ssl(port)
+
+    def test_ssl_port_bounds(self):
+        with pytest.raises(ValueError):
+            is_ssl(0)
+
+    def test_ssl_ports_are_subset_of_valid(self):
+        assert all(0 < p <= 65535 for p in SSL_PORTS)
+
+
+class TestSoftwareCatalog:
+    def test_thirty_implementations(self):
+        # The paper fingerprints 30 software implementations (Fig. 16).
+        assert len(SOFTWARE_CATALOG) == 30
+
+    def test_lookup(self):
+        sw = software("ISC BIND")
+        assert sw.category is SoftwareCategory.DNS
+        assert sw.open_source
+
+    def test_unknown_software(self):
+        with pytest.raises(KeyError):
+            software("Netscape Enterprise")
+
+    @pytest.mark.parametrize(
+        "name,category",
+        [
+            ("NLnet Labs NSD", SoftwareCategory.DNS),
+            ("nginx", SoftwareCategory.WEB),
+            ("cloudflare-nginx", SoftwareCategory.WEB),
+            ("ECAcc/ECS", SoftwareCategory.WEB),
+            ("Gmail imapd", SoftwareCategory.MAIL),
+            ("Google gsmtp", SoftwareCategory.MAIL),
+            ("OpenSSH", SoftwareCategory.OTHER),
+            ("Microsoft SQL", SoftwareCategory.OTHER),
+        ],
+    )
+    def test_categories(self, name, category):
+        assert software(name).category is category
+
+    def test_all_categories_present(self):
+        cats = {sw.category for sw in SOFTWARE_CATALOG.values()}
+        assert cats == set(SoftwareCategory)
+
+    def test_mix_of_open_and_proprietary(self):
+        open_count = sum(1 for sw in SOFTWARE_CATALOG.values() if sw.open_source)
+        assert 0 < open_count < len(SOFTWARE_CATALOG)

@@ -1,0 +1,65 @@
+"""Tests for the repro-anycast command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SCALE = ["--unicast", "300", "--tail", "10", "--vps", "40", "--censuses", "1"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["glance"])
+        assert args.seed == 2015
+        assert args.vps == 150
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestCommands:
+    def test_glance(self, capsys):
+        assert main(SCALE + ["glance"]) == 0
+        out = capsys.readouterr().out
+        assert "All" in out
+        assert "IP/24" in out
+
+    def test_top(self, capsys):
+        assert main(SCALE + ["top", "--k", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas" in out
+        # 5 rows + header + separator
+        assert len(out.strip().splitlines()) == 7
+
+    def test_funnel(self, capsys):
+        assert main(SCALE + ["funnel"]) == 0
+        out = capsys.readouterr().out
+        assert "census 1:" in out
+        assert "anycast /24s detected" in out
+
+    def test_portscan(self, capsys):
+        assert main(SCALE + ["portscan"]) == 0
+        out = capsys.readouterr().out
+        assert "well-known services" in out
+
+    def test_validate(self, capsys):
+        assert main(SCALE + ["validate", "CLOUDFLARENET,US"]) == 0
+        out = capsys.readouterr().out
+        assert "TPR" in out
+        assert "GT/PAI" in out
+
+    def test_map_world(self, capsys):
+        assert main(SCALE + ["map"]) == 0
+        out = capsys.readouterr().out
+        assert "replica density" in out
+        assert len(out.splitlines()) > 20
+
+    def test_map_deployment(self, capsys):
+        assert main(SCALE + ["map", "--deployment", "MICROSOFT,US"]) == 0
+        out = capsys.readouterr().out
+        assert "O" in out

@@ -1,0 +1,42 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least import cleanly (guarding against API drift);
+the fastest one runs end to end.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_seven_examples_present(self):
+        assert len(ALL_EXAMPLES) == 7
+        assert "quickstart.py" in ALL_EXAMPLES
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_cleanly(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main")
+
+    def test_detect_single_target_runs(self, capsys):
+        module = load_example("detect_single_target.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "anycast?  False" in out
+        assert "anycast?        True" in out
+        assert "replicas found: 3" in out

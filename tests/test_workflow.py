@@ -1,0 +1,84 @@
+"""End-to-end tests of the CensusStudy facade (the paper's whole pipeline)."""
+
+import numpy as np
+import pytest
+
+
+class TestStudyPipeline:
+    def test_lazy_caching(self, small_study):
+        assert small_study.internet is small_study.internet
+        assert small_study.platform is small_study.platform
+        assert small_study.matrix is small_study.matrix
+        assert small_study.analysis is small_study.analysis
+
+    def test_censuses_count(self, small_study):
+        assert len(small_study.censuses) == 2
+
+    def test_no_false_positives_end_to_end(self, small_study):
+        """The headline soundness property across the whole pipeline."""
+        net = small_study.internet
+        truly_anycast = {int(p) for p, a in zip(net.prefixes, net.is_anycast) if a}
+        detected = set(small_study.analysis.anycast_prefixes)
+        assert detected <= truly_anycast
+
+    def test_most_anycast_recovered(self, small_study):
+        net = small_study.internet
+        assert small_study.analysis.n_anycast > 0.7 * net.n_anycast_slash24
+
+    def test_glance_table_shape(self, small_study):
+        rows = small_study.glance_table()
+        assert [r.label for r in rows] == [
+            "All", ">= 5 Replicas", "/\\ CAIDA-100", "/\\ Alexa-100k",
+        ]
+        all_row = rows[0]
+        assert all_row.ip24 >= rows[1].ip24
+        assert rows[2].ases <= 8
+
+    def test_funnels_per_census(self, small_study):
+        funnels = small_study.funnels()
+        assert len(funnels) == 2
+        for funnel in funnels:
+            assert funnel.anycast_found == small_study.analysis.n_anycast
+
+    def test_combination_increases_or_keeps_recall(self, small_study, city_db):
+        """Fig. 12: the censuses' combination finds at least as many anycast
+        /24s as a single census."""
+        from repro.census.analysis import analyze_matrix
+        from repro.census.combine import combine_censuses
+
+        single = analyze_matrix(
+            combine_censuses(small_study.censuses[:1]), city_db=city_db
+        )
+        assert small_study.analysis.n_anycast >= single.n_anycast
+
+    def test_validation_runs_for_cloudflare(self, small_study):
+        report = small_study.validate("CLOUDFLARENET,US")
+        assert report.per_prefix
+        assert 0.4 <= report.tpr_mean <= 1.0
+
+    def test_deployment_lookup(self, small_study):
+        dep = small_study.deployment("GOOGLE,US")
+        assert dep.entry.asn == 15169
+        with pytest.raises(KeyError):
+            small_study.deployment("NOT-AN-AS")
+
+    def test_portscan_cached(self, small_study):
+        assert small_study.portscan is small_study.portscan
+        assert small_study.portscan.n_hosts > 0
+
+    def test_hitlist_matches_internet(self, small_study):
+        assert len(small_study.hitlist) == small_study.internet.n_targets
+
+
+class TestReplicaStatistics:
+    def test_average_footprint_order_of_magnitude(self, small_study):
+        """The paper's abstract: deployments average O(10) replicas."""
+        char = small_study.characterization
+        counts = char.replicas_per_ip24()
+        assert 2 <= counts.mean() <= 40
+
+    def test_wide_deployments_enumerated_widely(self, small_study):
+        char = small_study.characterization
+        cf = char.footprints.get(13335)
+        assert cf is not None
+        assert cf.mean_replicas >= 10  # CloudFlare's 45 sites from 100 VPs

@@ -1,0 +1,61 @@
+"""Tests for StudyConfig propagation through the workflow facade."""
+
+import pytest
+
+from repro.core.igreedy import IGreedyConfig
+from repro.geo.disks import LIGHT_SPEED_KM_PER_MS
+from repro.internet.topology import InternetConfig
+from repro.workflow import CensusStudy, StudyConfig
+
+
+def tiny_config(**overrides) -> StudyConfig:
+    defaults = dict(
+        internet=InternetConfig(seed=3, n_unicast_slash24=200, tail_deployments=10),
+        n_vantage_points=30,
+        n_censuses=1,
+    )
+    defaults.update(overrides)
+    return StudyConfig(**defaults)
+
+
+class TestConfigPropagation:
+    def test_internet_scale(self):
+        study = CensusStudy(tiny_config())
+        assert len(study.internet.unicast_hosts) == 200
+        assert study.internet.anycast_ases == 110
+
+    def test_platform_size(self):
+        study = CensusStudy(tiny_config(n_vantage_points=25))
+        assert len(study.platform) == 25
+
+    def test_census_count(self):
+        study = CensusStudy(tiny_config(n_censuses=2))
+        assert len(study.censuses) == 2
+
+    def test_rate_propagates(self):
+        study = CensusStudy(tiny_config(rate_pps=5000.0))
+        assert study.censuses[0].rate_pps == 5000.0
+
+    def test_igreedy_config_propagates(self):
+        conservative = CensusStudy(
+            tiny_config(igreedy=IGreedyConfig(speed_km_per_ms=LIGHT_SPEED_KM_PER_MS))
+        )
+        default = CensusStudy(tiny_config())
+        # Full-c disks are larger: detection can only shrink.
+        assert conservative.analysis.n_anycast <= default.analysis.n_anycast
+
+    def test_platform_seed_changes_vps(self):
+        a = CensusStudy(tiny_config(platform_seed=1))
+        b = CensusStudy(tiny_config(platform_seed=2))
+        assert [vp.name for vp in a.platform] != [vp.name for vp in b.platform]
+
+    def test_same_config_same_results(self):
+        a = CensusStudy(tiny_config())
+        b = CensusStudy(tiny_config())
+        assert set(a.analysis.anycast_prefixes) == set(b.analysis.anycast_prefixes)
+        assert a.analysis.total_replicas == b.analysis.total_replicas
+
+    def test_availability_bounds_vps(self):
+        study = CensusStudy(tiny_config(availability=0.5, n_censuses=1))
+        census = study.censuses[0]
+        assert census.n_vps <= len(study.platform)
