@@ -20,10 +20,16 @@ from typing import List, Optional
 
 from .census.report import format_table
 from .internet.topology import InternetConfig
+from .measurement.campaign import CensusAborted
+from .measurement.faults import FaultPlan, RetryPolicy
 from .workflow import CensusStudy, StudyConfig
 
 
 def _build_study(args: argparse.Namespace) -> CensusStudy:
+    fault_plan = FaultPlan.uniform(
+        args.fault_rate, seed=args.fault_seed, flap_prob=args.flap_prob
+    )
+    retry = RetryPolicy(timeout_hours=args.scan_timeout)
     return CensusStudy(
         StudyConfig(
             internet=InternetConfig(
@@ -33,6 +39,10 @@ def _build_study(args: argparse.Namespace) -> CensusStudy:
             ),
             n_vantage_points=args.vps,
             n_censuses=args.censuses,
+            fault_plan=fault_plan,
+            retry=retry,
+            min_vp_quorum=args.quorum,
+            checkpoint_dir=args.checkpoint_dir,
         )
     )
 
@@ -106,6 +116,18 @@ def _cmd_map(study: CensusStudy, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(study: CensusStudy, args: argparse.Namespace) -> int:
+    for report in study.health_reports:
+        for line in report.summary_lines():
+            print(line)
+    tracker = study.campaign.health
+    quarantined = sorted(tracker.quarantined_names())
+    print(f"quarantined VPs: {len(quarantined)}")
+    for name in quarantined:
+        print(f"  {name}")
+    return 0
+
+
 def _cmd_funnel(study: CensusStudy, args: argparse.Namespace) -> int:
     for i, funnel in enumerate(study.funnels(), start=1):
         print(f"census {i}:")
@@ -128,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of PlanetLab-like vantage points")
     parser.add_argument("--censuses", type=int, default=2,
                         help="number of censuses to combine")
+    parser.add_argument("--fault-rate", type=float, default=0.0,
+                        help="per-VP node-fault rate, split over "
+                             "crash/hang/corrupt (default: no faults)")
+    parser.add_argument("--flap-prob", type=float, default=0.0,
+                        help="per-census probability a VP disappears entirely")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault injector")
+    parser.add_argument("--quorum", type=int, default=1,
+                        help="minimum usable VPs per census before aborting")
+    parser.add_argument("--scan-timeout", type=float, default=None,
+                        help="per-VP scan timeout in hours (default: none)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="journal directory for census checkpoint/resume")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("glance", help="Fig. 10 summary table").set_defaults(func=_cmd_glance)
@@ -143,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("funnel", help="census magnitude funnel (Fig. 4)").set_defaults(
         func=_cmd_funnel
     )
+    sub.add_parser(
+        "health", help="per-census fault/supervision health reports"
+    ).set_defaults(func=_cmd_health)
     map_cmd = sub.add_parser("map", help="ASCII replica map (Fig. 10 / Fig. 5)")
     map_cmd.add_argument(
         "--deployment", default=None,
@@ -153,9 +191,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    study = _build_study(args)
-    return args.func(study, args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        study = _build_study(args)
+    except ValueError as exc:  # e.g. an out-of-range --fault-rate
+        parser.error(str(exc))
+    try:
+        return args.func(study, args)
+    except CensusAborted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,7 +3,21 @@
 from .archive import load_census, save_census
 from .ark import ArkDataset, ark_round
 from .atlas import AtlasBudget, CampaignCost, campaign_cost, census_feasible
-from .campaign import Census, CensusCampaign
+from .campaign import (
+    CampaignHealthReport,
+    Census,
+    CensusAborted,
+    CensusCampaign,
+    CensusInterrupted,
+)
+from .faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+    VpHealth,
+    VpHealthTracker,
+)
 from .greylist import Blacklist, Greylist
 from .httpprobe import (
     HttpResponse,
@@ -35,7 +49,10 @@ from .prober import (
 from .recordio import (
     FLAG_OTHER_ERROR,
     FLAG_REPLY,
+    CensusJournal,
     CensusRecords,
+    CorruptBatchError,
+    JournalBatch,
     concatenate,
     flag_for,
     outcome_for,
@@ -44,6 +61,18 @@ from .recordio import (
 __all__ = [
     "load_census",
     "save_census",
+    "CampaignHealthReport",
+    "CensusAborted",
+    "CensusInterrupted",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
+    "VpHealth",
+    "VpHealthTracker",
+    "CensusJournal",
+    "CorruptBatchError",
+    "JournalBatch",
     "ArkDataset",
     "ark_round",
     "AtlasBudget",

@@ -13,21 +13,200 @@ platform and runs censuses the way the paper does (Sec. 2.1, 3.3):
 
 Anycast targets are resolved through each deployment's BGP catchment,
 which is precomputed per platform — routing is stable across censuses.
+
+On top of the happy path, the campaign supervises every VP scan the way
+an operator of ~300 shared testbed hosts has to (see
+:mod:`repro.measurement.faults`):
+
+* a scan that **hangs** past ``RetryPolicy.timeout_hours`` or hands back
+  a **corrupt** batch (checksum mismatch) is retried with exponential
+  backoff, a bounded number of times;
+* a scan that **crashes** mid-way leaves a salvageable partial batch,
+  used if no retry produces a full scan;
+* VPs failing ``quarantine_threshold`` censuses in a row are
+  **quarantined** from subsequent censuses;
+* if fewer than ``min_vp_quorum`` VPs contribute usable data the census
+  raises :class:`CensusAborted` instead of returning silently-thin data;
+* with a ``checkpoint`` journal, completed per-VP batches survive an
+  interruption and a resumed census reproduces the uninterrupted run
+  bit-for-bit (every per-VP RNG is keyed, not streamed).
+
+Every census carries a :class:`CampaignHealthReport` describing what the
+supervisor saw.  With the default (disabled) fault plan the fault path is
+skipped entirely and output is byte-identical to the unsupervised
+implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..internet.topology import SyntheticInternet
+from .faults import FaultInjector, FaultKind, FaultPlan, RetryPolicy, VpHealthTracker
 from .greylist import Blacklist, Greylist
 from .lfsr import lfsr_permutation
-from .platform import Platform
+from .platform import Platform, VantagePoint
 from .prober import SAFE_RATE_PPS, VpScanResult, base_rtt_row, simulate_vp_scan
-from .recordio import CensusRecords, concatenate
+from .recordio import (
+    CensusJournal,
+    CensusRecords,
+    concatenate,
+    outcome_for,
+)
+
+
+class CensusAborted(RuntimeError):
+    """A census fell below the minimum-VP quorum and was aborted.
+
+    Raised instead of returning silently-wrong data when too few vantage
+    points contributed usable records.  Carries the health report so the
+    caller can see *why* the quorum was missed.
+    """
+
+    def __init__(
+        self, census_id: int, usable_vps: int, quorum: int, report: "CampaignHealthReport"
+    ) -> None:
+        self.census_id = census_id
+        self.usable_vps = usable_vps
+        self.quorum = quorum
+        self.report = report
+        super().__init__(
+            f"census {census_id} aborted: {usable_vps} usable VP(s) "
+            f"below quorum {quorum}"
+        )
+
+
+class CensusInterrupted(RuntimeError):
+    """A census was interrupted mid-flight (operator kill, host reboot).
+
+    Completed per-VP batches are safe in the checkpoint journal (if one
+    was given); re-running the census with the same journal resumes where
+    it stopped.
+    """
+
+    def __init__(self, census_id: int, completed_vps: int, checkpoint) -> None:
+        self.census_id = census_id
+        self.completed_vps = completed_vps
+        self.checkpoint = checkpoint
+        super().__init__(
+            f"census {census_id} interrupted after {completed_vps} VP scan(s)"
+        )
+
+
+@dataclass
+class CampaignHealthReport:
+    """What the supervisor saw while running one census.
+
+    ``degraded`` means the census completed but with less than the full
+    planned platform behind it (failures, salvaged partials, or
+    quarantined nodes) — downstream consumers can decide whether a
+    degraded census is good enough for their analysis.
+    """
+
+    census_id: int
+    n_vps_available: int = 0
+    n_vps_planned: int = 0
+    n_vps_ok: int = 0
+    n_vps_salvaged: int = 0
+    n_vps_failed: int = 0
+    #: VPs whose batches were loaded from the checkpoint journal.
+    n_vps_resumed: int = 0
+    retries: int = 0
+    backoff_hours: float = 0.0
+    faults_seen: Dict[str, int] = field(default_factory=dict)
+    records_salvaged: int = 0
+    records_dropped_corrupt: int = 0
+    batches_dropped_corrupt: int = 0
+    quarantined_vps: List[str] = field(default_factory=list)
+    failed_vps: List[str] = field(default_factory=list)
+    salvaged_vps: List[str] = field(default_factory=list)
+    degraded: bool = False
+
+    @property
+    def n_faults(self) -> int:
+        return sum(self.faults_seen.values())
+
+    def summary_lines(self) -> List[str]:
+        """A human-readable rendering for CLIs and logs."""
+        faults = (
+            ", ".join(f"{k}={v}" for k, v in sorted(self.faults_seen.items()))
+            or "none"
+        )
+        lines = [
+            f"census {self.census_id}: "
+            f"{self.n_vps_ok}/{self.n_vps_planned} VPs clean"
+            + (" [DEGRADED]" if self.degraded else ""),
+            f"  available/planned:  {self.n_vps_available}/{self.n_vps_planned}"
+            f" (quarantined: {len(self.quarantined_vps)})",
+            f"  salvaged/failed:    {self.n_vps_salvaged}/{self.n_vps_failed}"
+            f" (resumed from checkpoint: {self.n_vps_resumed})",
+            f"  faults seen:        {faults}",
+            f"  retries/backoff:    {self.retries} / {self.backoff_hours:.2f} h",
+            f"  records salvaged:   {self.records_salvaged}",
+            f"  records dropped:    {self.records_dropped_corrupt}"
+            f" in {self.batches_dropped_corrupt} corrupt batch(es)",
+        ]
+        return lines
+
+
+@dataclass
+class _VpOutcome:
+    """Internal result of one supervised VP scan."""
+
+    status: str  # "ok" | "salvaged" | "failed"
+    records: Optional[CensusRecords]
+    checksum: Optional[int]
+    duration_hours: float
+    drop_rate: float
+    retries: int = 0
+    backoff_hours: float = 0.0
+    faults: List[str] = field(default_factory=list)
+    records_salvaged: int = 0
+    records_dropped: int = 0
+    batches_dropped: int = 0
+
+    @property
+    def usable(self) -> bool:
+        return self.status in ("ok", "salvaged")
+
+    @property
+    def clean(self) -> bool:
+        return self.status == "ok"
+
+    def journal_payload(self, vp_name: str) -> Dict:
+        return {
+            "vp": vp_name,
+            "status": self.status,
+            "checksum": self.checksum,
+            "duration_hours": self.duration_hours,
+            "drop_rate": self.drop_rate,
+            "retries": self.retries,
+            "backoff_hours": self.backoff_hours,
+            "faults": self.faults,
+            "records_salvaged": self.records_salvaged,
+            "records_dropped": self.records_dropped,
+            "batches_dropped": self.batches_dropped,
+        }
+
+    @classmethod
+    def from_journal(cls, payload: Dict, records: Optional[CensusRecords]) -> "_VpOutcome":
+        return cls(
+            status=payload["status"],
+            records=records,
+            checksum=payload["checksum"],
+            duration_hours=payload["duration_hours"],
+            drop_rate=payload["drop_rate"],
+            retries=payload["retries"],
+            backoff_hours=payload["backoff_hours"],
+            faults=list(payload["faults"]),
+            records_salvaged=payload["records_salvaged"],
+            records_dropped=payload["records_dropped"],
+            batches_dropped=payload["batches_dropped"],
+        )
 
 
 @dataclass
@@ -37,12 +216,15 @@ class Census:
     census_id: int
     platform: Platform
     records: CensusRecords
-    #: Per-VP scan duration in hours (Fig. 8's CDF).
+    #: Per-VP scan duration in hours (Fig. 8's CDF); NaN for VPs that
+    #: failed the census entirely.
     vp_duration_hours: np.ndarray
-    #: Per-VP reply drop rate caused by VP-side policing.
+    #: Per-VP reply drop rate caused by VP-side policing; NaN on failure.
     vp_drop_rate: np.ndarray
     greylist: Greylist
     rate_pps: float
+    #: Supervision outcome (faults, retries, salvage, quarantine).
+    health: Optional[CampaignHealthReport] = None
 
     @property
     def n_vps(self) -> int:
@@ -64,9 +246,15 @@ class CensusCampaign:
         rate_pps: float = SAFE_RATE_PPS,
         seed: int = 500,
         degraded_fraction: float = 0.25,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        min_vp_quorum: int = 1,
+        quarantine_threshold: int = 2,
     ) -> None:
         if not 0.0 <= degraded_fraction <= 1.0:
             raise ValueError("degraded_fraction must be in [0, 1]")
+        if min_vp_quorum < 1:
+            raise ValueError("min_vp_quorum must be >= 1")
         self.internet = internet
         self.platform = platform
         self.rate_pps = rate_pps
@@ -75,6 +263,14 @@ class CensusCampaign:
         #: heavy reply loss + inflated timestamps).  Redrawn per census —
         #: this is a major reason combining censuses improves recall.
         self.degraded_fraction = degraded_fraction
+        self.fault_plan = fault_plan or FaultPlan()
+        self.retry = retry or RetryPolicy()
+        self.min_vp_quorum = min_vp_quorum
+        #: Cross-census per-VP fault bookkeeping (drives quarantine).
+        self.health = VpHealthTracker(quarantine_threshold=quarantine_threshold)
+        self._injector = (
+            FaultInjector(self.fault_plan) if self.fault_plan.enabled else None
+        )
         self.blacklist = Blacklist()
         self._rng = np.random.default_rng(seed)
         self._census_counter = 0
@@ -132,11 +328,7 @@ class CensusCampaign:
         """
         result = self._scan_vp(vp_platform_index, census_id=0, probe_mask=None)
         greylist = Greylist()
-        errors = result.records.greylistable()
-        from .recordio import outcome_for
-
-        for prefix, flag in zip(errors.prefix, errors.flag):
-            greylist.add(int(prefix), outcome_for(int(flag)))
+        self._collect_greylist(result.records, greylist)
         return greylist.merge_into(self.blacklist)
 
     def run_census(
@@ -144,6 +336,8 @@ class CensusCampaign:
         availability: float = 0.85,
         rate_pps: Optional[float] = None,
         target_prefixes: Optional[Sequence[int]] = None,
+        checkpoint: Optional[Union[str, "CensusJournal"]] = None,
+        abort_after_vps: Optional[int] = None,
     ) -> Census:
         """Run one full census from the currently-available nodes.
 
@@ -151,7 +345,21 @@ class CensusCampaign:
         follow-up campaigns (e.g. refining detected anycast deployments
         from a second platform) where re-probing the whole hitlist would be
         wasteful.
+
+        ``checkpoint`` names a journal file (or passes a
+        :class:`~repro.measurement.recordio.CensusJournal`): completed
+        per-VP batches are persisted as the census runs, and a matching
+        journal lets an interrupted census resume without re-scanning
+        finished VPs — bit-for-bit identical to an uninterrupted run.
+
+        ``abort_after_vps`` interrupts the census (raising
+        :class:`CensusInterrupted`) after that many *fresh* VP scans —
+        the simulator's stand-in for an operator kill or host reboot.
         """
+        if not 0.0 < availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+        if abort_after_vps is not None and abort_after_vps < 0:
+            raise ValueError("abort_after_vps must be non-negative")
         self._census_counter += 1
         census_id = self._census_counter
         rate = rate_pps if rate_pps is not None else self.rate_pps
@@ -169,50 +377,350 @@ class CensusCampaign:
         n = self.internet.n_targets
         base_order = np.array(lfsr_permutation(n, seed=census_id), dtype=np.int64)
 
-        batches, durations, drops = [], [], []
-        greylist = Greylist()
-        from .recordio import outcome_for
-
         degraded_flags = self._rng.random(len(available)) < self.degraded_fraction
-        for census_vp_index, vp in enumerate(available.vantage_points):
-            platform_index = index_of[vp.name]
+
+        # Quarantine filtering happens *after* all census-level RNG draws,
+        # so the random stream (and hence fault-free output) is unchanged.
+        quarantined = self.health.quarantined_names()
+        pairs: List[Tuple[VantagePoint, bool]] = [
+            (vp, bool(flag))
+            for vp, flag in zip(available.vantage_points, degraded_flags)
+            if vp.name not in quarantined
+        ]
+        if quarantined:
+            planned = Platform(
+                name=available.name, vantage_points=[vp for vp, _ in pairs]
+            )
+        else:
+            planned = available
+
+        report = CampaignHealthReport(
+            census_id=census_id,
+            n_vps_available=len(available),
+            n_vps_planned=len(planned),
+            quarantined_vps=sorted(quarantined),
+        )
+        if len(planned) < self.min_vp_quorum:
+            raise CensusAborted(census_id, len(planned), self.min_vp_quorum, report)
+
+        journal = self._open_journal(checkpoint, census_id, rate, pairs, probe_mask)
+
+        batches: List[CensusRecords] = []
+        checksums: List[int] = []
+        durations: List[float] = []
+        drops: List[float] = []
+        greylist = Greylist()
+        fresh_scans = 0
+
+        for census_vp_index, (vp, degraded) in enumerate(pairs):
+            outcome = None
+            if journal is not None:
+                entry = journal.valid_batch(vp.name)
+                if entry is not None:
+                    outcome = _VpOutcome.from_journal(entry.payload, entry.records)
+                    report.n_vps_resumed += 1
+            if outcome is None:
+                if abort_after_vps is not None and fresh_scans >= abort_after_vps:
+                    raise CensusInterrupted(census_id, fresh_scans, checkpoint)
+                outcome = self._supervised_scan(
+                    platform_index=index_of[vp.name],
+                    census_id=census_id,
+                    probe_mask=probe_mask,
+                    census_vp_index=census_vp_index,
+                    base_order=base_order,
+                    rate_pps=rate,
+                    degraded=degraded,
+                )
+                fresh_scans += 1
+                if journal is not None:
+                    journal.write_batch(outcome.journal_payload(vp.name), outcome.records)
+
+            self._absorb_outcome(report, outcome, vp.name)
+            self.health.record(vp.name, ok=outcome.clean)
+            durations.append(outcome.duration_hours)
+            drops.append(outcome.drop_rate)
+            if outcome.usable and outcome.records is not None:
+                batches.append(outcome.records)
+                checksums.append(
+                    outcome.checksum
+                    if outcome.checksum is not None
+                    else outcome.records.checksum()
+                )
+                self._collect_greylist(outcome.records, greylist)
+
+        if len(batches) < self.min_vp_quorum:
+            raise CensusAborted(census_id, len(batches), self.min_vp_quorum, report)
+        report.degraded = (
+            report.n_vps_failed > 0
+            or report.n_vps_salvaged > 0
+            or bool(report.quarantined_vps)
+        )
+
+        greylist.merge_into(self.blacklist)
+        return Census(
+            census_id=census_id,
+            platform=planned,
+            records=concatenate(tuple(batches), checksums=tuple(checksums)),
+            vp_duration_hours=np.array(durations),
+            vp_drop_rate=np.array(drops),
+            greylist=greylist,
+            rate_pps=rate,
+            health=report,
+        )
+
+    def run(
+        self,
+        n_censuses: int = 4,
+        availability: float = 0.85,
+        checkpoint_dir: Optional[str] = None,
+    ) -> List[Census]:
+        """Pre-census plus ``n_censuses`` full censuses.
+
+        With ``checkpoint_dir``, each census journals its per-VP batches
+        to ``census-<id>.journal`` inside the directory; re-running the
+        same campaign after an interruption replays finished censuses
+        from their journals and resumes the interrupted one.
+        """
+        import pathlib
+
+        self.run_precensus()
+        censuses = []
+        for i in range(n_censuses):
+            checkpoint = None
+            if checkpoint_dir:  # an empty string is "no checkpointing", not cwd
+                directory = pathlib.Path(checkpoint_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                checkpoint = str(directory / f"census-{self._census_counter + 1:03d}.journal")
+            censuses.append(
+                self.run_census(availability=availability, checkpoint=checkpoint)
+            )
+        return censuses
+
+    # ------------------------------------------------------------------
+    # Supervision internals
+    # ------------------------------------------------------------------
+
+    def _open_journal(
+        self,
+        checkpoint: Optional[Union[str, "CensusJournal"]],
+        census_id: int,
+        rate: float,
+        pairs: List[Tuple[VantagePoint, bool]],
+        probe_mask: np.ndarray,
+    ) -> Optional[CensusJournal]:
+        if checkpoint is None:
+            return None
+        journal = (
+            checkpoint
+            if isinstance(checkpoint, CensusJournal)
+            else CensusJournal(checkpoint)
+        )
+        meta = {
+            "census_id": census_id,
+            "campaign_seed": self.seed,
+            "rate_pps": rate,
+            "vp_names": [vp.name for vp, _ in pairs],
+            "degraded": [flag for _, flag in pairs],
+            "probe_mask_crc": zlib.crc32(np.packbits(probe_mask).tobytes()) & 0xFFFFFFFF,
+        }
+        if journal.meta is None:
+            if len(journal):
+                # Batches without a meta entry: a stale or foreign file.
+                journal.reset()
+            journal.write_meta(meta)
+        elif not journal.meta_matches(meta):
+            raise ValueError(
+                "checkpoint journal does not match this census "
+                f"(journal census {journal.meta.get('census_id')!r}, "
+                f"running census {census_id}); use a fresh journal path"
+            )
+        return journal
+
+    def _supervised_scan(
+        self,
+        platform_index: int,
+        census_id: int,
+        probe_mask: Optional[np.ndarray],
+        census_vp_index: int,
+        base_order: np.ndarray,
+        rate_pps: float,
+        degraded: bool,
+    ) -> _VpOutcome:
+        """One VP scan under the fault injector and retry policy."""
+        injector = self._injector
+        if injector is None:
             result = self._scan_vp(
                 platform_index,
                 census_id=census_id,
                 probe_mask=probe_mask,
                 census_vp_index=census_vp_index,
                 base_order=base_order,
-                rate_pps=rate,
-                degraded=bool(degraded_flags[census_vp_index]),
+                rate_pps=rate_pps,
+                degraded=degraded,
             )
-            batches.append(result.records)
-            durations.append(result.duration_hours)
-            drops.append(result.drop_rate)
-            errors = result.records.greylistable()
-            for prefix, flag in zip(errors.prefix, errors.flag):
-                p = int(prefix)
-                if p not in self.blacklist:
-                    greylist.observe(p, outcome_for(int(flag)))
+            return _VpOutcome(
+                status="ok",
+                records=result.records,
+                checksum=result.records.checksum(),
+                duration_hours=result.duration_hours,
+                drop_rate=result.drop_rate,
+            )
 
-        greylist.merge_into(self.blacklist)
-        return Census(
+        faults: List[str] = []
+        retries = 0
+        backoff = 0.0
+        if injector.flaps(census_id, platform_index):
+            return _VpOutcome(
+                status="failed",
+                records=None,
+                checksum=None,
+                duration_hours=float("nan"),
+                drop_rate=float("nan"),
+                faults=[FaultKind.FLAP.value],
+            )
+
+        # The underlying scan is deterministic in (seed, census, VP), so
+        # one simulation serves every attempt; faults decide what the
+        # supervisor observed each time.
+        result = self._scan_vp(
+            platform_index,
             census_id=census_id,
-            platform=available,
-            records=concatenate(tuple(batches)),
-            vp_duration_hours=np.array(durations),
-            vp_drop_rate=np.array(drops),
-            greylist=greylist,
-            rate_pps=rate,
+            probe_mask=probe_mask,
+            census_vp_index=census_vp_index,
+            base_order=base_order,
+            rate_pps=rate_pps,
+            degraded=degraded,
+        )
+        salvage: Optional[VpScanResult] = None
+        dropped_records = 0
+        dropped_batches = 0
+
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                retries += 1
+                backoff += self.retry.backoff_hours(attempt)
+            kind = injector.fault_for(census_id, platform_index, attempt)
+            if kind is None:
+                return _VpOutcome(
+                    status="ok",
+                    records=result.records,
+                    checksum=result.records.checksum(),
+                    duration_hours=result.duration_hours,
+                    drop_rate=result.drop_rate,
+                    retries=retries,
+                    backoff_hours=backoff,
+                    faults=faults,
+                    records_dropped=dropped_records,
+                    batches_dropped=dropped_batches,
+                )
+            faults.append(kind.value)
+            if kind is FaultKind.HANG:
+                hung_hours = injector.hang_duration(result)
+                if not self.retry.times_out(hung_hours):
+                    # No deadline (or a generous one): the scan eventually
+                    # returns, just very late — Fig. 8's far straggler.
+                    return _VpOutcome(
+                        status="ok",
+                        records=result.records,
+                        checksum=result.records.checksum(),
+                        duration_hours=hung_hours,
+                        drop_rate=result.drop_rate,
+                        retries=retries,
+                        backoff_hours=backoff,
+                        faults=faults,
+                        records_dropped=dropped_records,
+                        batches_dropped=dropped_batches,
+                    )
+                continue  # timed out -> retry
+            if kind is FaultKind.CORRUPT:
+                expected = result.records.checksum()
+                corrupted = injector.corrupt(
+                    result.records, census_id, platform_index, attempt
+                )
+                if corrupted.checksum() == expected:
+                    # Empty batch: nothing was mangled, accept it.
+                    return _VpOutcome(
+                        status="ok",
+                        records=result.records,
+                        checksum=expected,
+                        duration_hours=result.duration_hours,
+                        drop_rate=result.drop_rate,
+                        retries=retries,
+                        backoff_hours=backoff,
+                        faults=faults,
+                    )
+                dropped_batches += 1
+                dropped_records += len(corrupted)
+                continue  # checksum mismatch: drop the batch, retry
+            if kind is FaultKind.CRASH:
+                salvage = injector.crash(
+                    result, rate_pps, census_id, platform_index, attempt
+                )
+                continue  # try for a full scan; keep the partial batch
+
+        if salvage is not None:
+            return _VpOutcome(
+                status="salvaged",
+                records=salvage.records,
+                checksum=salvage.records.checksum(),
+                duration_hours=salvage.duration_hours,
+                drop_rate=salvage.drop_rate,
+                retries=retries,
+                backoff_hours=backoff,
+                faults=faults,
+                records_salvaged=len(salvage.records),
+                records_dropped=dropped_records,
+                batches_dropped=dropped_batches,
+            )
+        return _VpOutcome(
+            status="failed",
+            records=None,
+            checksum=None,
+            duration_hours=float("nan"),
+            drop_rate=float("nan"),
+            retries=retries,
+            backoff_hours=backoff,
+            faults=faults,
+            records_dropped=dropped_records,
+            batches_dropped=dropped_batches,
         )
 
-    def run(self, n_censuses: int = 4, availability: float = 0.85) -> List[Census]:
-        """Pre-census plus ``n_censuses`` full censuses."""
-        self.run_precensus()
-        return [self.run_census(availability=availability) for _ in range(n_censuses)]
+    @staticmethod
+    def _absorb_outcome(
+        report: CampaignHealthReport, outcome: _VpOutcome, vp_name: str
+    ) -> None:
+        if outcome.status == "ok":
+            report.n_vps_ok += 1
+        elif outcome.status == "salvaged":
+            report.n_vps_salvaged += 1
+            report.salvaged_vps.append(vp_name)
+        else:
+            report.n_vps_failed += 1
+            report.failed_vps.append(vp_name)
+        report.retries += outcome.retries
+        report.backoff_hours += outcome.backoff_hours
+        for fault in outcome.faults:
+            report.faults_seen[fault] = report.faults_seen.get(fault, 0) + 1
+        report.records_salvaged += outcome.records_salvaged
+        report.records_dropped_corrupt += outcome.records_dropped
+        report.batches_dropped_corrupt += outcome.batches_dropped
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _collect_greylist(self, records: CensusRecords, greylist: Greylist) -> None:
+        """Fold a batch's administratively-prohibited errors into a greylist.
+
+        Shared by the pre-census and every census: prefixes already on the
+        blacklist are skipped (they would be deduplicated at merge time
+        anyway, but skipping keeps per-census greylists meaningful).
+        """
+        errors = records.greylistable()
+        for prefix, flag in zip(errors.prefix, errors.flag):
+            p = int(prefix)
+            if p not in self.blacklist:
+                greylist.observe(p, outcome_for(int(flag)))
 
     def _current_probe_mask(self) -> np.ndarray:
         mask = np.ones(self.internet.n_targets, dtype=bool)

@@ -1,0 +1,326 @@
+"""Fault injection and resilience primitives for census campaigns.
+
+The paper's censuses ran from ~308 shared PlanetLab hosts, of which only
+261/255/269/240 were usable per census (Sec. 3.3) and a straggler cohort
+took many times the nominal scan duration (Fig. 8).  Shared testbed nodes
+crash, hang, and corrupt data mid-scan; a census runner has to survive all
+of it.  This module provides the two halves of that story:
+
+* a **seeded fault model** (:class:`FaultPlan` / :class:`FaultInjector`)
+  that makes a simulated vantage point misbehave in the four canonical
+  ways — crash mid-scan, hang past any reasonable deadline, hand back a
+  corrupted record batch, or flap (disappear for a whole census);
+* the **resilience knobs** the campaign supervisor uses to cope —
+  a bounded :class:`RetryPolicy` with exponential backoff and a
+  :class:`VpHealthTracker` that quarantines repeatedly-failing nodes.
+
+Every fault decision is drawn from an RNG keyed on
+``(plan seed, census id, vantage point, attempt)`` rather than from a
+sequential stream, so decisions are independent of evaluation order.
+That is what makes checkpoint/resume bit-for-bit deterministic: replaying
+a census re-derives exactly the same faults for the vantage points that
+still need scanning.
+
+A default-constructed :class:`FaultPlan` injects nothing, and the
+campaign skips the fault path entirely in that case — fault-free output
+is byte-identical to a campaign without the fault layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from .prober import VpScanResult
+from .recordio import CensusRecords
+
+#: Domain-separation constant mixed into every fault RNG key so fault
+#: draws can never collide with the scan RNG streams.
+_FAULT_SALT = 0x5FA17
+
+
+class FaultKind(enum.Enum):
+    """The four node-fault archetypes of shared measurement testbeds."""
+
+    #: The scanner process dies mid-scan; records are truncated at a
+    #: random probe offset but the partial batch survives on disk.
+    CRASH = "crash"
+    #: The scan completes but takes far longer than the nominal duration
+    #: (swapping host, wedged NIC); a supervisor timeout treats it as dead.
+    HANG = "hang"
+    #: The record batch arrives but its contents were mangled in storage
+    #: or transfer (bad RAM, torn writes); detectable by checksum only.
+    CORRUPT = "corrupt"
+    #: The node is unreachable for the entire census (reboot, network
+    #: partition); no retry within the census can help.
+    FLAP = "flap"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-fault probabilities for one campaign, plus the fault seed.
+
+    All probabilities are per-(vantage point, census): e.g. with
+    ``crash_prob=0.1`` roughly one scan attempt in ten crashes mid-way.
+    ``crash_prob + hang_prob + corrupt_prob`` must not exceed 1 (they
+    partition a single uniform draw per attempt); ``flap_prob`` is drawn
+    separately per (vantage point, census) because a flap outlasts any
+    retry.  The default plan injects nothing.
+    """
+
+    crash_prob: float = 0.0
+    hang_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    flap_prob: float = 0.0
+    #: Seed of the fault RNG — independent from every measurement seed.
+    seed: int = 0
+    #: Duration multiplier applied by a hang (Fig. 8's far tail).
+    hang_factor: float = 100.0
+    #: Fraction of a corrupted batch's records that get mangled.
+    corrupt_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("crash_prob", "hang_prob", "corrupt_prob", "flap_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.crash_prob + self.hang_prob + self.corrupt_prob > 1.0:
+            raise ValueError("crash_prob + hang_prob + corrupt_prob must be <= 1")
+        if self.seed < 0:
+            raise ValueError("fault seed must be non-negative")
+        if self.hang_factor < 1.0:
+            raise ValueError("hang_factor must be >= 1")
+        if not 0.0 < self.corrupt_fraction <= 1.0:
+            raise ValueError("corrupt_fraction must be in (0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this plan can inject any fault at all."""
+        return (
+            self.crash_prob > 0.0
+            or self.hang_prob > 0.0
+            or self.corrupt_prob > 0.0
+            or self.flap_prob > 0.0
+        )
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, flap_prob: float = 0.0) -> "FaultPlan":
+        """A plan spreading ``rate`` evenly over crash, hang and corrupt.
+
+        Convenience for "X% of scans fault somehow" experiments — the
+        acceptance scenario (crash+hang+corruption at 20% of VPs) is
+        ``FaultPlan.uniform(0.2)``.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        share = rate / 3.0
+        return cls(
+            crash_prob=share,
+            hang_prob=share,
+            corrupt_prob=share,
+            flap_prob=flap_prob,
+            seed=seed,
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan under a different fault seed."""
+        return replace(self, seed=seed)
+
+
+class FaultInjector:
+    """Draws and applies faults according to a :class:`FaultPlan`.
+
+    All randomness is keyed, not streamed: ``fault_for(c, v, a)`` always
+    returns the same answer for the same plan, regardless of how many
+    other draws happened before it.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def _rng(self, *keys: int) -> np.random.Generator:
+        return np.random.default_rng([_FAULT_SALT, self.plan.seed, *keys])
+
+    # -- decisions -------------------------------------------------------
+
+    def flaps(self, census_id: int, platform_index: int) -> bool:
+        """Whether this VP is down for the whole of this census."""
+        if self.plan.flap_prob <= 0.0:
+            return False
+        rng = self._rng(census_id, platform_index, 0xF1A9)
+        return bool(rng.random() < self.plan.flap_prob)
+
+    def fault_for(
+        self, census_id: int, platform_index: int, attempt: int
+    ) -> Optional[FaultKind]:
+        """The fault (if any) striking one scan attempt."""
+        rng = self._rng(census_id, platform_index, attempt)
+        u = float(rng.random())
+        edge = self.plan.crash_prob
+        if u < edge:
+            return FaultKind.CRASH
+        edge += self.plan.hang_prob
+        if u < edge:
+            return FaultKind.HANG
+        edge += self.plan.corrupt_prob
+        if u < edge:
+            return FaultKind.CORRUPT
+        return None
+
+    # -- effects -----------------------------------------------------------
+
+    def crash(
+        self,
+        result: VpScanResult,
+        rate_pps: float,
+        census_id: int,
+        platform_index: int,
+        attempt: int,
+    ) -> VpScanResult:
+        """Truncate a scan at a random probe offset, as a mid-scan crash.
+
+        The surviving records are exactly those whose probes were sent
+        before the crash instant; the partial batch is internally
+        consistent (its checksum still validates) — that is what makes it
+        salvageable.
+        """
+        rng = self._rng(census_id, platform_index, attempt, 0xC8A5)
+        fraction = float(rng.uniform(0.1, 0.9))
+        span_ms = result.probes_sent / rate_pps * 1000.0
+        cutoff_ms = fraction * span_ms
+        records = result.records
+        kept = records.select(records.timestamp_ms <= cutoff_ms)
+        return VpScanResult(
+            records=kept,
+            duration_hours=result.duration_hours * fraction,
+            drop_rate=result.drop_rate,
+            probes_sent=int(round(result.probes_sent * fraction)),
+        )
+
+    def corrupt(
+        self,
+        records: CensusRecords,
+        census_id: int,
+        platform_index: int,
+        attempt: int,
+    ) -> CensusRecords:
+        """Mangle a copy of a record batch (prefixes and flags).
+
+        Models silent storage/transfer corruption: the batch is the right
+        shape and parses fine, only a checksum comparison can tell.  An
+        empty batch has nothing to corrupt and is returned unchanged.
+        """
+        n = len(records)
+        if n == 0:
+            return records
+        rng = self._rng(census_id, platform_index, attempt, 0xC0FF)
+        n_bad = max(1, int(round(n * self.plan.corrupt_fraction)))
+        bad = rng.choice(n, size=min(n_bad, n), replace=False)
+        prefix = records.prefix.copy()
+        flag = records.flag.copy()
+        prefix[bad] = prefix[bad] ^ np.uint32(0x00A5A5A5)
+        flag[bad] = np.int8(103)  # an impossible outcome encoding
+        return CensusRecords(
+            census_id=records.census_id,
+            vp_index=records.vp_index.copy(),
+            prefix=prefix,
+            timestamp_ms=records.timestamp_ms.copy(),
+            rtt_ms=records.rtt_ms.copy(),
+            flag=flag,
+        )
+
+    def hang_duration(self, result: VpScanResult) -> float:
+        """The wall-clock hours a hung scan takes before finishing."""
+        return result.duration_hours * self.plan.hang_factor
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Supervision policy for one VP scan: deadline, retries, backoff.
+
+    ``timeout_hours=None`` disables the deadline — a hung scan is then
+    simply waited out (it still finishes, very late).  Backoff is
+    simulated wall-clock time, accounted in the campaign health report.
+    """
+
+    max_attempts: int = 3
+    timeout_hours: Optional[float] = None
+    backoff_base_hours: float = 0.25
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_hours is not None and self.timeout_hours <= 0:
+            raise ValueError("timeout_hours must be positive (or None)")
+        if self.backoff_base_hours < 0:
+            raise ValueError("backoff_base_hours must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_hours(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff_base_hours * self.backoff_factor ** (attempt - 1)
+
+    def times_out(self, duration_hours: float) -> bool:
+        return self.timeout_hours is not None and duration_hours > self.timeout_hours
+
+
+@dataclass
+class VpHealth:
+    """Per-VP fault bookkeeping across censuses."""
+
+    name: str
+    censuses: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    quarantined: bool = False
+
+
+class VpHealthTracker:
+    """Quarantines vantage points that fail census after census.
+
+    A VP "fails" a census when it produced no clean full scan (flap,
+    unrecovered crash/hang, or only salvaged partial data).  After
+    ``quarantine_threshold`` consecutive failures the VP is excluded from
+    subsequent censuses until :meth:`release` is called — the simulated
+    equivalent of an operator dropping a bad PlanetLab host from the
+    slice.
+    """
+
+    def __init__(self, quarantine_threshold: int = 2) -> None:
+        if quarantine_threshold < 1:
+            raise ValueError("quarantine_threshold must be >= 1")
+        self.quarantine_threshold = quarantine_threshold
+        self._health: Dict[str, VpHealth] = {}
+
+    def record(self, name: str, ok: bool) -> None:
+        """Record one census outcome for a VP."""
+        health = self._health.setdefault(name, VpHealth(name))
+        health.censuses += 1
+        if ok:
+            health.consecutive_failures = 0
+        else:
+            health.failures += 1
+            health.consecutive_failures += 1
+            if health.consecutive_failures >= self.quarantine_threshold:
+                health.quarantined = True
+
+    def release(self, name: str) -> None:
+        """Give a quarantined VP another chance."""
+        health = self._health.get(name)
+        if health is not None:
+            health.quarantined = False
+            health.consecutive_failures = 0
+
+    def health_of(self, name: str) -> VpHealth:
+        return self._health.get(name, VpHealth(name))
+
+    def quarantined_names(self) -> Set[str]:
+        return {n for n, h in self._health.items() if h.quarantined}
+
+    def __len__(self) -> int:
+        return len(self._health)

@@ -19,7 +19,7 @@ We model a platform as a set of :class:`VantagePoint` objects with:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -75,6 +75,20 @@ class Platform:
         """A platform restricted to the given VP indices."""
         vps = [self.vantage_points[i] for i in indices]
         return Platform(name=name or f"{self.name}-subset", vantage_points=vps)
+
+    def without(self, names: Iterable[str], name: Optional[str] = None) -> "Platform":
+        """A platform with the named VPs removed (quarantine filtering).
+
+        If ``names`` is empty the platform itself is returned unchanged,
+        so the common no-quarantine path allocates nothing.
+        """
+        excluded = set(names)
+        if not excluded:
+            return self
+        vps = [vp for vp in self.vantage_points if vp.name not in excluded]
+        if not vps:
+            raise ValueError("cannot remove every vantage point")
+        return Platform(name=name or self.name, vantage_points=vps)
 
     def sample_available(
         self, rng: np.random.Generator, availability: float = 0.85

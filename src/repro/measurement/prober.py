@@ -197,11 +197,9 @@ def simulate_vp_scan(
             rtt_ms=np.concatenate(columns_rtt),
             flag=np.concatenate(columns_flag),
         )
-    else:  # pragma: no cover - only with empty universes
-        records = CensusRecords(
-            census_id, np.empty(0, np.uint16), np.empty(0, np.uint32),
-            np.empty(0, np.float64), np.empty(0, np.float32), np.empty(0, np.int8),
-        )
+    else:
+        # Nothing answered — empty universe or a fully-masked probe_mask.
+        records = CensusRecords.empty(census_id)
 
     probes_sent = int(probe_mask.sum())
     nominal_hours = probes_sent / rate_pps / 3600.0

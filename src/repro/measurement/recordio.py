@@ -20,9 +20,13 @@ codes 9, 10, or 13 as a negative sign":
 from __future__ import annotations
 
 import io
+import json
+import os
+import pathlib
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import BinaryIO, TextIO, Tuple
+from typing import BinaryIO, Dict, Optional, Sequence, TextIO, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +39,9 @@ FLAG_OTHER_ERROR = 1
 _MAGIC = b"ACEN"
 _VERSION = 2
 _HEADER = struct.Struct("<4sHHQ")  # magic, version, census_id, n_records
+
+_RAW_MAGIC = b"ACRW"
+_RAW_HEADER = struct.Struct("<4sHHQ")  # magic, version, census_id, n_records
 
 #: RTT quantum of the binary format: 0.01 ms.
 RTT_QUANTUM_MS = 0.01
@@ -97,6 +104,38 @@ class CensusRecords:
 
     def __len__(self) -> int:
         return len(self.vp_index)
+
+    @classmethod
+    def empty(cls, census_id: int) -> "CensusRecords":
+        """A well-typed zero-record batch (e.g. a fully-masked scan)."""
+        return cls(
+            census_id,
+            np.empty(0, np.uint16),
+            np.empty(0, np.uint32),
+            np.empty(0, np.float64),
+            np.empty(0, np.float32),
+            np.empty(0, np.int8),
+        )
+
+    def checksum(self) -> int:
+        """CRC-32 over the batch content (census id + all columns).
+
+        Computed on the node right after a scan and re-checked when the
+        batch is collected, so silently-corrupted batches (bad RAM, torn
+        writes, mangled transfers) are detected instead of polluting the
+        census.  Byte-order-independent: columns are hashed in canonical
+        little-endian layout.
+        """
+        crc = zlib.crc32(struct.pack("<Q", self.census_id))
+        for column, dtype in (
+            (self.vp_index, "<u2"),
+            (self.prefix, "<u4"),
+            (self.timestamp_ms, "<f8"),
+            (self.rtt_ms, "<f4"),
+            (self.flag, "i1"),
+        ):
+            crc = zlib.crc32(np.ascontiguousarray(column, dtype=dtype).tobytes(), crc)
+        return crc & 0xFFFFFFFF
 
     @property
     def reply_mask(self) -> np.ndarray:
@@ -174,6 +213,58 @@ class CensusRecords:
         return _HEADER.size + len(self) * (2 + 4 + 4 + 4 + 1)
 
     # ------------------------------------------------------------------
+    # Lossless (checkpoint) format
+    # ------------------------------------------------------------------
+
+    def write_raw(self, fp: BinaryIO) -> int:
+        """Write the full-precision columns; return bytes written.
+
+        Unlike :meth:`write_binary` (which quantizes timestamps and RTTs
+        for compactness, as the paper's stripped-down format does), this
+        round-trips exactly — required by the checkpoint journal, whose
+        determinism guarantee is that a resumed census is *bit-for-bit*
+        equal to an uninterrupted one.
+        """
+        header = _RAW_HEADER.pack(_RAW_MAGIC, 1, self.census_id, len(self))
+        fp.write(header)
+        written = len(header)
+        for column, dtype in (
+            (self.vp_index, "<u2"),
+            (self.prefix, "<u4"),
+            (self.timestamp_ms, "<f8"),
+            (self.rtt_ms, "<f4"),
+            (self.flag, "i1"),
+        ):
+            buf = np.ascontiguousarray(column, dtype=dtype).tobytes()
+            fp.write(buf)
+            written += len(buf)
+        return written
+
+    @classmethod
+    def read_raw(cls, fp: BinaryIO) -> "CensusRecords":
+        header = fp.read(_RAW_HEADER.size)
+        magic, version, census_id, n = _RAW_HEADER.unpack(header)
+        if magic != _RAW_MAGIC:
+            raise ValueError("not a raw census record blob")
+        if version != 1:
+            raise ValueError(f"unsupported raw record version {version}")
+
+        def col(dtype: str, width: int) -> np.ndarray:
+            raw = fp.read(n * width)
+            if len(raw) != n * width:
+                raise ValueError("truncated raw census record blob")
+            return np.frombuffer(raw, dtype=dtype)
+
+        return cls(
+            census_id,
+            col("<u2", 2),
+            col("<u4", 4),
+            col("<f8", 8).astype(np.float64),
+            col("<f4", 4).astype(np.float32),
+            col("i1", 1),
+        )
+
+    # ------------------------------------------------------------------
     # Textual format
     # ------------------------------------------------------------------
 
@@ -234,8 +325,45 @@ class _CountingTextSink(io.TextIOBase):
         return len(s)
 
 
-def concatenate(parts: Tuple[CensusRecords, ...]) -> CensusRecords:
-    """Concatenate per-VP record batches into one census-wide set."""
+class CorruptBatchError(ValueError):
+    """A record batch failed its integrity checksum."""
+
+    def __init__(self, indices: Sequence[int]) -> None:
+        self.indices = tuple(indices)
+        super().__init__(
+            f"{len(self.indices)} corrupt record batch(es) at indices {self.indices}"
+        )
+
+
+def concatenate(
+    parts: Tuple[CensusRecords, ...],
+    checksums: Optional[Sequence[int]] = None,
+    on_corrupt: str = "raise",
+) -> CensusRecords:
+    """Concatenate per-VP record batches into one census-wide set.
+
+    When ``checksums`` (one expected :meth:`CensusRecords.checksum` per
+    batch) is given, every batch is validated first.  ``on_corrupt``
+    selects what happens on a mismatch: ``"raise"`` (default) raises
+    :class:`CorruptBatchError`; ``"drop"`` silently excludes the corrupt
+    batches — callers wanting accounting should validate per batch
+    themselves (as :class:`~repro.measurement.campaign.CensusCampaign`
+    does) and use ``concatenate`` as the final integrity gate.
+    """
+    if checksums is not None:
+        if len(checksums) != len(parts):
+            raise ValueError("one checksum per batch required")
+        if on_corrupt not in ("raise", "drop"):
+            raise ValueError(f"unknown on_corrupt mode {on_corrupt!r}")
+        bad = [
+            i
+            for i, (part, expected) in enumerate(zip(parts, checksums))
+            if part.checksum() != int(expected)
+        ]
+        if bad:
+            if on_corrupt == "raise":
+                raise CorruptBatchError(bad)
+            parts = tuple(p for i, p in enumerate(parts) if i not in set(bad))
     if not parts:
         raise ValueError("nothing to concatenate")
     ids = {p.census_id for p in parts}
@@ -249,3 +377,124 @@ def concatenate(parts: Tuple[CensusRecords, ...]) -> CensusRecords:
         rtt_ms=np.concatenate([p.rtt_ms for p in parts]),
         flag=np.concatenate([p.flag for p in parts]),
     )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+
+_JOURNAL_MAGIC = b"ACJ1"
+_JOURNAL_FRAME = struct.Struct("<4sIII")  # magic, json len, blob len, crc32
+
+
+@dataclass
+class JournalBatch:
+    """One journaled per-VP scan outcome: metadata plus optional records."""
+
+    payload: Dict
+    records: Optional[CensusRecords]
+
+
+class CensusJournal:
+    """Append-only, crash-tolerant journal of completed per-VP batches.
+
+    A census writes one ``census-meta`` entry up front (identifying the
+    campaign seed, census id, participating VPs and probe mask) and one
+    batch entry per completed VP scan.  Each entry is framed with a
+    CRC-32 so a torn trailing write — the journal's own crash mode — is
+    detected and discarded on load; everything before it is recovered.
+
+    Resuming a census with a matching journal skips the already-finished
+    VPs entirely.  Because every per-VP scan RNG is keyed rather than
+    streamed, a resumed census is bit-for-bit identical to an
+    uninterrupted one under the same seed.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self.meta: Optional[Dict] = None
+        self.batches: Dict[str, JournalBatch] = {}
+        if self.path.exists():
+            self._load()
+
+    # -- persistence -------------------------------------------------------
+
+    def _load(self) -> None:
+        data = self.path.read_bytes()
+        offset = 0
+        while offset + _JOURNAL_FRAME.size <= len(data):
+            magic, json_len, blob_len, crc = _JOURNAL_FRAME.unpack_from(data, offset)
+            if magic != _JOURNAL_MAGIC:
+                break
+            end = offset + _JOURNAL_FRAME.size + json_len + blob_len
+            if end > len(data):
+                break  # torn tail: the writer died mid-entry
+            payload = data[offset + _JOURNAL_FRAME.size : end]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                break  # corrupted tail entry
+            entry = json.loads(payload[:json_len].decode("utf-8"))
+            blob = payload[json_len:]
+            if entry.get("kind") == "census-meta":
+                self.meta = entry
+            else:
+                records = (
+                    CensusRecords.read_raw(io.BytesIO(blob)) if blob_len else None
+                )
+                self.batches[entry["vp"]] = JournalBatch(entry, records)
+            offset = end
+
+    def _append(self, entry: Dict, records: Optional[CensusRecords]) -> None:
+        blob = b""
+        if records is not None:
+            sink = io.BytesIO()
+            records.write_raw(sink)
+            blob = sink.getvalue()
+        body = json.dumps(entry, sort_keys=True).encode("utf-8")
+        payload = body + blob
+        frame = _JOURNAL_FRAME.pack(
+            _JOURNAL_MAGIC, len(body), len(blob), zlib.crc32(payload) & 0xFFFFFFFF
+        )
+        with open(self.path, "ab") as fp:
+            fp.write(frame + payload)
+            fp.flush()
+            os.fsync(fp.fileno())
+
+    # -- writing -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Discard all journal content (e.g. a stale journal file)."""
+        self.path.write_bytes(b"")
+        self.meta = None
+        self.batches = {}
+
+    def write_meta(self, meta: Dict) -> None:
+        entry = {**meta, "kind": "census-meta"}
+        self._append(entry, None)
+        self.meta = entry
+
+    def write_batch(self, payload: Dict, records: Optional[CensusRecords]) -> None:
+        """Journal one completed VP scan (``payload['vp']`` names the VP)."""
+        self._append(payload, records)
+        self.batches[payload["vp"]] = JournalBatch(payload, records)
+
+    # -- querying ----------------------------------------------------------
+
+    def meta_matches(self, expected: Dict) -> bool:
+        """Whether the journaled census identity equals ``expected``."""
+        if self.meta is None:
+            return False
+        return all(self.meta.get(key) == value for key, value in expected.items())
+
+    def valid_batch(self, vp_name: str) -> Optional[JournalBatch]:
+        """The journaled batch for a VP, if present and integrity-clean."""
+        batch = self.batches.get(vp_name)
+        if batch is None:
+            return None
+        expected = batch.payload.get("checksum")
+        if batch.records is not None and expected is not None:
+            if batch.records.checksum() != int(expected):
+                return None  # bit rot inside the journal: rescan this VP
+        return batch
+
+    def __len__(self) -> int:
+        return len(self.batches)

@@ -24,7 +24,8 @@ from .core.igreedy import IGreedyConfig
 from .geo.cities import CityDB, default_city_db
 from .internet.hitlist import Hitlist, generate_hitlist
 from .internet.topology import InternetConfig, SyntheticInternet
-from .measurement.campaign import Census, CensusCampaign
+from .measurement.campaign import CampaignHealthReport, Census, CensusCampaign
+from .measurement.faults import FaultPlan, RetryPolicy
 from .measurement.httpprobe import SiteCodeBook
 from .measurement.platform import Platform, planetlab_platform
 from .measurement.portscan import PortscanReport, run_portscan
@@ -42,6 +43,15 @@ class StudyConfig:
     platform_seed: int = 41
     campaign_seed: int = 500
     igreedy: IGreedyConfig = field(default_factory=IGreedyConfig)
+    #: Node-fault model for the measurement platform; the default plan
+    #: injects nothing and leaves campaign output byte-identical.
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    #: Supervision policy for per-VP scans (retries, timeout, backoff).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Minimum usable VPs per census before it aborts (CensusAborted).
+    min_vp_quorum: int = 1
+    #: Journal directory for checkpoint/resume of censuses (optional).
+    checkpoint_dir: Optional[str] = None
 
 
 class CensusStudy:
@@ -103,6 +113,9 @@ class CensusStudy:
                 self.platform,
                 rate_pps=self.config.rate_pps,
                 seed=self.config.campaign_seed,
+                fault_plan=self.config.fault_plan,
+                retry=self.config.retry,
+                min_vp_quorum=self.config.min_vp_quorum,
             )
         return self._campaign
 
@@ -112,8 +125,14 @@ class CensusStudy:
             self._censuses = self.campaign.run(
                 n_censuses=self.config.n_censuses,
                 availability=self.config.availability,
+                checkpoint_dir=self.config.checkpoint_dir,
             )
         return self._censuses
+
+    @property
+    def health_reports(self) -> List[CampaignHealthReport]:
+        """Per-census supervision reports (faults, retries, salvage)."""
+        return [census.health for census in self.censuses]
 
     # -- analysis --------------------------------------------------------
 

@@ -70,6 +70,15 @@ class TestCensus:
         census = campaign.run_census(availability=0.5)
         assert census.n_vps < len(tiny_platform)
 
+    @pytest.mark.parametrize("availability", [0.0, -0.5, 1.5])
+    def test_invalid_availability_rejected(self, tiny_internet, tiny_platform,
+                                           availability):
+        campaign = CensusCampaign(tiny_internet, tiny_platform, seed=3)
+        with pytest.raises(ValueError, match="availability"):
+            campaign.run_census(availability=availability)
+        # The failed call must not have consumed a census id.
+        assert campaign.run_census().census_id == 1
+
     def test_blacklist_grows_across_censuses(self, tiny_internet, tiny_platform):
         campaign = CensusCampaign(tiny_internet, tiny_platform, seed=4)
         campaign.run_census()

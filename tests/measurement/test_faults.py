@@ -1,0 +1,444 @@
+"""Tests for the fault-injection and resilience layer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.measurement.campaign import (
+    CensusAborted,
+    CensusCampaign,
+    CensusInterrupted,
+)
+from repro.measurement.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+    VpHealthTracker,
+)
+from repro.measurement.recordio import CensusJournal
+
+
+def records_bytes(census):
+    sink = io.BytesIO()
+    census.records.write_binary(sink)
+    return sink.getvalue()
+
+
+def assert_same_census(a, b):
+    """Bit-for-bit equality of everything analysis consumes."""
+    assert records_bytes(a) == records_bytes(b)
+    assert np.array_equal(a.records.timestamp_ms, b.records.timestamp_ms)
+    assert np.array_equal(a.records.rtt_ms, b.records.rtt_ms, equal_nan=True)
+    assert np.array_equal(a.vp_duration_hours, b.vp_duration_hours, equal_nan=True)
+    assert np.array_equal(a.vp_drop_rate, b.vp_drop_rate, equal_nan=True)
+    assert sorted(a.greylist.prefixes) == sorted(b.greylist.prefixes)
+    assert [vp.name for vp in a.platform.vantage_points] == [
+        vp.name for vp in b.platform.vantage_points
+    ]
+
+
+@pytest.fixture()
+def faulted_plan():
+    return FaultPlan.uniform(0.2, seed=5, flap_prob=0.05)
+
+
+@pytest.fixture()
+def retry(tiny_internet):
+    nominal = tiny_internet.n_targets / 1000.0 / 3600.0
+    return RetryPolicy(max_attempts=3, timeout_hours=nominal * 20.0)
+
+
+def make_campaign(internet, platform, seed=99, **kwargs):
+    campaign = CensusCampaign(internet, platform, seed=seed, **kwargs)
+    campaign.run_precensus()
+    return campaign
+
+
+class TestFaultPlan:
+    def test_default_plan_disabled(self):
+        assert not FaultPlan().enabled
+
+    def test_uniform_splits_rate(self):
+        plan = FaultPlan.uniform(0.3, seed=1)
+        assert plan.crash_prob == pytest.approx(0.1)
+        assert plan.hang_prob == pytest.approx(0.1)
+        assert plan.corrupt_prob == pytest.approx(0.1)
+        assert plan.enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crash_prob": -0.1},
+            {"hang_prob": 1.5},
+            {"crash_prob": 0.5, "hang_prob": 0.4, "corrupt_prob": 0.2},
+            {"seed": -1},
+            {"hang_factor": 0.5},
+            {"corrupt_fraction": 0.0},
+        ],
+    )
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+    def test_with_seed(self):
+        plan = FaultPlan.uniform(0.2).with_seed(7)
+        assert plan.seed == 7
+        assert plan.crash_prob == pytest.approx(0.2 / 3.0)
+
+
+class TestFaultInjector:
+    def test_draws_are_keyed_not_streamed(self):
+        a = FaultInjector(FaultPlan.uniform(0.5, seed=3))
+        b = FaultInjector(FaultPlan.uniform(0.5, seed=3))
+        # Evaluate in different orders: answers must agree pointwise.
+        keys = [(c, v, t) for c in (1, 2) for v in range(10) for t in range(3)]
+        forward = {k: a.fault_for(*k) for k in keys}
+        backward = {k: b.fault_for(*k) for k in reversed(keys)}
+        assert forward == backward
+
+    def test_seed_changes_draws(self):
+        a = FaultInjector(FaultPlan.uniform(0.5, seed=3))
+        b = FaultInjector(FaultPlan.uniform(0.5, seed=4))
+        keys = [(1, v, 0) for v in range(200)]
+        assert [a.fault_for(*k) for k in keys] != [b.fault_for(*k) for k in keys]
+
+    def test_flap_rate_roughly_matches(self):
+        inj = FaultInjector(FaultPlan(flap_prob=0.25, seed=9))
+        flapped = sum(inj.flaps(1, i) for i in range(1000))
+        assert 180 < flapped < 320
+
+    def test_corrupt_changes_checksum(self, tiny_census):
+        inj = FaultInjector(FaultPlan(corrupt_prob=1.0, seed=2))
+        batch = tiny_census.records.select(tiny_census.records.vp_index == 0)
+        assert len(batch) > 0
+        corrupted = inj.corrupt(batch, 1, 0, 0)
+        assert corrupted.checksum() != batch.checksum()
+        assert len(corrupted) == len(batch)
+        # The original batch is untouched (corruption works on a copy).
+        assert batch.checksum() == tiny_census.records.select(
+            tiny_census.records.vp_index == 0
+        ).checksum()
+
+    def test_corrupt_empty_batch_is_noop(self):
+        from repro.measurement.recordio import CensusRecords
+
+        inj = FaultInjector(FaultPlan(corrupt_prob=1.0, seed=2))
+        empty = CensusRecords.empty(1)
+        assert inj.corrupt(empty, 1, 0, 0).checksum() == empty.checksum()
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(backoff_base_hours=0.5, backoff_factor=2.0)
+        assert policy.backoff_hours(1) == pytest.approx(0.5)
+        assert policy.backoff_hours(2) == pytest.approx(1.0)
+        assert policy.backoff_hours(3) == pytest.approx(2.0)
+
+    def test_no_timeout_never_times_out(self):
+        assert not RetryPolicy().times_out(1e9)
+
+    def test_timeout(self):
+        policy = RetryPolicy(timeout_hours=2.0)
+        assert policy.times_out(2.5)
+        assert not policy.times_out(1.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_attempts": 0}, {"timeout_hours": 0.0}, {"backoff_factor": 0.5}],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestVpHealthTracker:
+    def test_quarantine_after_consecutive_failures(self):
+        tracker = VpHealthTracker(quarantine_threshold=2)
+        tracker.record("vp-a", ok=False)
+        assert tracker.quarantined_names() == set()
+        tracker.record("vp-a", ok=False)
+        assert tracker.quarantined_names() == {"vp-a"}
+
+    def test_success_resets_streak(self):
+        tracker = VpHealthTracker(quarantine_threshold=2)
+        tracker.record("vp-a", ok=False)
+        tracker.record("vp-a", ok=True)
+        tracker.record("vp-a", ok=False)
+        assert tracker.quarantined_names() == set()
+        assert tracker.health_of("vp-a").failures == 2
+
+    def test_release(self):
+        tracker = VpHealthTracker(quarantine_threshold=1)
+        tracker.record("vp-a", ok=False)
+        assert "vp-a" in tracker.quarantined_names()
+        tracker.release("vp-a")
+        assert tracker.quarantined_names() == set()
+
+
+class TestFaultFreeEquivalence:
+    def test_disabled_plan_output_identical(self, tiny_internet, tiny_platform):
+        """A default FaultPlan must not perturb campaign output at all."""
+        plain = make_campaign(tiny_internet, tiny_platform)
+        supervised = make_campaign(
+            tiny_internet,
+            tiny_platform,
+            fault_plan=FaultPlan(),
+            retry=RetryPolicy(max_attempts=5, timeout_hours=100.0),
+            min_vp_quorum=1,
+        )
+        assert_same_census(
+            plain.run_census(availability=0.85),
+            supervised.run_census(availability=0.85),
+        )
+
+    def test_clean_health_report(self, tiny_census):
+        report = tiny_census.health
+        assert report is not None
+        assert not report.degraded
+        assert report.n_vps_ok == report.n_vps_planned
+        assert report.faults_seen == {}
+        assert report.retries == 0
+
+
+class TestFaultedCensus:
+    def test_degraded_census_completes_with_report(
+        self, tiny_internet, tiny_platform, faulted_plan, retry
+    ):
+        """Acceptance: 20% crash+hang+corrupt still yields a census."""
+        campaign = make_campaign(
+            tiny_internet,
+            tiny_platform,
+            fault_plan=faulted_plan,
+            retry=retry,
+            min_vp_quorum=5,
+        )
+        censuses = [campaign.run_census(availability=0.85) for _ in range(3)]
+        reports = [c.health for c in censuses]
+        assert sum(r.n_faults for r in reports) > 0
+        assert any(r.degraded for r in reports)
+        # Data still flows: every census kept a quorum of usable VPs.
+        for census, report in zip(censuses, reports):
+            assert len(census.records) > 0
+            assert report.n_vps_ok + report.n_vps_salvaged >= 5
+
+    def test_salvaged_records_are_prefix_of_scan(self, tiny_internet, tiny_platform):
+        """A crashed scan salvages exactly the probes sent before the crash."""
+        crashing = make_campaign(
+            tiny_internet,
+            tiny_platform,
+            fault_plan=FaultPlan(crash_prob=1.0, seed=3),
+            retry=RetryPolicy(max_attempts=2),
+            min_vp_quorum=1,
+        )
+        clean = make_campaign(tiny_internet, tiny_platform)
+        crashed_census = crashing.run_census(availability=1.0)
+        clean_census = clean.run_census(availability=1.0)
+        report = crashed_census.health
+        assert report.n_vps_salvaged == report.n_vps_planned
+        assert 0 < report.records_salvaged < len(clean_census.records)
+        assert len(crashed_census.records) == report.records_salvaged
+        # Salvaged records are a subset of the clean census's records.
+        crashed_keys = set(
+            zip(
+                crashed_census.records.vp_index.tolist(),
+                crashed_census.records.prefix.tolist(),
+                crashed_census.records.timestamp_ms.tolist(),
+            )
+        )
+        clean_keys = set(
+            zip(
+                clean_census.records.vp_index.tolist(),
+                clean_census.records.prefix.tolist(),
+                clean_census.records.timestamp_ms.tolist(),
+            )
+        )
+        assert crashed_keys <= clean_keys
+
+    def test_corrupt_batches_dropped_and_accounted(self, tiny_internet, tiny_platform):
+        campaign = make_campaign(
+            tiny_internet,
+            tiny_platform,
+            fault_plan=FaultPlan(corrupt_prob=1.0, seed=3),
+            retry=RetryPolicy(max_attempts=1),
+            min_vp_quorum=1,
+        )
+        with pytest.raises(CensusAborted) as exc:
+            campaign.run_census(availability=1.0)
+        report = exc.value.report
+        assert report.batches_dropped_corrupt == report.n_vps_planned
+        assert report.records_dropped_corrupt > 0
+        assert report.n_vps_failed == report.n_vps_planned
+
+    def test_hang_without_timeout_is_a_straggler(self, tiny_internet, tiny_platform):
+        hang_plan = FaultPlan(hang_prob=1.0, seed=3, hang_factor=50.0)
+        hanging = make_campaign(
+            tiny_internet,
+            tiny_platform,
+            fault_plan=hang_plan,
+            retry=RetryPolicy(max_attempts=1, timeout_hours=None),
+        )
+        clean = make_campaign(tiny_internet, tiny_platform)
+        hung = hanging.run_census(availability=1.0)
+        reference = clean.run_census(availability=1.0)
+        # Same records, wildly inflated durations: Fig. 8's far tail.
+        assert records_bytes(hung) == records_bytes(reference)
+        assert np.all(hung.vp_duration_hours >= 50.0 * reference.vp_duration_hours * 0.999)
+
+    def test_hang_with_timeout_fails_the_attempt(self, tiny_internet, tiny_platform):
+        nominal = tiny_internet.n_targets / 1000.0 / 3600.0
+        campaign = make_campaign(
+            tiny_internet,
+            tiny_platform,
+            fault_plan=FaultPlan(hang_prob=1.0, seed=3),
+            retry=RetryPolicy(max_attempts=1, timeout_hours=nominal * 20.0),
+            min_vp_quorum=1,
+        )
+        with pytest.raises(CensusAborted) as exc:
+            campaign.run_census(availability=1.0)
+        assert exc.value.report.faults_seen[FaultKind.HANG.value] > 0
+
+    def test_retry_recovers_from_transient_faults(self, tiny_internet, tiny_platform):
+        """With enough attempts, a 50% fault rate still yields clean scans."""
+        nominal = tiny_internet.n_targets / 1000.0 / 3600.0
+        campaign = make_campaign(
+            tiny_internet,
+            tiny_platform,
+            fault_plan=FaultPlan.uniform(0.5, seed=11),
+            retry=RetryPolicy(max_attempts=6, timeout_hours=nominal * 20.0),
+            min_vp_quorum=1,
+        )
+        census = campaign.run_census(availability=1.0)
+        report = census.health
+        assert report.retries > 0
+        assert report.backoff_hours > 0.0
+        assert report.n_vps_ok > report.n_vps_planned * 0.8
+
+
+class TestQuorumAndQuarantine:
+    def test_quorum_abort_is_typed(self, tiny_internet, tiny_platform):
+        campaign = make_campaign(
+            tiny_internet,
+            tiny_platform,
+            fault_plan=FaultPlan(flap_prob=1.0, seed=1),
+            min_vp_quorum=5,
+        )
+        with pytest.raises(CensusAborted) as exc:
+            campaign.run_census(availability=0.85)
+        assert exc.value.usable_vps == 0
+        assert exc.value.quorum == 5
+        assert exc.value.report.n_vps_failed == exc.value.report.n_vps_planned
+
+    def test_quorum_validation(self, tiny_internet, tiny_platform):
+        with pytest.raises(ValueError):
+            CensusCampaign(tiny_internet, tiny_platform, min_vp_quorum=0)
+
+    def test_repeated_failures_quarantine_vps(self, tiny_internet, tiny_platform):
+        campaign = make_campaign(
+            tiny_internet,
+            tiny_platform,
+            fault_plan=FaultPlan(flap_prob=0.5, seed=21),
+            min_vp_quorum=1,
+            quarantine_threshold=1,
+        )
+        first = campaign.run_census(availability=1.0)
+        assert first.health.n_vps_failed > 0
+        quarantined = campaign.health.quarantined_names()
+        assert quarantined == set(first.health.failed_vps)
+        second = campaign.run_census(availability=1.0)
+        assert second.health.quarantined_vps  # some VPs sat this one out
+        planned_names = {vp.name for vp in second.platform.vantage_points}
+        assert not planned_names & set(second.health.quarantined_vps)
+
+
+class TestCheckpointResume:
+    def test_interrupt_requires_nonnegative(self, tiny_internet, tiny_platform):
+        campaign = make_campaign(tiny_internet, tiny_platform)
+        with pytest.raises(ValueError):
+            campaign.run_census(abort_after_vps=-1)
+
+    def test_resume_is_bit_for_bit(
+        self, tiny_internet, tiny_platform, faulted_plan, retry, tmp_path
+    ):
+        """Kill after k VPs, resume in a fresh campaign, get identical data."""
+        journal_path = tmp_path / "census-001.journal"
+        kwargs = dict(fault_plan=faulted_plan, retry=retry, min_vp_quorum=1)
+
+        reference = make_campaign(tiny_internet, tiny_platform, seed=321, **kwargs)
+        uninterrupted = reference.run_census(availability=0.85)
+
+        interrupted = make_campaign(tiny_internet, tiny_platform, seed=321, **kwargs)
+        with pytest.raises(CensusInterrupted) as exc:
+            interrupted.run_census(
+                availability=0.85, checkpoint=str(journal_path), abort_after_vps=7
+            )
+        assert exc.value.completed_vps == 7
+
+        # "New process": a fresh campaign object under the same seed.
+        resumer = make_campaign(tiny_internet, tiny_platform, seed=321, **kwargs)
+        resumed = resumer.run_census(availability=0.85, checkpoint=str(journal_path))
+        assert resumed.health.n_vps_resumed == 7
+        assert_same_census(uninterrupted, resumed)
+
+    def test_completed_journal_replays_without_scanning(
+        self, tiny_internet, tiny_platform, tmp_path
+    ):
+        journal_path = tmp_path / "census-001.journal"
+        first = make_campaign(tiny_internet, tiny_platform, seed=11)
+        completed = first.run_census(availability=0.85, checkpoint=str(journal_path))
+
+        replayer = make_campaign(tiny_internet, tiny_platform, seed=11)
+        # Replaying may not scan at all: interrupt before the first fresh scan.
+        replayed = replayer.run_census(
+            availability=0.85, checkpoint=str(journal_path), abort_after_vps=0
+        )
+        assert replayed.health.n_vps_resumed == replayed.health.n_vps_planned
+        assert_same_census(completed, replayed)
+
+    def test_mismatched_journal_rejected(self, tiny_internet, tiny_platform, tmp_path):
+        journal_path = tmp_path / "census.journal"
+        first = make_campaign(tiny_internet, tiny_platform, seed=11)
+        first.run_census(availability=0.85, checkpoint=str(journal_path))
+
+        other_seed = make_campaign(tiny_internet, tiny_platform, seed=12)
+        with pytest.raises(ValueError, match="does not match"):
+            other_seed.run_census(availability=0.85, checkpoint=str(journal_path))
+
+    def test_torn_journal_tail_recovers_prefix(
+        self, tiny_internet, tiny_platform, tmp_path
+    ):
+        journal_path = tmp_path / "census.journal"
+        campaign = make_campaign(tiny_internet, tiny_platform, seed=11)
+        with pytest.raises(CensusInterrupted):
+            campaign.run_census(
+                availability=0.85, checkpoint=str(journal_path), abort_after_vps=5
+            )
+        intact = CensusJournal(journal_path)
+        assert len(intact) == 5
+
+        # Chop a few bytes off the end: the torn entry is discarded, the
+        # rest of the journal (and the meta entry) survive.
+        data = journal_path.read_bytes()
+        journal_path.write_bytes(data[:-3])
+        torn = CensusJournal(journal_path)
+        assert torn.meta is not None
+        assert len(torn) == 4
+
+    def test_run_with_checkpoint_dir(self, tiny_internet, tiny_platform, tmp_path):
+        campaign = CensusCampaign(tiny_internet, tiny_platform, seed=13)
+        censuses = campaign.run(
+            n_censuses=2, availability=0.85, checkpoint_dir=str(tmp_path)
+        )
+        assert len(censuses) == 2
+        journals = sorted(p.name for p in tmp_path.glob("*.journal"))
+        assert journals == ["census-001.journal", "census-002.journal"]
+
+        # A second identical campaign replays both censuses from journals.
+        replay = CensusCampaign(tiny_internet, tiny_platform, seed=13)
+        replayed = replay.run(
+            n_censuses=2, availability=0.85, checkpoint_dir=str(tmp_path)
+        )
+        for original, again in zip(censuses, replayed):
+            assert again.health.n_vps_resumed == again.health.n_vps_planned
+            assert_same_census(original, again)

@@ -163,6 +163,27 @@ class TestScan:
         with pytest.raises(ValueError):
             run_scan(tiny_internet, vp, base[:-1], order)
 
+    def test_fully_masked_scan_yields_empty_records(self, tiny_internet, scan_setup):
+        """A probe_mask excluding everything produces a well-typed empty batch."""
+        vp, base, order = scan_setup
+        mask = np.zeros(tiny_internet.n_targets, dtype=bool)
+        result = run_scan(tiny_internet, vp, base, order, probe_mask=mask)
+        records = result.records
+        assert len(records) == 0
+        assert result.probes_sent == 0
+        assert result.duration_hours == 0.0
+        assert records.census_id == 1
+        assert records.vp_index.dtype == np.uint16
+        assert records.prefix.dtype == np.uint32
+        assert records.timestamp_ms.dtype == np.float64
+        assert records.rtt_ms.dtype == np.float32
+        assert records.flag.dtype == np.int8
+        # The empty batch behaves like any other: selectable, hashable,
+        # serializable.
+        assert len(records.replies()) == 0
+        assert len(records.greylistable()) == 0
+        assert records.checksum() == records.replies().checksum()
+
     def test_greylist_errors_recorded(self, tiny_internet, scan_setup):
         vp, base, order = scan_setup
         result = run_scan(tiny_internet, vp, base, order)

@@ -173,3 +173,98 @@ class TestConcatenate:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             concatenate(())
+
+
+class TestChecksum:
+    def test_stable_across_calls(self):
+        records = make_records(50)
+        assert records.checksum() == records.checksum()
+
+    def test_sensitive_to_any_column(self):
+        base = make_records(50)
+        reference = base.checksum()
+        outside = {  # a value outside each column's generated range
+            "vp_index": 60000,
+            "prefix": 5,
+            "timestamp_ms": -777.0,
+            "rtt_ms": -777.0,
+            "flag": 77,
+        }
+        for column, value in outside.items():
+            mutated = make_records(50)
+            getattr(mutated, column)[7] = value
+            assert mutated.checksum() != reference, column
+
+    def test_sensitive_to_census_id(self):
+        assert make_records(10, census_id=1).checksum() != make_records(
+            10, census_id=2
+        ).checksum()
+
+    def test_empty_records_well_typed(self):
+        empty = CensusRecords.empty(3)
+        assert len(empty) == 0
+        assert empty.census_id == 3
+        assert isinstance(empty.checksum(), int)
+
+
+class TestValidatedConcatenate:
+    def test_valid_checksums_pass(self):
+        a, b = make_records(10, seed=1), make_records(20, seed=2)
+        merged = concatenate((a, b), checksums=(a.checksum(), b.checksum()))
+        assert len(merged) == 30
+
+    def test_corrupt_batch_raises(self):
+        from repro.measurement.recordio import CorruptBatchError
+
+        a, b = make_records(10, seed=1), make_records(20, seed=2)
+        good = b.checksum()
+        b.prefix[0] ^= 0xFF  # bit rot after checksumming
+        with pytest.raises(CorruptBatchError) as exc:
+            concatenate((a, b), checksums=(a.checksum(), good))
+        assert exc.value.indices == (1,)
+
+    def test_corrupt_batch_dropped(self):
+        a, b = make_records(10, seed=1), make_records(20, seed=2)
+        good = b.checksum()
+        b.prefix[0] ^= 0xFF
+        merged = concatenate(
+            (a, b), checksums=(a.checksum(), good), on_corrupt="drop"
+        )
+        assert len(merged) == 10
+
+    def test_checksum_count_must_match(self):
+        a = make_records(10, seed=1)
+        with pytest.raises(ValueError):
+            concatenate((a,), checksums=())
+
+    def test_unknown_mode_rejected(self):
+        a = make_records(10, seed=1)
+        with pytest.raises(ValueError):
+            concatenate((a,), checksums=(a.checksum(),), on_corrupt="ignore")
+
+
+class TestRawFormat:
+    def test_roundtrip_is_exact(self):
+        records = make_records(200, census_id=4, seed=9)
+        sink = io.BytesIO()
+        records.write_raw(sink)
+        sink.seek(0)
+        loaded = CensusRecords.read_raw(sink)
+        assert loaded.census_id == 4
+        # Bit-for-bit, including full-precision floats and NaN patterns —
+        # unlike write_binary, which quantizes.
+        assert loaded.checksum() == records.checksum()
+        assert np.array_equal(loaded.timestamp_ms, records.timestamp_ms)
+        assert np.array_equal(loaded.rtt_ms, records.rtt_ms, equal_nan=True)
+
+    def test_truncated_blob_rejected(self):
+        records = make_records(50)
+        sink = io.BytesIO()
+        records.write_raw(sink)
+        truncated = io.BytesIO(sink.getvalue()[:-10])
+        with pytest.raises(ValueError):
+            CensusRecords.read_raw(truncated)
+
+    def test_wrong_magic_rejected(self):
+        with pytest.raises(ValueError):
+            CensusRecords.read_raw(io.BytesIO(b"NOPE" + b"\0" * 20))

@@ -21,6 +21,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["nope"])
 
+    def test_fault_defaults_are_off(self):
+        args = build_parser().parse_args(["health"])
+        assert args.fault_rate == 0.0
+        assert args.flap_prob == 0.0
+        assert args.quorum == 1
+        assert args.scan_timeout is None
+        assert args.checkpoint_dir is None
+
 
 class TestCommands:
     def test_glance(self, capsys):
@@ -63,3 +71,23 @@ class TestCommands:
         assert main(SCALE + ["map", "--deployment", "MICROSOFT,US"]) == 0
         out = capsys.readouterr().out
         assert "O" in out
+
+    def test_health_clean(self, capsys):
+        assert main(SCALE + ["health"]) == 0
+        out = capsys.readouterr().out
+        assert "VPs clean" in out
+        assert "faults seen:        none" in out
+        assert "quarantined VPs: 0" in out
+        assert "[DEGRADED]" not in out
+
+    def test_health_with_faults(self, capsys):
+        assert (
+            main(
+                SCALE
+                + ["--fault-rate", "0.3", "--scan-timeout", "10.0", "health"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "faults seen:" in out
+        assert "faults seen:        none" not in out

@@ -59,3 +59,39 @@ class TestConfigPropagation:
         study = CensusStudy(tiny_config(availability=0.5, n_censuses=1))
         census = study.censuses[0]
         assert census.n_vps <= len(study.platform)
+
+    def test_fault_plan_propagates(self):
+        from repro.measurement.faults import FaultPlan
+
+        study = CensusStudy(tiny_config(fault_plan=FaultPlan.uniform(0.3, seed=4)))
+        assert study.campaign.fault_plan.crash_prob == pytest.approx(0.1)
+        reports = study.health_reports
+        assert len(reports) == 1
+        assert reports[0].n_faults > 0
+
+    def test_default_plan_yields_clean_reports(self):
+        study = CensusStudy(tiny_config(n_censuses=2))
+        assert all(not r.degraded for r in study.health_reports)
+        assert all(r.faults_seen == {} for r in study.health_reports)
+
+    def test_quorum_propagates(self):
+        from repro.measurement.campaign import CensusAborted
+        from repro.measurement.faults import FaultPlan
+
+        study = CensusStudy(
+            tiny_config(
+                fault_plan=FaultPlan(flap_prob=1.0, seed=1), min_vp_quorum=5
+            )
+        )
+        with pytest.raises(CensusAborted):
+            _ = study.censuses
+
+    def test_checkpoint_dir_journals_each_census(self, tmp_path):
+        study = CensusStudy(
+            tiny_config(n_censuses=2, checkpoint_dir=str(tmp_path))
+        )
+        _ = study.censuses
+        assert sorted(p.name for p in tmp_path.glob("*.journal")) == [
+            "census-001.journal",
+            "census-002.journal",
+        ]
