@@ -9,12 +9,11 @@ We measure our vectorized implementation's wall time per census and per
 target, and extrapolate to the paper's 6.6M-target census.
 """
 
-import time
-
 from conftest import write_exhibit
 
 from repro.census.analysis import analyze_matrix
 from repro.census.combine import combine_censuses
+from repro.obs import Stopwatch
 
 
 def test_analysis_throughput(benchmark, paper_study, results_dir):
@@ -24,20 +23,20 @@ def test_analysis_throughput(benchmark, paper_study, results_dir):
     def run():
         return analyze_matrix(matrix, city_db=paper_study.city_db)
 
-    t0 = time.perf_counter()
-    analysis = benchmark.pedantic(run, rounds=1, iterations=1)
-    elapsed = time.perf_counter() - t0
+    with Stopwatch() as total_sw:
+        analysis = benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = total_sw.elapsed_s
 
     # Phase split: detection scans every responding target (scales with
     # the haystack); enumeration/geolocation only touches the ~constant
     # anycast population.  Extrapolation must respect that split.
     from repro.core.detection import detection_mask, radius_matrix
 
-    t0 = time.perf_counter()
-    vp_dist = matrix.vp_distance_matrix()
-    radii = radius_matrix(matrix.rtt_ms)
-    detection_mask(vp_dist, radii)
-    detection_elapsed = time.perf_counter() - t0
+    with Stopwatch() as detection_sw:
+        vp_dist = matrix.vp_distance_matrix()
+        radii = radius_matrix(matrix.rtt_ms)
+        detection_mask(vp_dist, radii)
+    detection_elapsed = detection_sw.elapsed_s
     enumeration_elapsed = max(elapsed - detection_elapsed, 0.0)
 
     n_targets = matrix.n_targets

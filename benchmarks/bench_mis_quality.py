@@ -5,12 +5,11 @@ O(1000 s) for the brute-force optimum, while "in practice yield[ing]
 results that are very close to the optimum".
 """
 
-import time
-
 import numpy as np
 from conftest import write_exhibit
 
 from repro.core.enumeration import exact_mis, greedy_mis
+from repro.obs import Stopwatch
 from repro.geo.coords import GeoPoint
 from repro.geo.disks import Disk
 
@@ -34,13 +33,13 @@ def test_mis_greedy_vs_exact(benchmark, results_dir):
 
     greedy_results = benchmark.pedantic(run_greedy_all, rounds=1, iterations=1)
 
-    t0 = time.perf_counter()
-    for disks in instances:
-        greedy_mis(disks)
-    t_greedy = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    exact_results = [exact_mis(disks) for disks in instances]
-    t_exact = time.perf_counter() - t0
+    with Stopwatch() as greedy_sw:
+        for disks in instances:
+            greedy_mis(disks)
+    t_greedy = greedy_sw.elapsed_s
+    with Stopwatch() as exact_sw:
+        exact_results = [exact_mis(disks) for disks in instances]
+    t_exact = exact_sw.elapsed_s
 
     ratios = [
         len(g) / len(e) if e else 1.0

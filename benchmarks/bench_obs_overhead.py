@@ -1,0 +1,58 @@
+"""Observability overhead — tracing must be effectively free.
+
+The obs layer exists so every paper exhibit can ship with a run manifest;
+that is only viable if instrumentation never distorts the measurement it
+documents.  We run the same end-to-end small study with observability off
+and on (interleaved, best-of-N to shed scheduler noise) and require the
+traced run to stay within 5% of the plain run (plus a small absolute
+slack so sub-second runs don't fail on timer jitter).
+"""
+
+from conftest import write_exhibit
+
+from repro.obs import Stopwatch
+from repro.workflow import small_study
+
+ROUNDS = 3
+MAX_RELATIVE_OVERHEAD = 0.05
+ABSOLUTE_SLACK_S = 0.05
+
+
+def _timed_run(trace: bool) -> float:
+    study = small_study(seed=2015, trace=trace, metrics=trace)
+    with Stopwatch() as sw:
+        study.characterization  # force the full pipeline
+    return sw.elapsed_s
+
+
+def test_obs_overhead(results_dir):
+    # Warm up imports / allocator before timing anything.
+    _timed_run(trace=False)
+
+    plain, traced = [], []
+    for _ in range(ROUNDS):  # interleaved so drift hits both arms equally
+        plain.append(_timed_run(trace=False))
+        traced.append(_timed_run(trace=True))
+
+    t_plain, t_traced = min(plain), min(traced)
+    overhead = t_traced - t_plain
+    relative = overhead / t_plain
+
+    n_spans = small_study(seed=2015, trace=True, metrics=True)
+    n_spans.characterization
+    span_count = n_spans.tracer.n_spans
+
+    lines = [
+        "metric                              budget         measured",
+        f"plain pipeline (best of {ROUNDS})                          {t_plain * 1000.0:.1f} ms",
+        f"traced pipeline (best of {ROUNDS})                         {t_traced * 1000.0:.1f} ms",
+        f"absolute overhead                                  {overhead * 1000.0:+.1f} ms",
+        f"relative overhead                   < 5%           {relative * 100.0:+.2f}%",
+        f"spans recorded per run                             {span_count}",
+    ]
+    write_exhibit(results_dir, "obs_overhead", lines)
+
+    assert overhead <= MAX_RELATIVE_OVERHEAD * t_plain + ABSOLUTE_SLACK_S, (
+        f"observability overhead {overhead * 1000.0:.1f} ms "
+        f"({relative * 100.0:.1f}%) exceeds the 5% budget"
+    )

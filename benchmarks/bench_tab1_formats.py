@@ -37,16 +37,16 @@ def test_tab1_binary_vs_textual(benchmark, paper_study, results_dir):
         b = CensusRecords.read_csv(csv_buf)
         return a, b
 
-    import time
+    from repro.obs import Stopwatch
 
-    t0 = time.perf_counter()
-    binary_buf.seek(0)
-    CensusRecords.read_binary(binary_buf)
-    t_binary = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    csv_buf.seek(0)
-    CensusRecords.read_csv(csv_buf)
-    t_csv = time.perf_counter() - t0
+    with Stopwatch() as binary_sw:
+        binary_buf.seek(0)
+        CensusRecords.read_binary(binary_buf)
+    t_binary = binary_sw.elapsed_s
+    with Stopwatch() as csv_sw:
+        csv_buf.seek(0)
+        CensusRecords.read_csv(csv_buf)
+    t_csv = csv_sw.elapsed_s
 
     benchmark.pedantic(parse_both, rounds=1, iterations=1)
 

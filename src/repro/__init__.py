@@ -15,6 +15,8 @@ The package is organized bottom-up:
   enumeration, geolocation, iteration;
 * :mod:`repro.census` — census-level analysis and characterization
   (combination, per-AS footprints, rank intersections, validation);
+* :mod:`repro.obs` — observability: hierarchical tracing, pipeline
+  metrics, and machine-readable run manifests (behaviour-neutral);
 * :mod:`repro.workflow` — the end-to-end :class:`~repro.workflow.CensusStudy`
   facade.
 
@@ -27,8 +29,17 @@ Quick start::
         print(row.label, row.ip24, row.ases, row.replicas)
 """
 
+from .obs import MetricsRegistry, RunManifest, Tracer
 from .workflow import CensusStudy, StudyConfig, small_study
 
 __version__ = "1.0.0"
 
-__all__ = ["CensusStudy", "StudyConfig", "small_study", "__version__"]
+__all__ = [
+    "CensusStudy",
+    "StudyConfig",
+    "small_study",
+    "Tracer",
+    "MetricsRegistry",
+    "RunManifest",
+    "__version__",
+]

@@ -20,6 +20,7 @@ from ..core.samples import LatencySample
 from ..geo.cities import CityDB, default_city_db
 from ..internet.topology import SyntheticInternet
 from ..measurement.campaign import Census
+from ..obs import current_metrics
 from .combine import RttMatrix
 
 
@@ -69,11 +70,20 @@ def analyze_matrix(
     """
     cfg = config or IGreedyConfig()
     db = city_db or default_city_db()
+    metrics = current_metrics()
 
     vp_dist = matrix.vp_distance_matrix()
     radii = radius_matrix(matrix.rtt_ms, cfg.speed_km_per_ms)
-    enough = (~np.isnan(matrix.rtt_ms)).sum(axis=1) >= min_samples
+    filled = (~np.isnan(matrix.rtt_ms)).sum(axis=1)
+    enough = filled >= min_samples
     mask = detection_mask(vp_dist, radii) & enough
+
+    if metrics.enabled:
+        metrics.gauge("rtt_matrix_cells").set(int(matrix.rtt_ms.size))
+        metrics.gauge("rtt_matrix_filled_cells").set(int(filled.sum()))
+        metrics.gauge("rtt_matrix_targets").set(matrix.n_targets)
+        metrics.counter("targets_analyzed").inc(matrix.n_targets)
+        metrics.counter("targets_classified_anycast").inc(int(mask.sum()))
 
     result = AnalysisResult(prefixes=matrix.prefixes, anycast_mask=mask)
     for row in np.nonzero(mask)[0]:

@@ -26,6 +26,7 @@ import numpy as np
 from ..geo.coords import pairwise_distances_km
 from ..internet.deployments import AnycastDeployment
 from ..measurement.platform import Platform
+from ..obs import current_tracer
 
 
 @dataclass(frozen=True)
@@ -54,14 +55,15 @@ def proximity(
     platform: Platform,
 ) -> ProximityReport:
     """Proximity of a deployment for a platform's client population."""
-    lats, lons = platform.lats, platform.lons
-    rep_lats = [r.location.lat for r in deployment.replicas]
-    rep_lons = [r.location.lon for r in deployment.replicas]
-    distances = pairwise_distances_km(lats, lons, rep_lats, rep_lons)
-    serving = deployment.catchment(lats, lons)
-    served_distance = distances[np.arange(len(lats)), serving]
-    nearest_distance = distances.min(axis=1)
-    return ProximityReport(penalties_km=served_distance - nearest_distance)
+    with current_tracer().span("proximity", clients=len(platform)):
+        lats, lons = platform.lats, platform.lons
+        rep_lats = [r.location.lat for r in deployment.replicas]
+        rep_lons = [r.location.lon for r in deployment.replicas]
+        distances = pairwise_distances_km(lats, lons, rep_lats, rep_lons)
+        serving = deployment.catchment(lats, lons)
+        served_distance = distances[np.arange(len(lats)), serving]
+        nearest_distance = distances.min(axis=1)
+        return ProximityReport(penalties_km=served_distance - nearest_distance)
 
 
 @dataclass(frozen=True)
@@ -99,19 +101,20 @@ def affinity(
         raise ValueError("rounds must be positive")
     if not 0.0 <= flap_prob <= 1.0:
         raise ValueError("flap_prob must be in [0, 1]")
-    rng = np.random.default_rng(seed)
-    base = deployment.catchment(platform.lats, platform.lons)
-    n = len(base)
-    observed = np.tile(base, (rounds, 1))
-    flips = rng.random((rounds, n)) < flap_prob
-    random_sites = rng.integers(0, deployment.site_count, size=(rounds, n))
-    observed = np.where(flips, random_sites, observed)
+    with current_tracer().span("affinity", rounds=rounds):
+        rng = np.random.default_rng(seed)
+        base = deployment.catchment(platform.lats, platform.lons)
+        n = len(base)
+        observed = np.tile(base, (rounds, 1))
+        flips = rng.random((rounds, n)) < flap_prob
+        random_sites = rng.integers(0, deployment.site_count, size=(rounds, n))
+        observed = np.where(flips, random_sites, observed)
 
-    stability = np.empty(n, dtype=np.float64)
-    for i in range(n):
-        values, counts = np.unique(observed[:, i], return_counts=True)
-        stability[i] = counts.max() / rounds
-    return AffinityReport(stability=stability)
+        stability = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            values, counts = np.unique(observed[:, i], return_counts=True)
+            stability[i] = counts.max() / rounds
+        return AffinityReport(stability=stability)
 
 
 def availability(
@@ -128,12 +131,13 @@ def availability(
     """
     if max_distance_km <= 0:
         raise ValueError("max_distance_km must be positive")
-    lats, lons = platform.lats, platform.lons
-    rep_lats = [r.location.lat for r in deployment.replicas]
-    rep_lons = [r.location.lon for r in deployment.replicas]
-    distances = pairwise_distances_km(lats, lons, rep_lats, rep_lons)
-    if deployment.local_scope_km is not None:
-        out_of_scope = distances[:, 1:] > deployment.local_scope_km
-        distances[:, 1:] = np.where(out_of_scope, np.inf, distances[:, 1:])
-    reachable = (distances <= max_distance_km).any(axis=1)
-    return float(reachable.mean())
+    with current_tracer().span("availability", clients=len(platform)):
+        lats, lons = platform.lats, platform.lons
+        rep_lats = [r.location.lat for r in deployment.replicas]
+        rep_lons = [r.location.lon for r in deployment.replicas]
+        distances = pairwise_distances_km(lats, lons, rep_lats, rep_lons)
+        if deployment.local_scope_km is not None:
+            out_of_scope = distances[:, 1:] > deployment.local_scope_km
+            distances[:, 1:] = np.where(out_of_scope, np.inf, distances[:, 1:])
+        reachable = (distances <= max_distance_km).any(axis=1)
+        return float(reachable.mean())

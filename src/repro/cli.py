@@ -7,6 +7,9 @@ Runs scaled-down census studies from the terminal::
     repro-anycast validate "CLOUDFLARENET,US"
     repro-anycast portscan
     repro-anycast funnel
+    repro-anycast trace                    # span tree of the whole pipeline
+    repro-anycast stats                    # pipeline metrics table
+    repro-anycast --manifest run.json glance   # + JSON run manifest
 
 All subcommands share the scale/seed options; results are printed as plain
 text tables.
@@ -22,6 +25,7 @@ from .census.report import format_table
 from .internet.topology import InternetConfig
 from .measurement.campaign import CensusAborted
 from .measurement.faults import FaultPlan, RetryPolicy
+from .obs import render_trace
 from .workflow import CensusStudy, StudyConfig
 
 
@@ -30,6 +34,9 @@ def _build_study(args: argparse.Namespace) -> CensusStudy:
         args.fault_rate, seed=args.fault_seed, flap_prob=args.flap_prob
     )
     retry = RetryPolicy(timeout_hours=args.scan_timeout)
+    # A manifest is only worth writing with observability on; the trace
+    # and stats subcommands obviously need their respective layer too.
+    want_manifest = args.manifest is not None
     return CensusStudy(
         StudyConfig(
             internet=InternetConfig(
@@ -43,6 +50,9 @@ def _build_study(args: argparse.Namespace) -> CensusStudy:
             retry=retry,
             min_vp_quorum=args.quorum,
             checkpoint_dir=args.checkpoint_dir,
+            trace=want_manifest or args.command == "trace",
+            metrics=want_manifest or args.command in ("trace", "stats"),
+            manifest_path=args.manifest,
         )
     )
 
@@ -116,7 +126,32 @@ def _cmd_map(study: CensusStudy, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(study: CensusStudy, args: argparse.Namespace) -> int:
+    # Force the full pipeline, then render what the tracer saw.
+    study.characterization
+    print(render_trace(study.tracer))
+    return 0
+
+
+def _cmd_stats(study: CensusStudy, args: argparse.Namespace) -> int:
+    study.characterization
+    snap = study.metrics.snapshot()
+    rows = [(name, "counter", value) for name, value in snap["counters"].items()]
+    rows += [(name, "gauge", value) for name, value in snap["gauges"].items()]
+    rows += [
+        (
+            name,
+            "histogram",
+            f"n={h['count']} mean={h['mean']:.2f} max={h['max']:.0f}",
+        )
+        for name, h in snap["histograms"].items()
+    ]
+    print(format_table(rows, ["metric", "kind", "value"]))
+    return 0
+
+
 def _cmd_health(study: CensusStudy, args: argparse.Namespace) -> int:
+    study.censuses  # health_reports is lazy: materialize the campaign first
     for report in study.health_reports:
         for line in report.summary_lines():
             print(line)
@@ -163,6 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-VP scan timeout in hours (default: none)")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="journal directory for census checkpoint/resume")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="write a JSON run manifest (config, trace, "
+                             "metrics, health) after the command")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("glance", help="Fig. 10 summary table").set_defaults(func=_cmd_glance)
@@ -181,6 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "health", help="per-census fault/supervision health reports"
     ).set_defaults(func=_cmd_health)
+    sub.add_parser(
+        "trace", help="run the pipeline and print its stage span tree"
+    ).set_defaults(func=_cmd_trace)
+    sub.add_parser(
+        "stats", help="run the pipeline and print its metrics table"
+    ).set_defaults(func=_cmd_stats)
     map_cmd = sub.add_parser("map", help="ASCII replica map (Fig. 10 / Fig. 5)")
     map_cmd.add_argument(
         "--deployment", default=None,
@@ -202,6 +246,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CensusAborted as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # Write the manifest even after an abort: it records what the
+        # supervisor saw up to the failure.
+        if args.manifest is not None:
+            path = study.write_manifest(args.manifest)
+            print(f"manifest written: {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..geo.disks import FIBER_SPEED_KM_PER_MS, any_disjoint_pair
+from ..obs import current_metrics, current_tracer
 from .samples import LatencySample, min_rtt_samples, samples_to_disks
 
 
@@ -43,16 +44,17 @@ def detect(
     speed_km_per_ms: float = FIBER_SPEED_KM_PER_MS,
 ) -> DetectionResult:
     """Run the speed-of-light-violation test on one target's samples."""
-    deduped = min_rtt_samples(samples)
-    disks = samples_to_disks(deduped, speed_km_per_ms)
-    if len(disks) < 2:
-        return DetectionResult(is_anycast=False, sample_count=len(disks))
-    pair = any_disjoint_pair(disks)
-    return DetectionResult(
-        is_anycast=pair is not None,
-        witness=pair,
-        sample_count=len(disks),
-    )
+    with current_tracer().span("detection", samples=len(samples)):
+        deduped = min_rtt_samples(samples)
+        disks = samples_to_disks(deduped, speed_km_per_ms)
+        if len(disks) < 2:
+            return DetectionResult(is_anycast=False, sample_count=len(disks))
+        pair = any_disjoint_pair(disks)
+        return DetectionResult(
+            is_anycast=pair is not None,
+            witness=pair,
+            sample_count=len(disks),
+        )
 
 
 def detection_mask(
@@ -81,15 +83,20 @@ def detection_mask(
     n_targets, n_vps = radii_km.shape
     if vp_distances_km.shape != (n_vps, n_vps):
         raise ValueError("vp distance matrix shape mismatch")
-    out = np.zeros(n_targets, dtype=bool)
-    # Missing samples must never witness a violation: substitute +inf
-    # radius so the pair sum is infinite and the test fails.
-    safe = np.where(np.isnan(radii_km), np.inf, radii_km)
-    for start in range(0, n_targets, chunk):
-        block = safe[start : start + chunk]  # (b, n_vps)
-        sums = block[:, :, None] + block[:, None, :]  # (b, n, n)
-        violations = vp_distances_km[None, :, :] > sums
-        out[start : start + chunk] = violations.any(axis=(1, 2))
+    with current_tracer().span("detection", targets=n_targets, vectorized=True):
+        out = np.zeros(n_targets, dtype=bool)
+        # Missing samples must never witness a violation: substitute +inf
+        # radius so the pair sum is infinite and the test fails.
+        safe = np.where(np.isnan(radii_km), np.inf, radii_km)
+        for start in range(0, n_targets, chunk):
+            block = safe[start : start + chunk]  # (b, n_vps)
+            sums = block[:, :, None] + block[:, None, :]  # (b, n, n)
+            violations = vp_distances_km[None, :, :] > sums
+            out[start : start + chunk] = violations.any(axis=(1, 2))
+    metrics = current_metrics()
+    if metrics.enabled:
+        metrics.counter("detection_targets_tested").inc(n_targets)
+        metrics.counter("detection_targets_flagged").inc(int(out.sum()))
     return out
 
 

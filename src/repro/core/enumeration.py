@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..geo.disks import Disk, overlap_matrix
+from ..obs import current_metrics, current_tracer
 
 
 def greedy_mis(
@@ -42,23 +43,25 @@ def greedy_mis(
     n = len(disks)
     if n == 0:
         return []
-    if overlaps is None:
-        overlaps = overlap_matrix(disks)
-    elif overlaps.shape != (n, n):
-        raise ValueError("overlap matrix shape mismatch")
-    if ordering == "radius":
-        order = sorted(range(n), key=lambda i: (disks[i].radius_km, i))
-    elif ordering == "arbitrary":
-        order = list(range(n))
-    else:
-        raise ValueError(f"unknown ordering {ordering!r}")
-    excluded = np.zeros(n, dtype=bool)
-    selected: List[int] = []
-    for i in order:
-        if excluded[i]:
-            continue
-        selected.append(i)
-        excluded |= overlaps[i]
+    with current_tracer().span("enumeration", disks=n):
+        if overlaps is None:
+            overlaps = overlap_matrix(disks)
+        elif overlaps.shape != (n, n):
+            raise ValueError("overlap matrix shape mismatch")
+        if ordering == "radius":
+            order = sorted(range(n), key=lambda i: (disks[i].radius_km, i))
+        elif ordering == "arbitrary":
+            order = list(range(n))
+        else:
+            raise ValueError(f"unknown ordering {ordering!r}")
+        excluded = np.zeros(n, dtype=bool)
+        selected: List[int] = []
+        for i in order:
+            if excluded[i]:
+                continue
+            selected.append(i)
+            excluded |= overlaps[i]
+    current_metrics().histogram("mis_size").observe(len(selected))
     return selected
 
 

@@ -23,6 +23,7 @@ import numpy as np
 from ..geo.cities import City, CityDB
 from ..geo.coords import GeoPoint
 from ..geo.disks import Disk
+from ..obs import current_tracer
 
 
 @dataclass(frozen=True)
@@ -57,26 +58,30 @@ def classify_disk(
     """
     if population_exponent < 0:
         raise ValueError("population_exponent must be non-negative")
-    candidates = city_db.cities_in_disk(disk)
-    if not candidates:
-        return None
-    if population_exponent == 0.0:
-        # Uniform prior: the maximum-likelihood choice degenerates to the
-        # city closest to the disk center.
-        best = min(candidates, key=lambda c: disk.center.distance_km(c.location))
-        return GeolocatedReplica(city=best, disk=disk, confidence=1.0 / len(candidates))
-    weights = np.array([c.population**population_exponent for c in candidates])
-    total = float(weights.sum())
-    idx = int(np.argmax(weights))
-    return GeolocatedReplica(
-        city=candidates[idx], disk=disk, confidence=float(weights[idx]) / total
-    )
+    with current_tracer().span("geolocation"):
+        candidates = city_db.cities_in_disk(disk)
+        if not candidates:
+            return None
+        if population_exponent == 0.0:
+            # Uniform prior: the maximum-likelihood choice degenerates to the
+            # city closest to the disk center.
+            best = min(candidates, key=lambda c: disk.center.distance_km(c.location))
+            return GeolocatedReplica(
+                city=best, disk=disk, confidence=1.0 / len(candidates)
+            )
+        weights = np.array([c.population**population_exponent for c in candidates])
+        total = float(weights.sum())
+        idx = int(np.argmax(weights))
+        return GeolocatedReplica(
+            city=candidates[idx], disk=disk, confidence=float(weights[idx]) / total
+        )
 
 
 def classify_nearest(disk: Disk, city_db: CityDB) -> GeolocatedReplica:
     """Fallback: pin the replica to the city nearest the disk center."""
-    city = city_db.nearest(disk.center)
-    return GeolocatedReplica(city=city, disk=disk, confidence=0.0)
+    with current_tracer().span("geolocation", fallback=True):
+        city = city_db.nearest(disk.center)
+        return GeolocatedReplica(city=city, disk=disk, confidence=0.0)
 
 
 def geolocation_error_km(predicted: City, truth: City) -> float:

@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence
 
 from ..geo.cities import City, CityDB, default_city_db
 from ..geo.disks import FIBER_SPEED_KM_PER_MS, Disk
+from ..obs import current_metrics, current_tracer
 from .detection import DetectionResult, detect
 from .enumeration import greedy_mis
 from .geolocation import GeolocatedReplica, classify_disk, classify_nearest
@@ -116,44 +117,51 @@ def igreedy(
     """
     cfg = config or IGreedyConfig()
     db = city_db or default_city_db()
+    metrics = current_metrics()
 
-    deduped = min_rtt_samples(samples)
-    detection = detect(deduped, cfg.speed_km_per_ms)
-    result = IGreedyResult(detection=detection)
-    if not detection.is_anycast:
+    with current_tracer().span("igreedy", samples=len(samples)) as span:
+        deduped = min_rtt_samples(samples)
+        detection = detect(deduped, cfg.speed_km_per_ms)
+        result = IGreedyResult(detection=detection)
+        if not detection.is_anycast:
+            return result
+
+        disks = samples_to_disks(
+            deduped, cfg.speed_km_per_ms, max_rtt_ms=cfg.max_rtt_ms
+        )
+        if len(disks) < 2:
+            # All informative samples were filtered; fall back to unfiltered.
+            disks = samples_to_disks(deduped, cfg.speed_km_per_ms)
+        metrics.histogram("disks_per_target").observe(len(disks))
+
+        if cfg.strict_enumeration:
+            selected = greedy_mis(disks)
+            replicas = [_classify(disks[i], db, cfg) for i in selected]
+            result.replicas = _dedup_by_city(replicas)
+            result.iterations = 1
+        else:
+            # Paper-style iteration: collapse classified disks, re-run MIS.
+            current: List[Disk] = list(disks)
+            classified: List[Optional[GeolocatedReplica]] = [None] * len(disks)
+            for iteration in range(1, cfg.max_iterations + 1):
+                selected = greedy_mis(current)
+                progressed = False
+                for idx in selected:
+                    if classified[idx] is not None:
+                        continue
+                    replica = _classify(current[idx], db, cfg)
+                    classified[idx] = replica
+                    current[idx] = current[idx].shrunk_to(replica.city.location)
+                    progressed = True
+                result.iterations = iteration
+                if not progressed:
+                    break
+
+            final = greedy_mis(current)
+            result.replicas = _dedup_by_city(
+                [classified[i] for i in final if classified[i] is not None]
+            )
+        metrics.histogram("igreedy_iterations").observe(result.iterations)
+        metrics.counter("replicas_enumerated").inc(result.replica_count)
+        span.set("replicas", result.replica_count)
         return result
-
-    disks = samples_to_disks(deduped, cfg.speed_km_per_ms, max_rtt_ms=cfg.max_rtt_ms)
-    if len(disks) < 2:
-        # All informative samples were filtered; fall back to unfiltered.
-        disks = samples_to_disks(deduped, cfg.speed_km_per_ms)
-
-    if cfg.strict_enumeration:
-        selected = greedy_mis(disks)
-        replicas = [_classify(disks[i], db, cfg) for i in selected]
-        result.replicas = _dedup_by_city(replicas)
-        result.iterations = 1
-        return result
-
-    # Paper-style iteration: collapse classified disks and re-run the MIS.
-    current: List[Disk] = list(disks)
-    classified: List[Optional[GeolocatedReplica]] = [None] * len(disks)
-    for iteration in range(1, cfg.max_iterations + 1):
-        selected = greedy_mis(current)
-        progressed = False
-        for idx in selected:
-            if classified[idx] is not None:
-                continue
-            replica = _classify(current[idx], db, cfg)
-            classified[idx] = replica
-            current[idx] = current[idx].shrunk_to(replica.city.location)
-            progressed = True
-        result.iterations = iteration
-        if not progressed:
-            break
-
-    final = greedy_mis(current)
-    result.replicas = _dedup_by_city(
-        [classified[i] for i in final if classified[i] is not None]
-    )
-    return result

@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..internet.topology import SyntheticInternet
+from ..obs import current_metrics, current_tracer
 from .faults import FaultInjector, FaultKind, FaultPlan, RetryPolicy, VpHealthTracker
 from .greylist import Blacklist, Greylist
 from .lfsr import lfsr_permutation
@@ -326,10 +327,14 @@ class CensusCampaign:
 
         Returns the number of /24s blacklisted.
         """
-        result = self._scan_vp(vp_platform_index, census_id=0, probe_mask=None)
-        greylist = Greylist()
-        self._collect_greylist(result.records, greylist)
-        return greylist.merge_into(self.blacklist)
+        with current_tracer().span("precensus") as span:
+            result = self._scan_vp(vp_platform_index, census_id=0, probe_mask=None)
+            greylist = Greylist()
+            self._collect_greylist(result.records, greylist)
+            blacklisted = greylist.merge_into(self.blacklist)
+            span.set("blacklisted", blacklisted)
+        current_metrics().counter("prefixes_blacklisted").inc(blacklisted)
+        return blacklisted
 
     def run_census(
         self,
@@ -363,7 +368,25 @@ class CensusCampaign:
         self._census_counter += 1
         census_id = self._census_counter
         rate = rate_pps if rate_pps is not None else self.rate_pps
+        with current_tracer().span("census", census_id=census_id) as span:
+            return self._run_census_supervised(
+                census_id, availability, rate, target_prefixes, checkpoint,
+                abort_after_vps, span,
+            )
 
+    def _run_census_supervised(
+        self,
+        census_id: int,
+        availability: float,
+        rate: float,
+        target_prefixes: Optional[Sequence[int]],
+        checkpoint: Optional[Union[str, "CensusJournal"]],
+        abort_after_vps: Optional[int],
+        span,
+    ) -> Census:
+        """The body of :meth:`run_census`, under one ``census`` span."""
+        tracer = current_tracer()
+        metrics = current_metrics()
         available = self.platform.sample_available(self._rng, availability)
         # Map available VPs back to their platform indices for catchments.
         index_of = {vp.name: i for i, vp in enumerate(self.platform.vantage_points)}
@@ -405,6 +428,10 @@ class CensusCampaign:
 
         journal = self._open_journal(checkpoint, census_id, rate, pairs, probe_mask)
 
+        #: Probes one VP sends this census (for the probe counters only).
+        probes_per_vp = int(probe_mask.sum()) if metrics.enabled else 0
+        span.set("vps_planned", len(planned))
+
         batches: List[CensusRecords] = []
         checksums: List[int] = []
         durations: List[float] = []
@@ -413,40 +440,61 @@ class CensusCampaign:
         fresh_scans = 0
 
         for census_vp_index, (vp, degraded) in enumerate(pairs):
-            outcome = None
-            if journal is not None:
-                entry = journal.valid_batch(vp.name)
-                if entry is not None:
-                    outcome = _VpOutcome.from_journal(entry.payload, entry.records)
-                    report.n_vps_resumed += 1
-            if outcome is None:
-                if abort_after_vps is not None and fresh_scans >= abort_after_vps:
-                    raise CensusInterrupted(census_id, fresh_scans, checkpoint)
-                outcome = self._supervised_scan(
-                    platform_index=index_of[vp.name],
-                    census_id=census_id,
-                    probe_mask=probe_mask,
-                    census_vp_index=census_vp_index,
-                    base_order=base_order,
-                    rate_pps=rate,
-                    degraded=degraded,
-                )
-                fresh_scans += 1
+            with tracer.span("vp_scan", vp=vp.name) as vp_span:
+                outcome = None
                 if journal is not None:
-                    journal.write_batch(outcome.journal_payload(vp.name), outcome.records)
+                    entry = journal.valid_batch(vp.name)
+                    if entry is not None:
+                        outcome = _VpOutcome.from_journal(entry.payload, entry.records)
+                        report.n_vps_resumed += 1
+                        metrics.counter("vps_resumed").inc()
+                        vp_span.set("resumed", True)
+                if outcome is None:
+                    if abort_after_vps is not None and fresh_scans >= abort_after_vps:
+                        raise CensusInterrupted(census_id, fresh_scans, checkpoint)
+                    outcome = self._supervised_scan(
+                        platform_index=index_of[vp.name],
+                        census_id=census_id,
+                        probe_mask=probe_mask,
+                        census_vp_index=census_vp_index,
+                        base_order=base_order,
+                        rate_pps=rate,
+                        degraded=degraded,
+                    )
+                    fresh_scans += 1
+                    metrics.counter("probes_sent").inc(probes_per_vp)
+                    if journal is not None:
+                        journal.write_batch(
+                            outcome.journal_payload(vp.name), outcome.records
+                        )
+                vp_span.set("status", outcome.status)
 
-            self._absorb_outcome(report, outcome, vp.name)
-            self.health.record(vp.name, ok=outcome.clean)
-            durations.append(outcome.duration_hours)
-            drops.append(outcome.drop_rate)
-            if outcome.usable and outcome.records is not None:
-                batches.append(outcome.records)
-                checksums.append(
-                    outcome.checksum
-                    if outcome.checksum is not None
-                    else outcome.records.checksum()
-                )
-                self._collect_greylist(outcome.records, greylist)
+                self._absorb_outcome(report, outcome, vp.name)
+                self.health.record(vp.name, ok=outcome.clean)
+                durations.append(outcome.duration_hours)
+                drops.append(outcome.drop_rate)
+                if metrics.enabled:
+                    metrics.counter("vps_" + outcome.status).inc()
+                    if outcome.retries:
+                        metrics.counter("scan_retries").inc(outcome.retries)
+                        metrics.counter("probes_retried").inc(
+                            outcome.retries * probes_per_vp
+                        )
+                    metrics.counter("records_salvaged").inc(outcome.records_salvaged)
+                    metrics.counter("records_dropped_corrupt").inc(
+                        outcome.records_dropped
+                    )
+                    metrics.histogram(
+                        "vp_scan_duration_hours", buckets=(6, 12, 24, 48, 96, 192)
+                    ).observe(outcome.duration_hours)
+                if outcome.usable and outcome.records is not None:
+                    batches.append(outcome.records)
+                    checksums.append(
+                        outcome.checksum
+                        if outcome.checksum is not None
+                        else outcome.records.checksum()
+                    )
+                    self._collect_greylist(outcome.records, greylist)
 
         if len(batches) < self.min_vp_quorum:
             raise CensusAborted(census_id, len(batches), self.min_vp_quorum, report)
@@ -457,6 +505,11 @@ class CensusCampaign:
         )
 
         greylist.merge_into(self.blacklist)
+        if metrics.enabled:
+            metrics.counter("censuses_completed").inc()
+            metrics.counter("prefixes_greylisted").inc(len(greylist))
+            metrics.gauge("vps_quarantined").set(len(report.quarantined_vps))
+            metrics.gauge("blacklist_size").set(len(self.blacklist))
         return Census(
             census_id=census_id,
             platform=planned,

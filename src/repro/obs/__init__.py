@@ -1,0 +1,108 @@
+"""repro.obs — zero-dependency observability for the census pipeline.
+
+Three deterministic layers (see ``docs/API_GUIDE.md``):
+
+* :mod:`repro.obs.trace` — hierarchical spans with inclusive/exclusive
+  wall time, a process-wide default tracer, and a free no-op tracer;
+* :mod:`repro.obs.metrics` — named counters, gauges, and fixed-bucket
+  histograms, snapshotable to plain dicts;
+* :mod:`repro.obs.manifest` — the run manifest: config + trace + metrics
+  + health in one atomically-written, schema-validated JSON document.
+
+The golden rule: observability is *behaviour-neutral*.  Instrumentation
+never touches an RNG, never feeds wall time into results, and with the
+null tracer/registry installed (the default) its overhead is a few
+attribute lookups per call site.
+"""
+
+from .manifest import (
+    CANONICAL_STAGES,
+    REQUIRED_KEYS,
+    SCHEMA_VERSION,
+    RunManifest,
+    manifest_problems,
+    validate_manifest,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    current_metrics,
+    set_metrics,
+    use_metrics,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Stopwatch,
+    Tracer,
+    current_tracer,
+    iter_span_names,
+    render_trace,
+    set_tracer,
+    tree_shape,
+    use_tracer,
+)
+
+
+class activate:
+    """Install a tracer and a metrics registry together, scoped.
+
+    ``with activate(tracer, metrics): study_stage()`` — either argument
+    may be ``None`` to leave that half untouched.
+    """
+
+    def __init__(self, tracer=None, metrics=None) -> None:
+        self._tracer_cm = use_tracer(tracer) if tracer is not None else None
+        self._metrics_cm = use_metrics(metrics) if metrics is not None else None
+
+    def __enter__(self) -> "activate":
+        if self._tracer_cm is not None:
+            self._tracer_cm.__enter__()
+        if self._metrics_cm is not None:
+            self._metrics_cm.__enter__()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._metrics_cm is not None:
+            self._metrics_cm.__exit__(*exc)
+        if self._tracer_cm is not None:
+            self._tracer_cm.__exit__(*exc)
+        return False
+
+
+__all__ = [
+    "CANONICAL_STAGES",
+    "REQUIRED_KEYS",
+    "SCHEMA_VERSION",
+    "RunManifest",
+    "manifest_problems",
+    "validate_manifest",
+    "DEFAULT_BUCKETS",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "current_metrics",
+    "set_metrics",
+    "use_metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Stopwatch",
+    "Tracer",
+    "current_tracer",
+    "iter_span_names",
+    "render_trace",
+    "set_tracer",
+    "tree_shape",
+    "use_tracer",
+    "activate",
+]

@@ -1,0 +1,236 @@
+"""Run manifests: one JSON document describing what a run did.
+
+A :class:`RunManifest` bundles the study configuration (seeds, scales,
+fault plan), the recorded span forest, a metrics snapshot, and the
+per-census health reports into a single machine-readable record — the
+pipeline's flight recorder.  Manifests are written atomically (temp file
++ ``os.replace``) so a crash mid-write never leaves a torn document, and
+:func:`validate_manifest` checks the documented schema so CI catches
+drift.
+
+Schema sketch (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "generator": "repro-anycast",
+      "created_unix": 1754000000.0,          # wall clock, manifest-only
+      "config": {...},                       # jsonable StudyConfig dump
+      "pipeline_stages": ["measurement", "detection", ...],
+      "trace": [ {"name", "attrs", "inclusive_s",
+                  "exclusive_s", "children": [...]}, ... ] | null,
+      "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+      "health": [ {...CampaignHealthReport...}, ... ]
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .metrics import MetricsRegistry, NullMetricsRegistry
+from .trace import NullTracer, Tracer, iter_span_names
+
+SCHEMA_VERSION = 1
+
+#: Keys every valid manifest must carry (CI validates against these).
+REQUIRED_KEYS = (
+    "schema_version",
+    "generator",
+    "created_unix",
+    "config",
+    "pipeline_stages",
+    "trace",
+    "metrics",
+    "health",
+)
+
+#: The paper pipeline's canonical stages, in pipeline order.  A manifest's
+#: ``pipeline_stages`` lists the subset whose spans the trace actually
+#: contains — a full study run covers all five.
+CANONICAL_STAGES = (
+    "measurement",
+    "detection",
+    "enumeration",
+    "geolocation",
+    "characterization",
+)
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Best-effort conversion of config/report objects to JSON types."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_to_jsonable(v) for v in items]
+    if hasattr(value, "tolist"):  # numpy arrays and scalars
+        return _to_jsonable(value.tolist())
+    if hasattr(value, "item"):
+        return value.item()
+    return repr(value)
+
+
+@dataclasses.dataclass
+class RunManifest:
+    """The machine-readable record of one pipeline run."""
+
+    config: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    trace: Optional[List[Dict[str, Any]]] = None
+    metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    health: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    pipeline_stages: List[str] = dataclasses.field(default_factory=list)
+    generator: str = "repro-anycast"
+    schema_version: int = SCHEMA_VERSION
+    #: Wall-clock creation time.  Lives only here — never in results.
+    created_unix: float = dataclasses.field(default_factory=time.time)
+
+    @classmethod
+    def collect(
+        cls,
+        config: Any = None,
+        tracer: Optional[Union[Tracer, NullTracer]] = None,
+        metrics: Optional[Union[MetricsRegistry, NullMetricsRegistry]] = None,
+        health: Iterable[Any] = (),
+    ) -> "RunManifest":
+        """Assemble a manifest from live pipeline objects.
+
+        ``config`` may be any dataclass (typically ``StudyConfig``);
+        ``health`` any iterable of ``CampaignHealthReport``-like objects.
+        A :class:`NullTracer` yields ``trace: null`` — the manifest still
+        validates, it just records that tracing was off.
+        """
+        trace = None
+        stages: List[str] = []
+        if tracer is not None and tracer.enabled:
+            trace = tracer.to_dicts()
+            seen = set(iter_span_names(tracer))
+            stages = [s for s in CANONICAL_STAGES if s in seen]
+        snapshot = (
+            metrics.snapshot()
+            if metrics is not None
+            else NullMetricsRegistry().snapshot()
+        )
+        return cls(
+            config=_to_jsonable(config) if config is not None else {},
+            trace=trace,
+            metrics=snapshot,
+            health=[_to_jsonable(h) for h in health],
+            pipeline_stages=stages,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "generator": self.generator,
+            "created_unix": self.created_unix,
+            "config": self.config,
+            "pipeline_stages": list(self.pipeline_stages),
+            "trace": self.trace,
+            "metrics": self.metrics,
+            "health": list(self.health),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: Union[str, os.PathLike]) -> pathlib.Path:
+        """Atomically write the manifest JSON to ``path``.
+
+        The document lands under a temporary name in the target directory
+        and is renamed into place, so readers never observe a torn file.
+        """
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        tmp = target.with_name(target.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+        return target
+
+
+def _span_problems(span: Any, path: str, problems: List[str]) -> None:
+    if not isinstance(span, dict):
+        problems.append(f"{path}: span is not an object")
+        return
+    for key in ("name", "inclusive_s", "exclusive_s", "children"):
+        if key not in span:
+            problems.append(f"{path}: span missing key {key!r}")
+    if not isinstance(span.get("children", []), list):
+        problems.append(f"{path}: span children is not a list")
+        return
+    for i, child in enumerate(span.get("children", [])):
+        _span_problems(child, f"{path}.children[{i}]", problems)
+
+
+def manifest_problems(doc: Any) -> List[str]:
+    """All schema violations of a parsed manifest document (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["manifest is not a JSON object"]
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            problems.append(f"missing required key {key!r}")
+    if problems:
+        return problems
+    if not isinstance(doc["schema_version"], int):
+        problems.append("schema_version must be an integer")
+    elif doc["schema_version"] > SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {doc['schema_version']} is newer than "
+            f"supported {SCHEMA_VERSION}"
+        )
+    if not isinstance(doc["config"], dict):
+        problems.append("config must be an object")
+    if not (
+        isinstance(doc["pipeline_stages"], list)
+        and all(isinstance(s, str) for s in doc["pipeline_stages"])
+    ):
+        problems.append("pipeline_stages must be a list of strings")
+    else:
+        unknown = [s for s in doc["pipeline_stages"] if s not in CANONICAL_STAGES]
+        if unknown:
+            problems.append(f"pipeline_stages contains unknown stages {unknown!r}")
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    else:
+        for family in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(family), dict):
+                problems.append(f"metrics.{family} must be an object")
+    if not isinstance(doc["health"], list):
+        problems.append("health must be a list")
+    trace = doc["trace"]
+    if trace is not None:
+        if not isinstance(trace, list):
+            problems.append("trace must be null or a list of spans")
+        else:
+            for i, span in enumerate(trace):
+                _span_problems(span, f"trace[{i}]", problems)
+    return problems
+
+
+def validate_manifest(doc: Any) -> None:
+    """Raise ``ValueError`` listing every schema violation in ``doc``."""
+    problems = manifest_problems(doc)
+    if problems:
+        raise ValueError(
+            "invalid run manifest:\n" + "\n".join(f"  - {p}" for p in problems)
+        )

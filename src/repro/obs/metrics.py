@@ -1,0 +1,254 @@
+"""Named counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the pipeline's tally sheet: instrumented
+code increments counters (``probes_sent``), sets gauges
+(``vps_quarantined``), and observes histograms (``disks_per_target``,
+``mis_size``) through the process-wide *current* registry
+(:func:`current_metrics`), which defaults to a free no-op
+:class:`NullMetricsRegistry`.
+
+Every recorded quantity is a deterministic function of the pipeline
+inputs — durations measured in *simulated* hours are fine, wall-clock
+time is not (that belongs in the tracer).  Two identical runs therefore
+produce identical :meth:`MetricsRegistry.snapshot` dicts, which the
+observability tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+#: Default histogram buckets: a generic 1-2-5 ladder that suits counts
+#: (disks per target, MIS sizes, iterations) out of the box.
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+
+
+class Counter:
+    """Monotonically-increasing integer count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> Union[int, float]:
+        return self.value
+
+
+class Gauge:
+    """Last-written value (set-style, not add-style)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: Optional[Union[int, float]] = None
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Optional[Union[int, float]]:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are upper bounds (inclusive); one overflow bucket catches
+    everything above the last bound.  Bounds are fixed at creation so
+    snapshots from different runs are structurally comparable.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("buckets must be a non-empty increasing sequence")
+        self.bounds = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        v = float(value)
+        if v != v:  # NaN (e.g. a failed VP's duration) is not observable
+            return
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if v <= bound:
+                idx = i
+                break
+        self.bucket_counts[idx] += 1
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif instrument.kind != kind:
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"requested {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, "gauge")
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(buckets), "histogram")
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Plain-dict snapshot: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with names sorted for stable output."""
+        out: Dict[str, Dict[str, Any]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            out[instrument.kind + "s"][name] = instrument.snapshot()
+        return out
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    mean = 0.0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Process-wide disabled registry (the default).
+NULL_METRICS = NullMetricsRegistry()
+
+_current: Union[MetricsRegistry, NullMetricsRegistry] = NULL_METRICS
+
+
+def current_metrics() -> Union[MetricsRegistry, NullMetricsRegistry]:
+    """The process-wide registry instrumented code reports to."""
+    return _current
+
+
+def set_metrics(
+    registry: Union[MetricsRegistry, NullMetricsRegistry],
+) -> Union[MetricsRegistry, NullMetricsRegistry]:
+    """Install ``registry`` process-wide; returns the previous one."""
+    global _current
+    previous = _current
+    _current = registry
+    return previous
+
+
+class use_metrics:
+    """Scoped installation: ``with use_metrics(m): ...`` restores on exit."""
+
+    def __init__(self, registry: Union[MetricsRegistry, NullMetricsRegistry]) -> None:
+        self._registry = registry
+        self._previous: Union[MetricsRegistry, NullMetricsRegistry] = NULL_METRICS
+
+    def __enter__(self) -> Union[MetricsRegistry, NullMetricsRegistry]:
+        self._previous = set_metrics(self._registry)
+        return self._registry
+
+    def __exit__(self, *exc: object) -> bool:
+        set_metrics(self._previous)
+        return False

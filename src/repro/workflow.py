@@ -12,8 +12,10 @@ the subpackage APIs for custom studies.
 
 from __future__ import annotations
 
+import contextlib
+import pathlib
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterator, List, Optional, Union
 
 from .census.analysis import AnalysisResult, CensusFunnel, analyze_matrix, census_funnel
 from .census.characterize import Characterization
@@ -29,6 +31,16 @@ from .measurement.faults import FaultPlan, RetryPolicy
 from .measurement.httpprobe import SiteCodeBook
 from .measurement.platform import Platform, planetlab_platform
 from .measurement.portscan import PortscanReport, run_portscan
+from .obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    NullTracer,
+    RunManifest,
+    Tracer,
+    activate,
+)
 
 
 @dataclass
@@ -52,6 +64,13 @@ class StudyConfig:
     min_vp_quorum: int = 1
     #: Journal directory for checkpoint/resume of censuses (optional).
     checkpoint_dir: Optional[str] = None
+    #: Record a hierarchical span tree of every pipeline stage.  Purely
+    #: observational: results are byte-identical with tracing on or off.
+    trace: bool = False
+    #: Record pipeline metrics (probe counters, iGreedy histograms, ...).
+    metrics: bool = False
+    #: Default path for :meth:`CensusStudy.write_manifest` (optional).
+    manifest_path: Optional[str] = None
 
 
 class CensusStudy:
@@ -67,6 +86,14 @@ class CensusStudy:
 
     def __init__(self, config: Optional[StudyConfig] = None) -> None:
         self.config = config or StudyConfig()
+        #: Span collector; a shared no-op unless ``config.trace`` is set.
+        self.tracer: Union[Tracer, NullTracer] = (
+            Tracer() if self.config.trace else NULL_TRACER
+        )
+        #: Metric store; a shared no-op unless ``config.metrics`` is set.
+        self.metrics: Union[MetricsRegistry, NullMetricsRegistry] = (
+            MetricsRegistry() if self.config.metrics else NULL_METRICS
+        )
         self._internet: Optional[SyntheticInternet] = None
         self._platform: Optional[Platform] = None
         self._campaign: Optional[CensusCampaign] = None
@@ -79,28 +106,47 @@ class CensusStudy:
         self._codebook: Optional[SiteCodeBook] = None
         self.city_db: CityDB = default_city_db()
 
+    # -- observability ---------------------------------------------------
+
+    @contextlib.contextmanager
+    def _stage(self, name: str) -> Iterator[None]:
+        """Run one pipeline stage under this study's tracer and metrics.
+
+        Installs the study's tracer/registry as the process-wide defaults
+        (so deep instrumentation in campaign/iGreedy reports here) and
+        opens a stage span.  With observability off this is a handful of
+        attribute lookups around the stage.
+        """
+        with activate(self.tracer, self.metrics):
+            with self.tracer.span(name):
+                yield
+
     # -- substrate -----------------------------------------------------
 
     @property
     def internet(self) -> SyntheticInternet:
         if self._internet is None:
-            self._internet = SyntheticInternet(self.config.internet)
+            with self._stage("internet"):
+                self._internet = SyntheticInternet(self.config.internet)
         return self._internet
 
     @property
     def platform(self) -> Platform:
         if self._platform is None:
-            self._platform = planetlab_platform(
-                count=self.config.n_vantage_points,
-                seed=self.config.platform_seed,
-                city_db=self.city_db,
-            )
+            with self._stage("platform"):
+                self._platform = planetlab_platform(
+                    count=self.config.n_vantage_points,
+                    seed=self.config.platform_seed,
+                    city_db=self.city_db,
+                )
         return self._platform
 
     @property
     def hitlist(self) -> Hitlist:
         if self._hitlist is None:
-            self._hitlist = generate_hitlist(self.internet)
+            internet = self.internet
+            with self._stage("hitlist"):
+                self._hitlist = generate_hitlist(internet)
         return self._hitlist
 
     # -- measurement ----------------------------------------------------
@@ -122,17 +168,27 @@ class CensusStudy:
     @property
     def censuses(self) -> List[Census]:
         if self._censuses is None:
-            self._censuses = self.campaign.run(
-                n_censuses=self.config.n_censuses,
-                availability=self.config.availability,
-                checkpoint_dir=self.config.checkpoint_dir,
-            )
+            campaign = self.campaign
+            with self._stage("measurement"):
+                self._censuses = campaign.run(
+                    n_censuses=self.config.n_censuses,
+                    availability=self.config.availability,
+                    checkpoint_dir=self.config.checkpoint_dir,
+                )
         return self._censuses
 
     @property
     def health_reports(self) -> List[CampaignHealthReport]:
-        """Per-census supervision reports (faults, retries, salvage)."""
-        return [census.health for census in self.censuses]
+        """Per-census supervision reports (faults, retries, salvage).
+
+        Lazy in the read-only sense: this reflects only censuses that have
+        already been materialized and returns ``[]`` otherwise, rather
+        than forcing a full campaign run just to look at health.  Access
+        :attr:`censuses` first when you want the campaign to run.
+        """
+        if self._censuses is None:
+            return []
+        return [census.health for census in self._censuses]
 
     # -- analysis --------------------------------------------------------
 
@@ -140,21 +196,27 @@ class CensusStudy:
     def matrix(self) -> RttMatrix:
         """Minimum-RTT combination of all censuses."""
         if self._matrix is None:
-            self._matrix = combine_censuses(self.censuses)
+            censuses = self.censuses
+            with self._stage("combine"):
+                self._matrix = combine_censuses(censuses)
         return self._matrix
 
     @property
     def analysis(self) -> AnalysisResult:
         if self._analysis is None:
-            self._analysis = analyze_matrix(
-                self.matrix, city_db=self.city_db, config=self.config.igreedy
-            )
+            matrix = self.matrix
+            with self._stage("analysis"):
+                self._analysis = analyze_matrix(
+                    matrix, city_db=self.city_db, config=self.config.igreedy
+                )
         return self._analysis
 
     @property
     def characterization(self) -> Characterization:
         if self._characterization is None:
-            self._characterization = Characterization(self.analysis, self.internet)
+            analysis, internet = self.analysis, self.internet
+            with self._stage("characterization"):
+                self._characterization = Characterization(analysis, internet)
         return self._characterization
 
     # -- cross-checks ------------------------------------------------------
@@ -173,8 +235,40 @@ class CensusStudy:
     @property
     def portscan(self) -> PortscanReport:
         if self._portscan is None:
-            self._portscan = run_portscan(self.internet)
+            internet = self.internet
+            with self._stage("portscan"):
+                self._portscan = run_portscan(internet)
         return self._portscan
+
+    # -- run manifest ----------------------------------------------------
+
+    @property
+    def manifest(self) -> RunManifest:
+        """A run manifest of everything this study has computed so far.
+
+        Covers the config, the recorded span forest (when tracing), the
+        metric snapshot (when metering), and the health reports of every
+        materialized census — without forcing any stage to run.
+        """
+        return RunManifest.collect(
+            config=self.config,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            health=self.health_reports,
+        )
+
+    def write_manifest(self, path: Optional[str] = None) -> pathlib.Path:
+        """Atomically write the run manifest JSON.
+
+        ``path`` defaults to ``config.manifest_path``; one of the two must
+        be set.
+        """
+        target = path or self.config.manifest_path
+        if target is None:
+            raise ValueError(
+                "no manifest path: pass one or set StudyConfig.manifest_path"
+            )
+        return self.manifest.write(target)
 
     @property
     def codebook(self) -> SiteCodeBook:
@@ -196,7 +290,9 @@ class CensusStudy:
         )
 
 
-def small_study(seed: int = 2015) -> CensusStudy:
+def small_study(
+    seed: int = 2015, trace: bool = False, metrics: bool = False
+) -> CensusStudy:
     """A laptop-scale study (seconds, not minutes) for examples and tests."""
     return CensusStudy(
         StudyConfig(
@@ -205,5 +301,7 @@ def small_study(seed: int = 2015) -> CensusStudy:
             ),
             n_vantage_points=120,
             n_censuses=2,
+            trace=trace,
+            metrics=metrics,
         )
     )

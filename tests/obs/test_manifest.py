@@ -1,0 +1,126 @@
+"""Unit tests for run manifests (collection, atomic write, validation)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CANONICAL_STAGES,
+    REQUIRED_KEYS,
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    manifest_problems,
+    validate_manifest,
+)
+
+
+def _traced_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("measurement"):
+        with tracer.span("census", census_id=1):
+            pass
+    with tracer.span("analysis"):
+        with tracer.span("detection"):
+            pass
+        with tracer.span("igreedy"):
+            with tracer.span("enumeration"):
+                pass
+            with tracer.span("geolocation"):
+                pass
+    with tracer.span("characterization"):
+        pass
+    return tracer
+
+
+class TestCollect:
+    def test_pipeline_stages_derived_from_trace(self):
+        manifest = RunManifest.collect(tracer=_traced_tracer())
+        assert manifest.pipeline_stages == list(CANONICAL_STAGES)
+
+    def test_partial_trace_partial_stages(self):
+        tracer = Tracer()
+        with tracer.span("measurement"):
+            pass
+        manifest = RunManifest.collect(tracer=tracer)
+        assert manifest.pipeline_stages == ["measurement"]
+
+    def test_null_tracer_gives_null_trace(self):
+        manifest = RunManifest.collect()
+        assert manifest.trace is None
+        assert manifest.pipeline_stages == []
+        validate_manifest(manifest.to_dict())
+
+    def test_config_dataclass_serialized(self):
+        from repro.workflow import StudyConfig
+
+        manifest = RunManifest.collect(config=StudyConfig())
+        assert manifest.config["n_vantage_points"] == 308
+        assert manifest.config["fault_plan"]["crash_prob"] == 0.0
+        json.dumps(manifest.to_dict())  # fully JSON-serializable
+
+    def test_metrics_snapshot_embedded(self):
+        registry = MetricsRegistry()
+        registry.counter("probes_sent").inc(7)
+        manifest = RunManifest.collect(metrics=registry)
+        assert manifest.metrics["counters"]["probes_sent"] == 7
+
+
+class TestWrite:
+    def test_atomic_write_and_reload(self, tmp_path):
+        target = tmp_path / "nested" / "run.json"
+        path = RunManifest.collect(tracer=_traced_tracer()).write(target)
+        assert path == target
+        doc = json.loads(target.read_text())
+        validate_manifest(doc)
+        # No temp file left behind.
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        target = tmp_path / "run.json"
+        RunManifest.collect().write(target)
+        RunManifest.collect(tracer=_traced_tracer()).write(target)
+        doc = json.loads(target.read_text())
+        assert doc["pipeline_stages"] == list(CANONICAL_STAGES)
+
+
+class TestValidation:
+    def _valid_doc(self):
+        return RunManifest.collect(tracer=_traced_tracer()).to_dict()
+
+    def test_valid_doc_passes(self):
+        assert manifest_problems(self._valid_doc()) == []
+
+    @pytest.mark.parametrize("key", REQUIRED_KEYS)
+    def test_each_required_key_enforced(self, key):
+        doc = self._valid_doc()
+        del doc[key]
+        with pytest.raises(ValueError, match=key):
+            validate_manifest(doc)
+
+    def test_non_object_rejected(self):
+        assert manifest_problems([1, 2]) == ["manifest is not a JSON object"]
+
+    def test_unknown_stage_rejected(self):
+        doc = self._valid_doc()
+        doc["pipeline_stages"] = ["measurement", "astrology"]
+        with pytest.raises(ValueError, match="astrology"):
+            validate_manifest(doc)
+
+    def test_future_schema_rejected(self):
+        doc = self._valid_doc()
+        doc["schema_version"] = 999
+        with pytest.raises(ValueError, match="newer"):
+            validate_manifest(doc)
+
+    def test_malformed_span_rejected(self):
+        doc = self._valid_doc()
+        doc["trace"][0]["children"] = [{"name": "orphan"}]  # missing keys
+        with pytest.raises(ValueError, match="children\\[0\\]"):
+            validate_manifest(doc)
+
+    def test_metrics_families_enforced(self):
+        doc = self._valid_doc()
+        doc["metrics"] = {"counters": {}}
+        with pytest.raises(ValueError, match="gauges"):
+            validate_manifest(doc)

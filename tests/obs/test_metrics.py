@@ -1,0 +1,129 @@
+"""Unit tests for the metrics layer (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    current_metrics,
+    use_metrics,
+)
+
+
+class TestCounter:
+    def test_counts_up(self):
+        registry = MetricsRegistry()
+        registry.counter("probes_sent").inc()
+        registry.counter("probes_sent").inc(41)
+        assert registry.counter("probes_sent").value == 42
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("vps_quarantined").set(3)
+        registry.gauge("vps_quarantined").set(1)
+        assert registry.gauge("vps_quarantined").value == 1
+
+    def test_unset_is_none(self):
+        assert MetricsRegistry().gauge("g").value is None
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram(buckets=(1, 5, 10))
+        for v in (0.5, 1, 3, 7, 100):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.min == 0.5
+        assert h.max == 100
+        assert h.mean == pytest.approx(111.5 / 5)
+
+    def test_nan_is_skipped(self):
+        h = Histogram(buckets=(1,))
+        h.observe(float("nan"))
+        assert h.count == 0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5, 1))
+
+    def test_snapshot_shape(self):
+        h = Histogram(buckets=(1, 2))
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["bounds"] == [1.0, 2.0]
+        assert snap["bucket_counts"] == [0, 1, 0]
+        assert snap["count"] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_sorted_plain_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("zulu").inc(1)
+        registry.counter("alpha").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(3)
+        snap = registry.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["alpha", "zulu"]
+        assert snap["gauges"]["g"] == 7
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestNullRegistry:
+    def test_everything_is_noop(self):
+        registry = NullMetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2)
+        assert len(registry) == 0
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_instruments_are_shared(self):
+        registry = NullMetricsRegistry()
+        assert registry.counter("a") is registry.histogram("b")
+
+
+class TestCurrentMetrics:
+    def test_default_is_null(self):
+        assert current_metrics() is NULL_METRICS
+
+    def test_use_metrics_restores(self):
+        registry = MetricsRegistry()
+        before = current_metrics()
+        with use_metrics(registry):
+            assert current_metrics() is registry
+            current_metrics().counter("seen").inc()
+        assert current_metrics() is before
+        assert registry.counter("seen").value == 1

@@ -29,6 +29,14 @@ class TestParser:
         assert args.scan_timeout is None
         assert args.checkpoint_dir is None
 
+    def test_manifest_defaults_to_none(self):
+        args = build_parser().parse_args(["glance"])
+        assert args.manifest is None
+
+    def test_trace_and_stats_subcommands_parse(self):
+        assert build_parser().parse_args(["trace"]).command == "trace"
+        assert build_parser().parse_args(["stats"]).command == "stats"
+
 
 class TestCommands:
     def test_glance(self, capsys):
@@ -91,3 +99,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "faults seen:" in out
         assert "faults seen:        none" not in out
+
+    def test_trace_renders_span_tree(self, capsys):
+        assert main(SCALE + ["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "measurement" in out
+        assert "analysis" in out
+        assert "vp_scan" in out
+        assert "igreedy" in out
+        # Hierarchy: child spans are indented under their parent.
+        assert "\n  census" in out or "\n  precensus" in out
+
+    def test_stats_prints_metrics_table(self, capsys):
+        assert main(SCALE + ["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "metric" in out
+        assert "probes_sent" in out
+        assert "disks_per_target" in out
+
+    def test_manifest_flag_writes_valid_json(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import CANONICAL_STAGES, validate_manifest
+
+        path = tmp_path / "run.json"
+        assert main(SCALE + ["--manifest", str(path), "glance"]) == 0
+        err = capsys.readouterr().err
+        assert str(path) in err
+        doc = json.loads(path.read_text())
+        validate_manifest(doc)
+        assert doc["pipeline_stages"] == list(CANONICAL_STAGES)
+        assert doc["config"]["n_censuses"] == 1
+
+    def test_without_manifest_flag_nothing_is_traced(self, capsys):
+        assert main(SCALE + ["glance"]) == 0
+        err = capsys.readouterr().err
+        assert "manifest" not in err

@@ -24,9 +24,10 @@ ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
 
 class TestExamples:
-    def test_seven_examples_present(self):
-        assert len(ALL_EXAMPLES) == 7
+    def test_eight_examples_present(self):
+        assert len(ALL_EXAMPLES) == 8
         assert "quickstart.py" in ALL_EXAMPLES
+        assert "trace_study.py" in ALL_EXAMPLES
 
     @pytest.mark.parametrize("name", ALL_EXAMPLES)
     def test_imports_cleanly(self, name):

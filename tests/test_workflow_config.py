@@ -65,12 +65,18 @@ class TestConfigPropagation:
 
         study = CensusStudy(tiny_config(fault_plan=FaultPlan.uniform(0.3, seed=4)))
         assert study.campaign.fault_plan.crash_prob == pytest.approx(0.1)
+        # health_reports is lazy: nothing materialized means no reports ...
+        assert study.health_reports == []
+        # ... and accessing the censuses surfaces them.
+        _ = study.censuses
         reports = study.health_reports
         assert len(reports) == 1
         assert reports[0].n_faults > 0
 
     def test_default_plan_yields_clean_reports(self):
         study = CensusStudy(tiny_config(n_censuses=2))
+        _ = study.censuses
+        assert len(study.health_reports) == 2
         assert all(not r.degraded for r in study.health_reports)
         assert all(r.faults_seen == {} for r in study.health_reports)
 
