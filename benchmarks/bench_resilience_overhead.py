@@ -1,0 +1,69 @@
+"""Resilience overhead — guarding clean data must be nearly free.
+
+The resilience layer sits on every stage boundary, so its clean-path
+cost is paid by *every* supervised study.  The sanitizers are built for
+a zero-copy fast path (a clean batch is returned as the same object), so
+the guarded run must stay within a small factor of the bare run.  We
+also record the chaos-path cost: a fully supervised run under a 25%
+NaN-RTT poison, which exercises quarantine accounting, matrix rebuilds,
+and confidence verdicts.
+"""
+
+from conftest import write_exhibit
+
+from repro.measurement.faults import PoisonKind, PoisonPlan
+from repro.obs import Stopwatch
+from repro.resilience import ResiliencePolicy
+from repro.workflow import small_study
+
+ROUNDS = 3
+MAX_RELATIVE_OVERHEAD = 0.05
+ABSOLUTE_SLACK_S = 0.05
+
+
+def _timed_run(resilience=None, poison=None) -> float:
+    study = small_study(seed=2015, resilience=resilience, poison=poison)
+    with Stopwatch() as sw:
+        study.characterization  # force the full pipeline
+    return sw.elapsed_s
+
+
+def test_resilience_overhead(results_dir):
+    _timed_run()  # warm up imports / allocator before timing anything
+
+    plain, guarded, chaos = [], [], []
+    for _ in range(ROUNDS):  # interleaved so drift hits all arms equally
+        plain.append(_timed_run())
+        guarded.append(_timed_run(resilience=ResiliencePolicy()))
+        chaos.append(
+            _timed_run(
+                resilience=ResiliencePolicy(),
+                poison=PoisonPlan.single(PoisonKind.NAN_RTT, 0.25),
+            )
+        )
+
+    t_plain, t_guarded, t_chaos = min(plain), min(guarded), min(chaos)
+    overhead = t_guarded - t_plain
+    relative = overhead / t_plain
+
+    probe = small_study(seed=2015, resilience=ResiliencePolicy())
+    probe.characterization
+    stages = len(probe.degradation_report.stages)
+
+    lines = [
+        "metric                              budget         measured",
+        f"bare pipeline (best of {ROUNDS})                           {t_plain * 1000.0:.1f} ms",
+        f"supervised, clean (best of {ROUNDS})                       {t_guarded * 1000.0:.1f} ms",
+        f"supervised, 25% NaN poison (best of {ROUNDS})              {t_chaos * 1000.0:.1f} ms",
+        f"clean-path overhead                                {overhead * 1000.0:+.1f} ms",
+        f"clean-path relative overhead        < 5%           {relative * 100.0:+.2f}%",
+        f"stages supervised per run                          {stages}",
+        f"items quarantined on clean run      0              {probe.quarantine.total}",
+    ]
+    write_exhibit(results_dir, "resilience_overhead", lines)
+
+    assert probe.quarantine.total == 0
+    assert overhead <= MAX_RELATIVE_OVERHEAD * t_plain + ABSOLUTE_SLACK_S, (
+        f"resilience overhead {overhead * 1000.0:.1f} ms "
+        f"({relative * 100.0:.1f}%) exceeds the 5% budget"
+    )

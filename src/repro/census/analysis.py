@@ -34,10 +34,19 @@ class AnalysisResult:
     anycast_mask: np.ndarray
     #: Full iGreedy output for each detected prefix.
     results: Dict[int, IGreedyResult] = field(default_factory=dict)
+    #: Per-target confidence verdict ("full" / "degraded" /
+    #: "insufficient"), attached by the resilience layer when the input
+    #: matrix was sanitized.  Empty means no verdicts were computed —
+    #: consumers should treat every target as full confidence then.
+    confidence: Dict[int, str] = field(default_factory=dict)
 
     @property
     def anycast_prefixes(self) -> List[int]:
         return [int(p) for p in self.prefixes[self.anycast_mask]]
+
+    def confidence_of(self, prefix: int) -> str:
+        """The confidence verdict for one target (default ``"full"``)."""
+        return self.confidence.get(int(prefix), "full")
 
     @property
     def n_anycast(self) -> int:

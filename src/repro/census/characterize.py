@@ -93,6 +93,36 @@ class Characterization:
             fp.cities.update(c.key for c in result.cities)
 
     # ------------------------------------------------------------------
+    # Confidence (resilience layer): honest labelling of degraded input
+    # ------------------------------------------------------------------
+
+    @property
+    def has_confidence(self) -> bool:
+        """Whether the analysis carries per-target confidence verdicts."""
+        return bool(self.analysis.confidence)
+
+    def confidence_counts(self) -> Dict[str, int]:
+        """Per-verdict target tally (empty when no verdicts were computed)."""
+        counts: Dict[str, int] = {}
+        for verdict in self.analysis.confidence.values():
+            counts[verdict] = counts.get(verdict, 0) + 1
+        return counts
+
+    def footprint_confidence(self, footprint: ASFootprint) -> str:
+        """The weakest verdict among a footprint's /24s (default ``full``).
+
+        An AS aggregated from any degraded target is itself degraded —
+        tables must not launder partial inputs into full-confidence rows.
+        """
+        order = {"full": 0, "degraded": 1, "insufficient": 2}
+        worst = "full"
+        for prefix in footprint.prefixes:
+            verdict = self.analysis.confidence_of(prefix)
+            if order.get(verdict, 0) > order[worst]:
+                worst = verdict
+        return worst
+
+    # ------------------------------------------------------------------
     # Fig. 9 — top ASes by geographical footprint
     # ------------------------------------------------------------------
 

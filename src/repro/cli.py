@@ -19,14 +19,31 @@ from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import List, Optional
 
 from .census.report import format_table
 from .internet.topology import InternetConfig
 from .measurement.campaign import CensusAborted
-from .measurement.faults import FaultPlan, RetryPolicy
+from .measurement.faults import FaultPlan, PoisonKind, PoisonPlan, RetryPolicy
 from .obs import render_trace
+from .resilience import ResiliencePolicy, StageFailed
 from .workflow import CensusStudy, StudyConfig
+
+#: Exit codes (documented in docs/API_GUIDE.md).  0 = success; 2 is
+#: argparse's usage-error code; supervised aborts and unexpected crashes
+#: get distinct codes so scripts can tell "the campaign gave up per
+#: policy" from "the tool itself broke".
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_ABORTED = 3
+EXIT_UNEXPECTED = 4
+
+_POLICIES = {
+    "off": None,
+    "on": ResiliencePolicy.permissive,
+    "strict": ResiliencePolicy.strict,
+}
 
 
 def _build_study(args: argparse.Namespace) -> CensusStudy:
@@ -34,6 +51,12 @@ def _build_study(args: argparse.Namespace) -> CensusStudy:
         args.fault_rate, seed=args.fault_seed, flap_prob=args.flap_prob
     )
     retry = RetryPolicy(timeout_hours=args.scan_timeout)
+    policy_factory = _POLICIES[args.resilience_policy]
+    poison = None
+    if args.poison is not None:
+        poison = PoisonPlan.single(
+            args.poison, fraction=args.poison_fraction, seed=args.poison_seed
+        )
     # A manifest is only worth writing with observability on; the trace
     # and stats subcommands obviously need their respective layer too.
     want_manifest = args.manifest is not None
@@ -53,6 +76,8 @@ def _build_study(args: argparse.Namespace) -> CensusStudy:
             trace=want_manifest or args.command == "trace",
             metrics=want_manifest or args.command in ("trace", "stats"),
             manifest_path=args.manifest,
+            resilience=policy_factory() if policy_factory is not None else None,
+            poison=poison,
         )
     )
 
@@ -67,19 +92,28 @@ def _cmd_glance(study: CensusStudy, args: argparse.Namespace) -> int:
 
 
 def _cmd_top(study: CensusStudy, args: argparse.Namespace) -> int:
+    char = study.characterization
+    # A confidence column appears only when some verdict is non-full, so
+    # clean runs print exactly what they always printed.
+    counts = char.confidence_counts()
+    marked = any(counts.get(v, 0) for v in ("degraded", "insufficient"))
     rows = []
-    for fp in study.characterization.top_ases(k=args.k):
-        rows.append(
-            (
-                fp.autonomous_system.whois_label,
-                fp.autonomous_system.category.value,
-                fp.n_ip24,
-                f"{fp.mean_replicas:.1f}",
-                f"{fp.std_replicas:.1f}",
-                len(fp.cities),
-            )
+    for fp in char.top_ases(k=args.k):
+        row = (
+            fp.autonomous_system.whois_label,
+            fp.autonomous_system.category.value,
+            fp.n_ip24,
+            f"{fp.mean_replicas:.1f}",
+            f"{fp.std_replicas:.1f}",
+            len(fp.cities),
         )
-    print(format_table(rows, ["AS", "category", "IP/24", "replicas", "std", "cities"]))
+        if marked:
+            row += (char.footprint_confidence(fp),)
+        rows.append(row)
+    headers = ["AS", "category", "IP/24", "replicas", "std", "cities"]
+    if marked:
+        headers.append("confidence")
+    print(format_table(rows, headers))
     return 0
 
 
@@ -160,6 +194,17 @@ def _cmd_health(study: CensusStudy, args: argparse.Namespace) -> int:
     print(f"quarantined VPs: {len(quarantined)}")
     for name in quarantined:
         print(f"  {name}")
+    if study.supervisor is not None:
+        # With the resilience layer on, surface the data quarantine and
+        # the per-stage degradation picture too.  Force the analysis so
+        # the report covers the whole pipeline, not just measurement.
+        study.analysis
+        for line in study.quarantine.summary_lines():
+            print(line)
+        report = study.degradation_report
+        if report is not None:
+            for line in report.summary_lines():
+                print(line)
     return 0
 
 
@@ -201,6 +246,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--manifest", default=None, metavar="PATH",
                         help="write a JSON run manifest (config, trace, "
                              "metrics, health) after the command")
+    parser.add_argument("--resilience-policy", choices=sorted(_POLICIES),
+                        default="off",
+                        help="stage supervision + data quarantine: 'on' "
+                             "degrades-and-continues on corrupt input, "
+                             "'strict' validates but fails instead of "
+                             "degrading (default: off)")
+    parser.add_argument("--poison", choices=[k.value for k in PoisonKind],
+                        default=None, metavar="MODE",
+                        help="chaos harness: poison data between pipeline "
+                             "stages (testing aid; combine with "
+                             "--resilience-policy to exercise degraded mode)")
+    parser.add_argument("--poison-fraction", type=float, default=0.25,
+                        help="fraction of items the poison mode hits")
+    parser.add_argument("--poison-seed", type=int, default=0,
+                        help="seed of the data poisoner")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("glance", help="Fig. 10 summary table").set_defaults(func=_cmd_glance)
@@ -245,7 +305,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(study, args)
     except CensusAborted as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ABORTED
+    except StageFailed as exc:
+        if isinstance(exc.__cause__, CensusAborted):
+            # Supervised variant of the same policy decision.
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_ABORTED
+        traceback.print_exc(file=sys.stderr)
+        return EXIT_UNEXPECTED
+    except Exception:  # noqa: BLE001 — last-resort boundary, code 4
+        traceback.print_exc(file=sys.stderr)
+        return EXIT_UNEXPECTED
     finally:
         # Write the manifest even after an abort: it records what the
         # supervisor saw up to the failure.

@@ -30,16 +30,25 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
+from ..geo.coords import GeoPoint
+from ..internet.hitlist import HitlistEntry
 from .prober import VpScanResult
 from .recordio import CensusRecords
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (combine -> campaign)
+    from ..census.combine import RttMatrix
 
 #: Domain-separation constant mixed into every fault RNG key so fault
 #: draws can never collide with the scan RNG streams.
 _FAULT_SALT = 0x5FA17
+
+#: Separate salt for the data poisoner: poison draws are independent of
+#: node-fault draws even under the same seed.
+_POISON_SALT = 0x901507
 
 
 class FaultKind(enum.Enum):
@@ -324,3 +333,176 @@ class VpHealthTracker:
 
     def __len__(self) -> int:
         return len(self._health)
+
+
+# ----------------------------------------------------------------------
+# Chaos harness: poisoning data *between* stages
+# ----------------------------------------------------------------------
+
+
+class PoisonKind(enum.Enum):
+    """The inter-stage data-corruption archetypes the chaos tests drive.
+
+    Where :class:`FaultKind` models *nodes* misbehaving during the
+    measurement phase, these model the *data* rotting on its way between
+    pipeline stages: storage mangling RTT fields, geolocation feeds
+    shipping impossible vantage-point coordinates, archives losing
+    sample fractions, hitlist files with malformed rows.
+    """
+
+    #: Reply records whose RTT field became NaN.
+    NAN_RTT = "nan_rtt"
+    #: Reply records whose RTT collapsed below any physical round trip.
+    SUPERLUMINAL_RTT = "superluminal_rtt"
+    #: Vantage points whose coordinates left the surface of the Earth.
+    CORRUPT_VP_COORDS = "corrupt_vp_coords"
+    #: Matrix cells that claim a contributing sample but lost the RTT.
+    DROP_SAMPLES = "drop_samples"
+    #: Hitlist rows with broken prefixes, drifted addresses, duplicates.
+    MALFORMED_HITLIST = "malformed_hitlist"
+
+
+@dataclass(frozen=True)
+class PoisonPlan:
+    """Per-mode poisoning fractions for one study, plus the poison seed.
+
+    Each fraction selects what share of the relevant population is
+    poisoned: reply *records* for the RTT modes, matrix *VP columns* for
+    coordinate corruption, filled matrix *cells* for sample loss, and
+    hitlist *rows* for malformation.  The default plan poisons nothing.
+    """
+
+    nan_rtt: float = 0.0
+    superluminal_rtt: float = 0.0
+    corrupt_vp_coords: float = 0.0
+    drop_samples: float = 0.0
+    malformed_hitlist: float = 0.0
+    #: Seed of the poison RNG — independent from fault and scan seeds.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for kind in PoisonKind:
+            value = getattr(self, kind.value)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{kind.value} must be in [0, 1], got {value!r}")
+        if self.seed < 0:
+            raise ValueError("poison seed must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return any(getattr(self, kind.value) > 0.0 for kind in PoisonKind)
+
+    @classmethod
+    def single(
+        cls, kind: "PoisonKind | str", fraction: float, seed: int = 0
+    ) -> "PoisonPlan":
+        """A plan poisoning exactly one mode — the chaos-matrix building
+        block (``PoisonPlan.single(PoisonKind.NAN_RTT, 0.5)``)."""
+        key = kind.value if isinstance(kind, PoisonKind) else PoisonKind(kind).value
+        return cls(**{key: fraction, "seed": seed})
+
+
+def _impossible_point(lat: float, lon: float) -> GeoPoint:
+    """A GeoPoint carrying out-of-range coordinates.
+
+    Bypasses ``GeoPoint.__post_init__`` deliberately: this models
+    upstream data that *skipped* validation (a geolocation feed is under
+    no obligation to run our constructors), which is exactly what the
+    sanitizers must catch.
+    """
+    point = object.__new__(GeoPoint)
+    object.__setattr__(point, "lat", float(lat))
+    object.__setattr__(point, "lon", float(lon))
+    return point
+
+
+class DataPoisoner:
+    """Applies a :class:`PoisonPlan` to inter-stage data structures.
+
+    Like :class:`FaultInjector`, all randomness is keyed rather than
+    streamed — poisoning the same structure under the same plan always
+    mangles the same elements, so chaos tests are reproducible.
+    """
+
+    def __init__(self, plan: PoisonPlan) -> None:
+        self.plan = plan
+
+    def _rng(self, *keys: int) -> np.random.Generator:
+        return np.random.default_rng([_POISON_SALT, self.plan.seed, *keys])
+
+    def poison_records(self, records: CensusRecords, key: int = 0) -> CensusRecords:
+        """Poison RTT fields of a copy of one census's reply records."""
+        plan = self.plan
+        if (plan.nan_rtt <= 0.0 and plan.superluminal_rtt <= 0.0) or not len(records):
+            return records
+        rtt = records.rtt_ms.copy()
+        reply_rows = np.nonzero(records.flag == 0)[0]
+        if len(reply_rows) == 0:
+            return records
+        if plan.nan_rtt > 0.0:
+            rng = self._rng(key, 0x7A7)
+            hit = reply_rows[rng.random(len(reply_rows)) < plan.nan_rtt]
+            rtt[hit] = np.nan
+        if plan.superluminal_rtt > 0.0:
+            rng = self._rng(key, 0x5C1)
+            hit = reply_rows[rng.random(len(reply_rows)) < plan.superluminal_rtt]
+            rtt[hit] = np.float32(1e-6)
+        return CensusRecords(
+            census_id=records.census_id,
+            vp_index=records.vp_index.copy(),
+            prefix=records.prefix.copy(),
+            timestamp_ms=records.timestamp_ms.copy(),
+            rtt_ms=rtt,
+            flag=records.flag.copy(),
+        )
+
+    def poison_matrix(self, matrix: "RttMatrix") -> "RttMatrix":
+        """Poison a combined RTT matrix (coordinates and sample loss)."""
+        plan = self.plan
+        if plan.corrupt_vp_coords <= 0.0 and plan.drop_samples <= 0.0:
+            return matrix
+        import dataclasses
+
+        locations = list(matrix.vp_locations)
+        rtt = matrix.rtt_ms
+        if plan.corrupt_vp_coords > 0.0 and matrix.n_vps:
+            rng = self._rng(0xC00)
+            hit = np.nonzero(rng.random(matrix.n_vps) < plan.corrupt_vp_coords)[0]
+            for j in hit:
+                locations[int(j)] = _impossible_point(
+                    lat=float(rng.uniform(91.0, 1000.0)),
+                    lon=float(rng.uniform(181.0, 1000.0)),
+                )
+        if plan.drop_samples > 0.0:
+            rng = self._rng(0xD09)
+            rtt = rtt.copy()
+            filled = ~np.isnan(rtt)
+            # RTT vanishes, sample_count still claims a contribution:
+            # torn data, distinguishable from honest silence.
+            lost = filled & (rng.random(rtt.shape) < plan.drop_samples)
+            rtt[lost] = np.nan
+        return dataclasses.replace(matrix, vp_locations=locations, rtt_ms=rtt)
+
+    def poison_hitlist(self, entries: Sequence[HitlistEntry]) -> List[HitlistEntry]:
+        """Return a row list with a fraction of entries malformed.
+
+        Poisoned rows rotate through three malformations: an address
+        outside its own /24 (repairable), a duplicated /24 (droppable),
+        and an out-of-space prefix index (droppable).
+        """
+        plan = self.plan
+        out = list(entries)
+        if plan.malformed_hitlist <= 0.0 or not out:
+            return out
+        rng = self._rng(0x417)
+        hit = np.nonzero(rng.random(len(out)) < plan.malformed_hitlist)[0]
+        for i, row in enumerate(hit):
+            entry = out[int(row)]
+            mode = i % 3
+            if mode == 0:
+                out[int(row)] = replace(entry, address=(entry.address + 0x4200) & 0xFFFFFFFF)
+            elif mode == 1:
+                out[int(row)] = replace(entry, prefix=out[0].prefix)
+            else:
+                out[int(row)] = replace(entry, prefix=-1)
+        return out

@@ -19,8 +19,17 @@ Schema sketch (``schema_version`` 1)::
       "trace": [ {"name", "attrs", "inclusive_s",
                   "exclusive_s", "children": [...]}, ... ] | null,
       "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
-      "health": [ {...CampaignHealthReport...}, ... ]
+      "health": [ {...CampaignHealthReport...}, ... ],
+      # optional, added by the resilience layer (absent on older runs):
+      "quarantine": [ {"stage", "reason", "count",
+                       "repaired", "examples": [...]}, ... ],
+      "degradation": {"degraded": bool, "quarantined_total": int,
+                      "stages": {...}, "confidence": {...}}
     }
+
+The ``quarantine`` and ``degradation`` sections are *optional*: a
+manifest without them (every pre-resilience run) still validates, and a
+manifest with them explicitly ``null`` means resilience was off.
 """
 
 from __future__ import annotations
@@ -94,6 +103,11 @@ class RunManifest:
     metrics: Dict[str, Any] = dataclasses.field(default_factory=dict)
     health: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
     pipeline_stages: List[str] = dataclasses.field(default_factory=list)
+    #: Quarantine buckets from the resilience layer; ``None`` when the
+    #: layer is off (the key is then omitted from the document).
+    quarantine: Optional[List[Dict[str, Any]]] = None
+    #: Degradation report dump; ``None`` when the layer is off.
+    degradation: Optional[Dict[str, Any]] = None
     generator: str = "repro-anycast"
     schema_version: int = SCHEMA_VERSION
     #: Wall-clock creation time.  Lives only here — never in results.
@@ -106,13 +120,18 @@ class RunManifest:
         tracer: Optional[Union[Tracer, NullTracer]] = None,
         metrics: Optional[Union[MetricsRegistry, NullMetricsRegistry]] = None,
         health: Iterable[Any] = (),
+        quarantine: Any = None,
+        degradation: Any = None,
     ) -> "RunManifest":
         """Assemble a manifest from live pipeline objects.
 
         ``config`` may be any dataclass (typically ``StudyConfig``);
         ``health`` any iterable of ``CampaignHealthReport``-like objects.
         A :class:`NullTracer` yields ``trace: null`` — the manifest still
-        validates, it just records that tracing was off.
+        validates, it just records that tracing was off.  ``quarantine``
+        accepts a ``QuarantineLog`` (or prepared list of bucket dicts)
+        and ``degradation`` a ``DegradationReport`` (or its dict dump);
+        both default to ``None`` — resilience off.
         """
         trace = None
         stages: List[str] = []
@@ -125,16 +144,22 @@ class RunManifest:
             if metrics is not None
             else NullMetricsRegistry().snapshot()
         )
+        if quarantine is not None and hasattr(quarantine, "to_dicts"):
+            quarantine = quarantine.to_dicts()
+        if degradation is not None and hasattr(degradation, "to_dict"):
+            degradation = degradation.to_dict()
         return cls(
             config=_to_jsonable(config) if config is not None else {},
             trace=trace,
             metrics=snapshot,
             health=[_to_jsonable(h) for h in health],
             pipeline_stages=stages,
+            quarantine=quarantine,
+            degradation=degradation,
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "schema_version": self.schema_version,
             "generator": self.generator,
             "created_unix": self.created_unix,
@@ -144,6 +169,13 @@ class RunManifest:
             "metrics": self.metrics,
             "health": list(self.health),
         }
+        # Optional resilience sections: omitted entirely when the layer
+        # is off, keeping the document byte-identical to older runs.
+        if self.quarantine is not None:
+            doc["quarantine"] = list(self.quarantine)
+        if self.degradation is not None:
+            doc["degradation"] = dict(self.degradation)
+        return doc
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
@@ -224,7 +256,61 @@ def manifest_problems(doc: Any) -> List[str]:
         else:
             for i, span in enumerate(trace):
                 _span_problems(span, f"trace[{i}]", problems)
+    _resilience_problems(doc, problems)
     return problems
+
+
+def _resilience_problems(doc: Dict[str, Any], problems: List[str]) -> None:
+    """Schema checks for the optional quarantine/degradation sections.
+
+    Both keys are optional (pre-resilience manifests omit them) and may
+    be ``null`` (resilience was off for that run).
+    """
+    quarantine = doc.get("quarantine")
+    if quarantine is not None:
+        if not isinstance(quarantine, list):
+            problems.append("quarantine must be null or a list of buckets")
+        else:
+            for i, bucket in enumerate(quarantine):
+                if not isinstance(bucket, dict):
+                    problems.append(f"quarantine[{i}]: bucket is not an object")
+                    continue
+                for key, kind in (("stage", str), ("reason", str), ("count", int)):
+                    if not isinstance(bucket.get(key), kind):
+                        problems.append(
+                            f"quarantine[{i}]: {key!r} must be {kind.__name__}"
+                        )
+                if isinstance(bucket.get("count"), int) and bucket["count"] < 0:
+                    problems.append(f"quarantine[{i}]: count must be >= 0")
+                if "examples" in bucket and not isinstance(bucket["examples"], list):
+                    problems.append(f"quarantine[{i}]: examples must be a list")
+    degradation = doc.get("degradation")
+    if degradation is not None:
+        if not isinstance(degradation, dict):
+            problems.append("degradation must be null or an object")
+            return
+        if not isinstance(degradation.get("degraded"), bool):
+            problems.append("degradation.degraded must be a boolean")
+        total = degradation.get("quarantined_total")
+        if not isinstance(total, int) or total < 0:
+            problems.append("degradation.quarantined_total must be an int >= 0")
+        stages = degradation.get("stages")
+        if not isinstance(stages, dict):
+            problems.append("degradation.stages must be an object")
+        else:
+            for name, outcome in stages.items():
+                if not isinstance(outcome, dict):
+                    problems.append(f"degradation.stages[{name!r}] is not an object")
+                elif outcome.get("status") not in ("ok", "degraded", "failed"):
+                    problems.append(
+                        f"degradation.stages[{name!r}].status is "
+                        f"{outcome.get('status')!r}, expected ok/degraded/failed"
+                    )
+        confidence = degradation.get("confidence")
+        if not isinstance(confidence, dict) or not all(
+            isinstance(v, int) for v in confidence.values()
+        ):
+            problems.append("degradation.confidence must map verdicts to ints")
 
 
 def validate_manifest(doc: Any) -> None:

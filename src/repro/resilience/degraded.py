@@ -1,0 +1,84 @@
+"""Degraded-mode analysis: partial inputs, honestly-labelled outputs.
+
+When sanitizers quarantine samples, the analysis stages still run — on
+whatever survived — and every target carries a confidence verdict
+(:data:`CONFIDENCE_LEVELS`):
+
+* ``full`` — the target kept every sample it ever had; its verdict is
+  exactly what a clean run would produce;
+* ``degraded`` — samples were quarantined but enough remain to analyze;
+  detection is still sound (fewer disks can only *miss* violations,
+  never fabricate them) but enumeration is a weaker lower bound;
+* ``insufficient`` — too few samples remain to reason about the target
+  at all; it is reported as not-anycast with this explicit marker
+  instead of being silently dropped or crashing downstream tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..census.analysis import AnalysisResult
+from ..census.combine import RttMatrix
+
+#: Verdicts, strongest first.
+CONFIDENCE_LEVELS = ("full", "degraded", "insufficient")
+
+CONFIDENCE_FULL = "full"
+CONFIDENCE_DEGRADED = "degraded"
+CONFIDENCE_INSUFFICIENT = "insufficient"
+
+
+def confidence_verdicts(
+    matrix: RttMatrix,
+    removed_per_target: Optional[np.ndarray] = None,
+    min_samples: int = 3,
+) -> Dict[int, str]:
+    """Per-target confidence for an analysis over ``matrix``.
+
+    ``removed_per_target`` is the sanitizer's per-row loss count (see
+    :func:`~repro.resilience.sanitize.sanitize_matrix`); ``None`` means
+    nothing was removed.  ``min_samples`` must match the detection
+    guard of :func:`~repro.census.analysis.analyze_matrix`.
+    """
+    filled = (~np.isnan(matrix.rtt_ms)).sum(axis=1)
+    if removed_per_target is None:
+        removed = np.zeros(matrix.n_targets, dtype=np.int64)
+    else:
+        removed = np.asarray(removed_per_target)
+        if removed.shape != (matrix.n_targets,):
+            raise ValueError("removed_per_target length mismatch")
+    verdicts: Dict[int, str] = {}
+    for row in range(matrix.n_targets):
+        prefix = int(matrix.prefixes[row])
+        if filled[row] < min_samples:
+            verdicts[prefix] = CONFIDENCE_INSUFFICIENT
+        elif removed[row] > 0:
+            verdicts[prefix] = CONFIDENCE_DEGRADED
+        else:
+            verdicts[prefix] = CONFIDENCE_FULL
+    return verdicts
+
+
+def confidence_counts(verdicts: Dict[int, str]) -> Dict[str, int]:
+    """Tally a verdict map into ``{"full": n, "degraded": m, ...}``."""
+    counts = {level: 0 for level in CONFIDENCE_LEVELS}
+    for verdict in verdicts.values():
+        counts[verdict] = counts.get(verdict, 0) + 1
+    return counts
+
+
+def empty_analysis(matrix: RttMatrix) -> AnalysisResult:
+    """The degrade-to-nothing fallback for a hopelessly-poisoned matrix.
+
+    Every target is reported as not-anycast with an ``insufficient``
+    verdict — downstream characterization renders empty tables instead
+    of raising.
+    """
+    return AnalysisResult(
+        prefixes=matrix.prefixes,
+        anycast_mask=np.zeros(matrix.n_targets, dtype=bool),
+        confidence={int(p): CONFIDENCE_INSUFFICIENT for p in matrix.prefixes},
+    )

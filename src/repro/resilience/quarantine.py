@@ -1,0 +1,120 @@
+"""Structured quarantine of data rejected at stage boundaries.
+
+Sanitizers never discard silently: every record, cell, or row they
+refuse (or repair) is logged here under a ``(stage, reason)`` key with a
+bounded sample of concrete examples.  The log is the audit trail of a
+degraded run — it flows into the run manifest, is mirrored into the obs
+metrics registry (``records_quarantined`` plus one
+``quarantine_<reason>`` counter per reason), and is what lets a census
+operator answer "where did my samples go?" after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..obs import current_metrics
+
+#: Examples kept per (stage, reason) — enough to debug, small enough to
+#: keep manifests readable when a poisoned stage rejects millions.
+MAX_EXAMPLES = 5
+
+
+@dataclass
+class QuarantineBucket:
+    """Aggregated quarantine decisions for one ``(stage, reason)`` pair."""
+
+    stage: str
+    reason: str
+    count: int = 0
+    #: Whether the items were repaired in place rather than dropped.
+    repaired: bool = False
+    examples: List[Any] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "reason": self.reason,
+            "count": self.count,
+            "repaired": self.repaired,
+            "examples": [repr(e) for e in self.examples],
+        }
+
+
+class QuarantineLog:
+    """Reason-coded tally of everything the sanitizers rejected."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Tuple[str, str], QuarantineBucket] = {}
+
+    def add(
+        self,
+        stage: str,
+        reason: str,
+        count: int = 1,
+        example: Any = None,
+        repaired: bool = False,
+    ) -> None:
+        """Record ``count`` quarantined (or repaired) items."""
+        if count <= 0:
+            return
+        key = (stage, reason)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = QuarantineBucket(stage=stage, reason=reason, repaired=repaired)
+            self._buckets[key] = bucket
+        bucket.count += count
+        if example is not None and len(bucket.examples) < MAX_EXAMPLES:
+            bucket.examples.append(example)
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.counter("records_quarantined").inc(count)
+            metrics.counter(f"quarantine_{reason}").inc(count)
+
+    @property
+    def total(self) -> int:
+        """All quarantined/repaired items across every stage and reason."""
+        return sum(b.count for b in self._buckets.values())
+
+    @property
+    def dropped(self) -> int:
+        """Quarantined items that were removed (not repaired in place)."""
+        return sum(b.count for b in self._buckets.values() if not b.repaired)
+
+    def by_reason(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for bucket in self._buckets.values():
+            out[bucket.reason] = out.get(bucket.reason, 0) + bucket.count
+        return out
+
+    def by_stage(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for bucket in self._buckets.values():
+            out[bucket.stage] = out.get(bucket.stage, 0) + bucket.count
+        return out
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Manifest-ready rows, sorted for stable output."""
+        return [
+            self._buckets[key].to_dict() for key in sorted(self._buckets)
+        ]
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable rendering for CLIs and logs."""
+        if not self._buckets:
+            return ["quarantine: empty"]
+        lines = [f"quarantine: {self.total} item(s) in {len(self._buckets)} bucket(s)"]
+        for key in sorted(self._buckets):
+            bucket = self._buckets[key]
+            verb = "repaired" if bucket.repaired else "dropped"
+            lines.append(
+                f"  {bucket.stage:16s} {bucket.reason:28s} {bucket.count:8d} {verb}"
+            )
+        return lines
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __bool__(self) -> bool:
+        return bool(self._buckets)

@@ -12,10 +12,9 @@ the subpackage APIs for custom studies.
 
 from __future__ import annotations
 
-import contextlib
 import pathlib
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Union
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, List, Optional, Union
 
 from .census.analysis import AnalysisResult, CensusFunnel, analyze_matrix, census_funnel
 from .census.characterize import Characterization
@@ -27,7 +26,7 @@ from .geo.cities import CityDB, default_city_db
 from .internet.hitlist import Hitlist, generate_hitlist
 from .internet.topology import InternetConfig, SyntheticInternet
 from .measurement.campaign import CampaignHealthReport, Census, CensusCampaign
-from .measurement.faults import FaultPlan, RetryPolicy
+from .measurement.faults import DataPoisoner, FaultPlan, PoisonPlan, RetryPolicy
 from .measurement.httpprobe import SiteCodeBook
 from .measurement.platform import Platform, planetlab_platform
 from .measurement.portscan import PortscanReport, run_portscan
@@ -40,6 +39,19 @@ from .obs import (
     RunManifest,
     Tracer,
     activate,
+)
+from .resilience import (
+    DegradationReport,
+    FatalStageError,
+    QuarantineLog,
+    ResiliencePolicy,
+    StageSupervisor,
+    confidence_counts,
+    confidence_verdicts,
+    empty_analysis,
+    sanitize_hitlist,
+    sanitize_matrix,
+    sanitize_records,
 )
 
 
@@ -71,6 +83,14 @@ class StudyConfig:
     metrics: bool = False
     #: Default path for :meth:`CensusStudy.write_manifest` (optional).
     manifest_path: Optional[str] = None
+    #: Stage supervision + data quarantine.  ``None`` turns the resilience
+    #: layer off entirely: stages run bare, exactly as before.  With a
+    #: policy set and clean inputs, outputs stay byte-identical — every
+    #: sanitizer returns its argument unchanged when nothing is wrong.
+    resilience: Optional[ResiliencePolicy] = None
+    #: Chaos harness: poison data *between* stages (NaN RTTs, impossible
+    #: VP coordinates, malformed hitlist rows, ...).  Test-only knob.
+    poison: Optional[PoisonPlan] = None
 
 
 class CensusStudy:
@@ -94,6 +114,22 @@ class CensusStudy:
         self.metrics: Union[MetricsRegistry, NullMetricsRegistry] = (
             MetricsRegistry() if self.config.metrics else NULL_METRICS
         )
+        #: Reason-coded record of everything the sanitizers removed or
+        #: repaired.  Always present (and empty) so callers can inspect it
+        #: without caring whether resilience is on.
+        self.quarantine = QuarantineLog()
+        #: Stage supervisor; ``None`` when ``config.resilience`` is unset.
+        self.supervisor: Optional[StageSupervisor] = (
+            StageSupervisor(self.config.resilience, quarantine=self.quarantine)
+            if self.config.resilience is not None
+            else None
+        )
+        self._poisoner: Optional[DataPoisoner] = (
+            DataPoisoner(self.config.poison)
+            if self.config.poison is not None and self.config.poison.enabled
+            else None
+        )
+        self._removed_per_target = None
         self._internet: Optional[SyntheticInternet] = None
         self._platform: Optional[Platform] = None
         self._campaign: Optional[CensusCampaign] = None
@@ -106,47 +142,68 @@ class CensusStudy:
         self._codebook: Optional[SiteCodeBook] = None
         self.city_db: CityDB = default_city_db()
 
-    # -- observability ---------------------------------------------------
+    # -- observability / supervision -------------------------------------
 
-    @contextlib.contextmanager
-    def _stage(self, name: str) -> Iterator[None]:
-        """Run one pipeline stage under this study's tracer and metrics.
+    def _run_stage(
+        self,
+        name: str,
+        fn: Callable[[], Any],
+        fallback: Optional[Callable[[], Any]] = None,
+    ) -> Any:
+        """Run one pipeline stage under tracing, metrics and supervision.
 
         Installs the study's tracer/registry as the process-wide defaults
         (so deep instrumentation in campaign/iGreedy reports here) and
-        opens a stage span.  With observability off this is a handful of
-        attribute lookups around the stage.
+        opens a stage span.  With a resilience policy configured the
+        stage additionally runs under the :class:`StageSupervisor`
+        (retry / degrade / fail-fast per policy); otherwise ``fn`` runs
+        bare and any exception propagates untouched.
         """
         with activate(self.tracer, self.metrics):
             with self.tracer.span(name):
-                yield
+                if self.supervisor is None:
+                    return fn()
+                return self.supervisor.run(name, fn, fallback=fallback)
 
     # -- substrate -----------------------------------------------------
 
     @property
     def internet(self) -> SyntheticInternet:
         if self._internet is None:
-            with self._stage("internet"):
-                self._internet = SyntheticInternet(self.config.internet)
+            self._internet = self._run_stage(
+                "internet", lambda: SyntheticInternet(self.config.internet)
+            )
         return self._internet
 
     @property
     def platform(self) -> Platform:
         if self._platform is None:
-            with self._stage("platform"):
-                self._platform = planetlab_platform(
+            self._platform = self._run_stage(
+                "platform",
+                lambda: planetlab_platform(
                     count=self.config.n_vantage_points,
                     seed=self.config.platform_seed,
                     city_db=self.city_db,
-                )
+                ),
+            )
         return self._platform
+
+    def _build_hitlist(self, internet: SyntheticInternet) -> Hitlist:
+        hitlist = generate_hitlist(internet)
+        if self._poisoner is None:
+            return hitlist
+        entries = self._poisoner.poison_hitlist(list(hitlist))
+        if self.supervisor is not None:
+            entries = sanitize_hitlist(entries, self.quarantine)
+        return Hitlist(entries=entries)
 
     @property
     def hitlist(self) -> Hitlist:
         if self._hitlist is None:
             internet = self.internet
-            with self._stage("hitlist"):
-                self._hitlist = generate_hitlist(internet)
+            self._hitlist = self._run_stage(
+                "hitlist", lambda: self._build_hitlist(internet)
+            )
         return self._hitlist
 
     # -- measurement ----------------------------------------------------
@@ -169,12 +226,14 @@ class CensusStudy:
     def censuses(self) -> List[Census]:
         if self._censuses is None:
             campaign = self.campaign
-            with self._stage("measurement"):
-                self._censuses = campaign.run(
+            self._censuses = self._run_stage(
+                "measurement",
+                lambda: campaign.run(
                     n_censuses=self.config.n_censuses,
                     availability=self.config.availability,
                     checkpoint_dir=self.config.checkpoint_dir,
-                )
+                ),
+            )
         return self._censuses
 
     @property
@@ -192,31 +251,84 @@ class CensusStudy:
 
     # -- analysis --------------------------------------------------------
 
+    def _combine_censuses(self, censuses: List[Census]) -> RttMatrix:
+        """combine stage body: poison -> sanitize -> min-RTT combine."""
+        inputs = list(censuses)
+        if self._poisoner is not None:
+            inputs = [
+                replace(c, records=self._poisoner.poison_records(c.records, key=i))
+                for i, c in enumerate(inputs)
+            ]
+        if self.supervisor is not None:
+            sanitized = []
+            for census in inputs:
+                clean = sanitize_records(census.records, self.quarantine)
+                sanitized.append(
+                    census if clean is census.records else replace(census, records=clean)
+                )
+            inputs = sanitized
+        matrix = combine_censuses(inputs)
+        if self._poisoner is not None:
+            matrix = self._poisoner.poison_matrix(matrix)
+        if self.supervisor is not None:
+            matrix, self._removed_per_target = sanitize_matrix(matrix, self.quarantine)
+        return matrix
+
+    def _combine_salvage(self, censuses: List[Census]) -> RttMatrix:
+        """combine degrade path: drop censuses that are individually broken."""
+        usable = []
+        for census in censuses:
+            try:
+                combine_censuses([census])
+            except Exception:  # noqa: BLE001 — any breakage disqualifies it
+                self.quarantine.add(
+                    "combine", "census_dropped", example=census.census_id
+                )
+            else:
+                usable.append(census)
+        if not usable:
+            raise FatalStageError("no census survived salvage")
+        return self._combine_censuses(usable)
+
     @property
     def matrix(self) -> RttMatrix:
         """Minimum-RTT combination of all censuses."""
         if self._matrix is None:
             censuses = self.censuses
-            with self._stage("combine"):
-                self._matrix = combine_censuses(censuses)
+            self._matrix = self._run_stage(
+                "combine",
+                lambda: self._combine_censuses(censuses),
+                fallback=lambda: self._combine_salvage(censuses),
+            )
         return self._matrix
 
     @property
     def analysis(self) -> AnalysisResult:
         if self._analysis is None:
             matrix = self.matrix
-            with self._stage("analysis"):
-                self._analysis = analyze_matrix(
+
+            def build() -> AnalysisResult:
+                result = analyze_matrix(
                     matrix, city_db=self.city_db, config=self.config.igreedy
                 )
+                if self.supervisor is not None:
+                    result.confidence = confidence_verdicts(
+                        matrix, self._removed_per_target
+                    )
+                return result
+
+            self._analysis = self._run_stage(
+                "analysis", build, fallback=lambda: empty_analysis(matrix)
+            )
         return self._analysis
 
     @property
     def characterization(self) -> Characterization:
         if self._characterization is None:
             analysis, internet = self.analysis, self.internet
-            with self._stage("characterization"):
-                self._characterization = Characterization(analysis, internet)
+            self._characterization = self._run_stage(
+                "characterization", lambda: Characterization(analysis, internet)
+            )
         return self._characterization
 
     # -- cross-checks ------------------------------------------------------
@@ -236,9 +348,25 @@ class CensusStudy:
     def portscan(self) -> PortscanReport:
         if self._portscan is None:
             internet = self.internet
-            with self._stage("portscan"):
-                self._portscan = run_portscan(internet)
+            self._portscan = self._run_stage("portscan", lambda: run_portscan(internet))
         return self._portscan
+
+    # -- degradation -----------------------------------------------------
+
+    @property
+    def degradation_report(self) -> Optional[DegradationReport]:
+        """Honest labelling of what (if anything) ran on partial input.
+
+        ``None`` when the resilience layer is off.  Like
+        :attr:`health_reports`, this is read-only lazy: it reflects only
+        the stages that have already run.
+        """
+        if self.supervisor is None:
+            return None
+        confidence = None
+        if self._analysis is not None and self._analysis.confidence:
+            confidence = confidence_counts(self._analysis.confidence)
+        return self.supervisor.report(confidence=confidence)
 
     # -- run manifest ----------------------------------------------------
 
@@ -247,14 +375,17 @@ class CensusStudy:
         """A run manifest of everything this study has computed so far.
 
         Covers the config, the recorded span forest (when tracing), the
-        metric snapshot (when metering), and the health reports of every
-        materialized census — without forcing any stage to run.
+        metric snapshot (when metering), the health reports of every
+        materialized census, and — when resilience is on — the quarantine
+        log and degradation report.  Never forces a stage to run.
         """
         return RunManifest.collect(
             config=self.config,
             tracer=self.tracer,
             metrics=self.metrics,
             health=self.health_reports,
+            quarantine=self.quarantine if self.supervisor is not None else None,
+            degradation=self.degradation_report,
         )
 
     def write_manifest(self, path: Optional[str] = None) -> pathlib.Path:
@@ -291,7 +422,11 @@ class CensusStudy:
 
 
 def small_study(
-    seed: int = 2015, trace: bool = False, metrics: bool = False
+    seed: int = 2015,
+    trace: bool = False,
+    metrics: bool = False,
+    resilience: Optional[ResiliencePolicy] = None,
+    poison: Optional[PoisonPlan] = None,
 ) -> CensusStudy:
     """A laptop-scale study (seconds, not minutes) for examples and tests."""
     return CensusStudy(
@@ -303,5 +438,7 @@ def small_study(
             n_censuses=2,
             trace=trace,
             metrics=metrics,
+            resilience=resilience,
+            poison=poison,
         )
     )

@@ -268,3 +268,77 @@ class TestRawFormat:
     def test_wrong_magic_rejected(self):
         with pytest.raises(ValueError):
             CensusRecords.read_raw(io.BytesIO(b"NOPE" + b"\0" * 20))
+
+
+class TestFlapCheckpointResume:
+    """Fault-injection flap mode interacting with journal resume.
+
+    A flapped VP contributes *no* records at all for that census.  The
+    journal must reproduce exactly that absence on resume: a census
+    interrupted while flaps are active and resumed in a fresh process
+    has to be bit-for-bit identical to an uninterrupted run — flapped
+    VPs must not be re-rolled, double-recorded, or resurrected.
+    """
+
+    @staticmethod
+    def _campaign(internet, platform, seed=321):
+        from repro.measurement.campaign import CensusCampaign
+        from repro.measurement.faults import FaultPlan
+
+        campaign = CensusCampaign(
+            internet,
+            platform,
+            seed=seed,
+            fault_plan=FaultPlan(flap_prob=0.4, seed=17),
+            min_vp_quorum=1,
+        )
+        campaign.run_precensus()
+        return campaign
+
+    @staticmethod
+    def _records_bytes(census):
+        sink = io.BytesIO()
+        census.records.write_binary(sink)
+        return sink.getvalue()
+
+    def test_resume_mid_flap_is_bit_for_bit(
+        self, tiny_internet, tiny_platform, tmp_path
+    ):
+        from repro.measurement.campaign import CensusInterrupted
+
+        reference = self._campaign(tiny_internet, tiny_platform)
+        uninterrupted = reference.run_census(availability=0.85)
+        # The fault plan must actually flap VPs or this exercises nothing.
+        assert uninterrupted.health.faults_seen.get("flap", 0) > 0
+        flapped = uninterrupted.health.failed_vps
+        assert flapped, "flap plan injected no flaps; adjust seed"
+
+        journal_path = tmp_path / "census-001.journal"
+        interrupted = self._campaign(tiny_internet, tiny_platform)
+        with pytest.raises(CensusInterrupted) as exc:
+            interrupted.run_census(
+                availability=0.85,
+                checkpoint=str(journal_path),
+                abort_after_vps=7,
+            )
+        assert exc.value.completed_vps == 7
+
+        # "New process": a fresh campaign under the same seeds replays
+        # the journal prefix and scans only the remaining VPs.
+        resumer = self._campaign(tiny_internet, tiny_platform)
+        resumed = resumer.run_census(
+            availability=0.85, checkpoint=str(journal_path)
+        )
+        assert resumed.health.n_vps_resumed == 7
+        assert self._records_bytes(resumed) == self._records_bytes(uninterrupted)
+        assert np.array_equal(
+            resumed.records.rtt_ms, uninterrupted.records.rtt_ms, equal_nan=True
+        )
+        assert sorted(resumed.greylist.prefixes) == sorted(
+            uninterrupted.greylist.prefixes
+        )
+        # The flap pattern itself is part of the reproduced state.
+        assert resumed.health.failed_vps == flapped
+        assert resumed.health.faults_seen.get("flap", 0) == (
+            uninterrupted.health.faults_seen.get("flap", 0)
+        )

@@ -1,0 +1,67 @@
+"""Tests for the resilience error taxonomy and exception classifier."""
+
+import pytest
+
+from repro.measurement.campaign import CensusAborted
+from repro.resilience import (
+    CorruptInputError,
+    FatalStageError,
+    ResilienceError,
+    Severity,
+    StageFailed,
+    TransientStageError,
+    classify_exception,
+)
+
+
+class TestHierarchy:
+    def test_typed_errors_carry_their_severity(self):
+        assert TransientStageError("x").severity is Severity.TRANSIENT
+        assert CorruptInputError("x").severity is Severity.CORRUPT
+        assert FatalStageError("x").severity is Severity.FATAL
+
+    def test_all_are_resilience_errors_and_runtime_errors(self):
+        for cls in (TransientStageError, CorruptInputError, FatalStageError):
+            assert issubclass(cls, ResilienceError)
+            assert issubclass(cls, RuntimeError)
+
+    def test_stage_failed_names_stage_and_severity(self):
+        err = StageFailed("combine", Severity.CORRUPT, "bad rows")
+        assert err.stage == "combine"
+        assert err.failure_severity is Severity.CORRUPT
+        assert "combine" in str(err)
+        assert "corrupt" in str(err)
+        assert "bad rows" in str(err)
+
+
+class TestClassify:
+    def test_typed_errors_classify_as_themselves(self):
+        assert classify_exception(TransientStageError()) is Severity.TRANSIENT
+        assert classify_exception(CorruptInputError()) is Severity.CORRUPT
+        assert classify_exception(FatalStageError()) is Severity.FATAL
+
+    def test_os_level_errors_are_transient(self):
+        assert classify_exception(OSError("locked")) is Severity.TRANSIENT
+        assert classify_exception(TimeoutError()) is Severity.TRANSIENT
+        assert classify_exception(InterruptedError()) is Severity.TRANSIENT
+
+    @pytest.mark.parametrize(
+        "exc",
+        [ValueError("v"), KeyError("k"), IndexError("i"),
+         ZeroDivisionError(), TypeError("t")],
+    )
+    def test_data_shaped_errors_are_corrupt(self, exc):
+        assert classify_exception(exc) is Severity.CORRUPT
+
+    def test_census_aborted_is_fatal(self):
+        class _Report:
+            pass
+
+        exc = CensusAborted(0, 0, 5, _Report())
+        assert classify_exception(exc) is Severity.FATAL
+
+    def test_unknown_exceptions_default_to_fatal(self):
+        class Weird(Exception):
+            pass
+
+        assert classify_exception(Weird()) is Severity.FATAL

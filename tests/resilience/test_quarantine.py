@@ -1,0 +1,83 @@
+"""Tests for the reason-coded quarantine log."""
+
+from repro.obs import MetricsRegistry, activate
+from repro.resilience import QuarantineLog
+from repro.resilience.quarantine import MAX_EXAMPLES
+
+
+class TestQuarantineLog:
+    def test_starts_empty(self):
+        log = QuarantineLog()
+        assert log.total == 0
+        assert len(log) == 0
+        assert not log
+        assert log.summary_lines() == ["quarantine: empty"]
+
+    def test_add_accumulates_by_stage_and_reason(self):
+        log = QuarantineLog()
+        log.add("combine", "nan_rtt", 3)
+        log.add("combine", "nan_rtt", 2)
+        log.add("analysis", "nan_rtt", 1)
+        log.add("combine", "duplicate_record", 4)
+        assert log.total == 10
+        assert log.by_reason() == {"nan_rtt": 6, "duplicate_record": 4}
+        assert log.by_stage() == {"combine": 9, "analysis": 1}
+        assert len(log) == 3  # three (stage, reason) buckets
+
+    def test_zero_or_negative_counts_are_ignored(self):
+        log = QuarantineLog()
+        log.add("combine", "nan_rtt", 0)
+        log.add("combine", "nan_rtt", -2)
+        assert log.total == 0
+        assert not log
+
+    def test_examples_are_bounded(self):
+        log = QuarantineLog()
+        for i in range(MAX_EXAMPLES + 10):
+            log.add("hitlist", "invalid_prefix", 1, example=i)
+        (bucket,) = (log._buckets[k] for k in log._buckets)
+        assert len(bucket.examples) == MAX_EXAMPLES
+        assert bucket.count == MAX_EXAMPLES + 10
+
+    def test_repaired_vs_dropped_accounting(self):
+        log = QuarantineLog()
+        log.add("hitlist", "address_repaired", 3, repaired=True)
+        log.add("hitlist", "invalid_prefix", 2)
+        assert log.total == 5
+        assert log.dropped == 2
+
+    def test_to_dicts_is_sorted_and_jsonable(self):
+        import json
+
+        log = QuarantineLog()
+        log.add("combine", "nan_rtt", 1, example=float("nan"))
+        log.add("analysis", "lost_sample", 2)
+        rows = log.to_dicts()
+        assert [r["stage"] for r in rows] == ["analysis", "combine"]
+        for row in rows:
+            assert set(row) == {"stage", "reason", "count", "repaired", "examples"}
+        json.dumps(rows)  # examples are repr'd, so this never raises
+
+    def test_summary_lines_mention_every_bucket(self):
+        log = QuarantineLog()
+        log.add("combine", "nan_rtt", 7)
+        log.add("hitlist", "address_repaired", 1, repaired=True)
+        text = "\n".join(log.summary_lines())
+        assert "nan_rtt" in text and "dropped" in text
+        assert "address_repaired" in text and "repaired" in text
+
+    def test_mirrors_into_active_metrics_registry(self):
+        registry = MetricsRegistry()
+        log = QuarantineLog()
+        with activate(None, registry):
+            log.add("combine", "nan_rtt", 5)
+            log.add("combine", "superluminal_rtt", 2)
+        snap = registry.snapshot()
+        assert snap["counters"]["records_quarantined"] == 7
+        assert snap["counters"]["quarantine_nan_rtt"] == 5
+        assert snap["counters"]["quarantine_superluminal_rtt"] == 2
+
+    def test_no_metrics_side_effects_without_registry(self):
+        log = QuarantineLog()
+        log.add("combine", "nan_rtt", 5)  # must not raise with null registry
+        assert log.total == 5

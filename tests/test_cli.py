@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_ABORTED,
+    EXIT_OK,
+    EXIT_UNEXPECTED,
+    build_parser,
+    main,
+)
 
 SCALE = ["--unicast", "300", "--tail", "10", "--vps", "40", "--censuses", "1"]
 
@@ -36,6 +42,28 @@ class TestParser:
     def test_trace_and_stats_subcommands_parse(self):
         assert build_parser().parse_args(["trace"]).command == "trace"
         assert build_parser().parse_args(["stats"]).command == "stats"
+
+    def test_resilience_defaults_are_off(self):
+        args = build_parser().parse_args(["glance"])
+        assert args.resilience_policy == "off"
+        assert args.poison is None
+        assert args.poison_fraction == 0.25
+        assert args.poison_seed == 0
+
+    def test_resilience_policy_choices(self):
+        for choice in ("off", "on", "strict"):
+            args = build_parser().parse_args(
+                ["--resilience-policy", choice, "glance"]
+            )
+            assert args.resilience_policy == choice
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--resilience-policy", "maybe", "glance"])
+
+    def test_poison_mode_choices(self):
+        args = build_parser().parse_args(["--poison", "nan_rtt", "glance"])
+        assert args.poison == "nan_rtt"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--poison", "gamma_rays", "glance"])
 
 
 class TestCommands:
@@ -135,3 +163,96 @@ class TestCommands:
         assert main(SCALE + ["glance"]) == 0
         err = capsys.readouterr().err
         assert "manifest" not in err
+
+
+class TestResilienceCommands:
+    def test_resilience_on_clean_output_is_unchanged(self, capsys):
+        assert main(SCALE + ["glance"]) == EXIT_OK
+        plain = capsys.readouterr().out
+        assert main(SCALE + ["--resilience-policy", "on", "glance"]) == EXIT_OK
+        assert capsys.readouterr().out == plain
+
+    def test_health_shows_quarantine_and_degradation(self, capsys):
+        code = main(
+            SCALE
+            + ["--resilience-policy", "on", "--poison", "nan_rtt", "health"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "quarantine:" in out
+        assert "nan_rtt" in out
+        assert "degradation: DEGRADED" in out
+        assert "combine" in out
+
+    def test_health_clean_resilience_reports_empty_quarantine(self, capsys):
+        assert main(SCALE + ["--resilience-policy", "on", "health"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "quarantine: empty" in out
+        assert "degradation: clean" in out
+
+    def test_top_gains_confidence_column_only_when_degraded(self, capsys):
+        assert main(SCALE + ["--resilience-policy", "on", "top", "--k", "3"]) == EXIT_OK
+        assert "confidence" not in capsys.readouterr().out
+        code = main(
+            SCALE
+            + ["--resilience-policy", "on", "--poison", "drop_samples",
+               "--poison-fraction", "0.5", "top", "--k", "3"]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "confidence" in out
+
+    def test_poisoned_manifest_records_quarantine(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_manifest
+
+        path = tmp_path / "chaos.json"
+        code = main(
+            SCALE
+            + ["--resilience-policy", "on", "--poison", "superluminal_rtt",
+               "--manifest", str(path), "glance"]
+        )
+        assert code == EXIT_OK
+        doc = json.loads(path.read_text())
+        validate_manifest(doc)
+        assert doc["degradation"]["degraded"] is True
+        assert any(b["reason"] == "superluminal_rtt" for b in doc["quarantine"])
+
+
+class TestExitCodes:
+    def test_aborted_campaign_exits_3(self, capsys):
+        assert main(SCALE + ["--quorum", "500", "glance"]) == EXIT_ABORTED
+        assert "aborted" in capsys.readouterr().err
+
+    def test_aborted_under_supervision_also_exits_3(self, capsys):
+        code = main(
+            SCALE + ["--quorum", "500", "--resilience-policy", "on", "glance"]
+        )
+        assert code == EXIT_ABORTED
+        assert "aborted" in capsys.readouterr().err
+
+    def test_strict_policy_refusing_poison_exits_4(self, capsys):
+        code = main(
+            SCALE
+            + ["--resilience-policy", "strict", "--poison", "nan_rtt", "glance"]
+        )
+        assert code == EXIT_UNEXPECTED
+        assert "StageFailed" in capsys.readouterr().err
+
+    def test_usage_errors_keep_argparse_code_2(self):
+        with pytest.raises(SystemExit) as info:
+            main(["--poison", "not-a-mode", "glance"])
+        assert info.value.code == 2
+
+    def test_abort_with_manifest_still_writes_manifest(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_manifest
+
+        path = tmp_path / "aborted.json"
+        code = main(
+            SCALE + ["--quorum", "500", "--manifest", str(path), "glance"]
+        )
+        assert code == EXIT_ABORTED
+        validate_manifest(json.loads(path.read_text()))
