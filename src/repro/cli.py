@@ -18,13 +18,14 @@ text tables.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import traceback
 from typing import List, Optional
 
 from .census.report import format_table
 from .internet.topology import InternetConfig
-from .measurement.campaign import CensusAborted
+from .measurement.campaign import CensusAborted, CensusInterrupted
 from .measurement.faults import FaultPlan, PoisonKind, PoisonPlan, RetryPolicy
 from .obs import render_trace
 from .resilience import ResiliencePolicy, StageFailed
@@ -33,17 +34,35 @@ from .workflow import CensusStudy, StudyConfig
 #: Exit codes (documented in docs/API_GUIDE.md).  0 = success; 2 is
 #: argparse's usage-error code; supervised aborts and unexpected crashes
 #: get distinct codes so scripts can tell "the campaign gave up per
-#: policy" from "the tool itself broke".
+#: policy" from "the tool itself broke".  130 (the shell's SIGINT
+#: convention) marks a clean operator drain: the checkpoint journal and
+#: manifest are valid and the run is resumable.
 EXIT_OK = 0
 EXIT_USAGE = 2
 EXIT_ABORTED = 3
 EXIT_UNEXPECTED = 4
+EXIT_INTERRUPTED = 130
 
 _POLICIES = {
     "off": None,
     "on": ResiliencePolicy.permissive,
     "strict": ResiliencePolicy.strict,
 }
+
+
+def _parse_workers(value: Optional[str]) -> Optional[int]:
+    """``--workers`` value: a non-negative integer or ``auto``."""
+    if value is None:
+        return None
+    if value == "auto":
+        return max(os.cpu_count() or 1, 1)
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ValueError(f"--workers must be an integer or 'auto', got {value!r}")
+    if workers < 0:
+        raise ValueError("--workers must be >= 0")
+    return workers
 
 
 def _build_study(args: argparse.Namespace) -> CensusStudy:
@@ -73,6 +92,8 @@ def _build_study(args: argparse.Namespace) -> CensusStudy:
             retry=retry,
             min_vp_quorum=args.quorum,
             checkpoint_dir=args.checkpoint_dir,
+            workers=_parse_workers(args.workers),
+            deadline=args.deadline,
             trace=want_manifest or args.command == "trace",
             metrics=want_manifest or args.command in ("trace", "stats"),
             manifest_path=args.manifest,
@@ -243,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-VP scan timeout in hours (default: none)")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="journal directory for census checkpoint/resume")
+    parser.add_argument("--workers", default=None, metavar="N|auto",
+                        help="run census scans on a supervised worker pool "
+                             "of N forked processes ('auto' = CPU count; 0 "
+                             "= sharded engine in-process; default: classic "
+                             "serial loop).  Output bytes are identical in "
+                             "every mode")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per census scan phase; on "
+                             "expiry unfinished VPs are failed into the "
+                             "quorum check instead of hanging the run")
     parser.add_argument("--manifest", default=None, metavar="PATH",
                         help="write a JSON run manifest (config, trace, "
                              "metrics, health) after the command")
@@ -306,11 +338,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CensusAborted as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ABORTED
+    except CensusInterrupted as exc:
+        # Clean drain: the journal holds every finished batch and the
+        # finally block below still writes the manifest.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        # Second signal (forced quit) or an interrupt outside the
+        # drain's scope: less graceful, same resumable intent.
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except StageFailed as exc:
         if isinstance(exc.__cause__, CensusAborted):
             # Supervised variant of the same policy decision.
             print(f"error: {exc}", file=sys.stderr)
             return EXIT_ABORTED
+        if isinstance(exc.__cause__, CensusInterrupted):
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return EXIT_INTERRUPTED
         traceback.print_exc(file=sys.stderr)
         return EXIT_UNEXPECTED
     except Exception:  # noqa: BLE001 — last-resort boundary, code 4

@@ -1,0 +1,424 @@
+"""The supervised sharded execution engine.
+
+:class:`ShardedExecutor` takes a census's :class:`~repro.exec.plan.ShardPlan`
+and runs it either in-process (``workers=0``: the determinism reference)
+or on a forked worker pool, under one event loop that:
+
+* dispatches units to workers (bounded prefetch per worker);
+* tracks liveness via message heartbeats, declaring silent workers
+  wedged after ``liveness_timeout_s`` and reassigning their shards;
+* detects dead workers by their corpses, reassigns, and respawns
+  replacements — all under bounded budgets
+  (:class:`~repro.exec.supervisor.ReassignmentLedger`);
+* trips a per-VP circuit breaker on repeated *scan* failures
+  (deterministic data errors, not infrastructure), routing the VP to
+  the campaign's quarantine path instead of burning retries;
+* enforces an overall deadline, failing unfinished VPs into the
+  existing quorum machinery rather than hanging forever;
+* honours a cooperative stop flag (SIGINT/SIGTERM drain).
+
+Determinism contract: unit results depend only on unit keys (all scan
+RNG is keyed by ``(seed, census, VP, shard)``), per-VP merges happen in
+shard order and the caller assembles VPs in census order — so the bytes
+out are identical for any worker count, any dispatch order, and any
+schedule of worker faults the budgets survive.
+"""
+
+from __future__ import annotations
+
+import collections
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from ..measurement.prober import VpScanResult
+from ..obs import current_metrics, current_tracer
+from .errors import WorkerLost
+from .plan import ShardPlan, WorkUnit, merge_vp_shards
+from .pool import (
+    MSG_ERR,
+    MSG_OK,
+    MSG_START,
+    UnitContext,
+    WorkerPool,
+    fork_available,
+)
+from .supervisor import (
+    BREAKER_FAULT,
+    DEADLINE_FAULT,
+    CircuitBreaker,
+    ExecutionPolicy,
+    ExecutionReport,
+    ReassignmentLedger,
+)
+
+#: Callback invoked as each VP's shards finish merging.  Returning False
+#: asks the engine to drain and stop (the simulated operator kill).
+VpCallback = Callable[[str, VpScanResult], bool]
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything one engine run produced."""
+
+    #: Merged scan results, keyed by VP name (completion subset only).
+    results: Dict[str, VpScanResult] = field(default_factory=dict)
+    #: VPs the engine gave up on, mapped to a fault tag
+    #: (:data:`BREAKER_FAULT` or :data:`DEADLINE_FAULT`).
+    failed: Dict[str, str] = field(default_factory=dict)
+    report: ExecutionReport = None  # type: ignore[assignment]
+
+
+class ShardedExecutor:
+    """Runs one census's shard plan under supervision."""
+
+    def __init__(self, policy: ExecutionPolicy) -> None:
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        context: UnitContext,
+        plan: ShardPlan,
+        on_vp_complete: Optional[VpCallback] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> ExecutionOutcome:
+        if self.policy.workers == 0 or not fork_available():
+            return self._run_in_process(context, plan, on_vp_complete, should_stop)
+        return self._run_pool(context, plan, on_vp_complete, should_stop)
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _units_by_vp(plan: ShardPlan) -> Dict[str, List[WorkUnit]]:
+        grouped: Dict[str, List[WorkUnit]] = collections.defaultdict(list)
+        for unit in plan.units:
+            grouped[unit.vp_name].append(unit)
+        return dict(grouped)
+
+    def _dispatch_order(self, plan: ShardPlan) -> List[int]:
+        order = list(range(len(plan.units)))
+        if self.policy.submit_seed is not None:
+            rng = np.random.default_rng(self.policy.submit_seed)
+            rng.shuffle(order)
+        return order
+
+    def _fail_vp(
+        self,
+        vp_name: str,
+        tag: str,
+        outcome: ExecutionOutcome,
+        units_of_vp: List[WorkUnit],
+        resolved: Set[int],
+        report: ExecutionReport,
+    ) -> None:
+        outcome.failed[vp_name] = tag
+        for unit in units_of_vp:
+            if unit.unit_id not in resolved:
+                resolved.add(unit.unit_id)
+                report.units_failed += 1
+
+    # ------------------------------------------------------------------
+    # In-process reference executor
+    # ------------------------------------------------------------------
+
+    def _run_in_process(
+        self,
+        context: UnitContext,
+        plan: ShardPlan,
+        on_vp_complete: Optional[VpCallback],
+        should_stop: Optional[Callable[[], bool]],
+    ) -> ExecutionOutcome:
+        """Canonical-order execution of the same plan, zero processes.
+
+        The byte-level reference every pool run must match, and the
+        fallback where ``fork`` is unavailable.
+        """
+        tracer = current_tracer()
+        policy = self.policy
+        outcome = ExecutionOutcome()
+        report = ExecutionReport(
+            workers=0, n_units=len(plan), n_shards=plan.n_shards, in_process=True
+        )
+        outcome.report = report
+        breaker = CircuitBreaker(policy.breaker_threshold)
+        by_vp = self._units_by_vp(plan)
+        shard_results: Dict[str, Dict[int, VpScanResult]] = collections.defaultdict(dict)
+        resolved: Set[int] = set()
+        started = time.monotonic()
+
+        for unit in plan.units:
+            if unit.unit_id in resolved:
+                continue
+            if should_stop is not None and should_stop():
+                report.interrupted = True
+                break
+            if (
+                policy.deadline_s is not None
+                and time.monotonic() - started > policy.deadline_s
+            ):
+                report.deadline_hit = True
+                for vp_name, units in by_vp.items():
+                    if vp_name not in outcome.results and vp_name not in outcome.failed:
+                        self._fail_vp(
+                            vp_name, DEADLINE_FAULT, outcome, units, resolved, report
+                        )
+                break
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    with tracer.span(
+                        "work_unit", vp=unit.vp_name, shard=unit.shard_index, worker=-1
+                    ):
+                        result = context.execute(unit.unit_id)
+                except Exception:  # noqa: BLE001 — routed to the breaker
+                    if breaker.record_failure(unit.vp_name) or breaker.failures(
+                        unit.vp_name
+                    ) >= policy.breaker_threshold:
+                        self._fail_vp(
+                            unit.vp_name,
+                            BREAKER_FAULT,
+                            outcome,
+                            by_vp[unit.vp_name],
+                            resolved,
+                            report,
+                        )
+                        break
+                    continue  # deterministic retry, bounded by the breaker
+                resolved.add(unit.unit_id)
+                report.units_completed += 1
+                shard_results[unit.vp_name][unit.shard_index] = result
+                if len(shard_results[unit.vp_name]) == plan.n_shards:
+                    merged = merge_vp_shards(shard_results.pop(unit.vp_name))
+                    outcome.results[unit.vp_name] = merged
+                    if on_vp_complete is not None and not on_vp_complete(
+                        unit.vp_name, merged
+                    ):
+                        report.interrupted = True
+                break
+            if report.interrupted:
+                break
+
+        report.breaker_open_vps = breaker.open_keys
+        report.finish()
+        self._mirror_metrics(report)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Pool executor
+    # ------------------------------------------------------------------
+
+    def _run_pool(
+        self,
+        context: UnitContext,
+        plan: ShardPlan,
+        on_vp_complete: Optional[VpCallback],
+        should_stop: Optional[Callable[[], bool]],
+    ) -> ExecutionOutcome:
+        tracer = current_tracer()
+        policy = self.policy
+        n_workers = max(1, min(policy.workers, len(plan))) if len(plan) else 0
+        outcome = ExecutionOutcome()
+        report = ExecutionReport(
+            workers=n_workers, n_units=len(plan), n_shards=plan.n_shards
+        )
+        outcome.report = report
+        if not len(plan):
+            report.finish()
+            return outcome
+
+        breaker = CircuitBreaker(policy.breaker_threshold)
+        ledger = ReassignmentLedger(
+            per_unit_budget=policy.max_reassignments_per_unit,
+            total_budget=policy.total_reassignment_budget,
+        )
+        by_vp = self._units_by_vp(plan)
+        units = plan.units
+        shard_results: Dict[str, Dict[int, VpScanResult]] = collections.defaultdict(dict)
+        resolved: Set[int] = set()
+        #: Per-unit scan-error retry counts (breaker-bounded).
+        error_counts: Dict[str, int] = {}
+        pending: collections.deque = collections.deque(self._dispatch_order(plan))
+        pool = WorkerPool(context)
+        respawns_left = policy.respawn_budget
+        started = time.monotonic()
+
+        def unresolved_count() -> int:
+            return len(units) - len(resolved)
+
+        def fail_vp(vp_name: str, tag: str) -> None:
+            self._fail_vp(vp_name, tag, outcome, by_vp[vp_name], resolved, report)
+
+        def complete_unit(unit: WorkUnit, payload: VpScanResult) -> bool:
+            """Record one finished unit; False asks the loop to stop."""
+            resolved.add(unit.unit_id)
+            report.units_completed += 1
+            with tracer.span(
+                "work_unit", vp=unit.vp_name, shard=unit.shard_index
+            ):
+                pass
+            shard_results[unit.vp_name][unit.shard_index] = payload
+            if len(shard_results[unit.vp_name]) == plan.n_shards:
+                merged = merge_vp_shards(shard_results.pop(unit.vp_name))
+                outcome.results[unit.vp_name] = merged
+                if on_vp_complete is not None and not on_vp_complete(
+                    unit.vp_name, merged
+                ):
+                    return False
+            return True
+
+        def orphan_units(handle) -> None:
+            """Requeue a lost worker's unresolved units (budget-charged)."""
+            active = [uid for uid in handle.assigned if uid not in resolved]
+            handle.assigned.clear()
+            for uid in reversed(active):
+                ledger.charge(uid)
+                report.reassignments += 1
+                pending.appendleft(uid)
+
+        def maybe_respawn() -> None:
+            nonlocal respawns_left
+            live = len(pool.live())
+            wanted = min(n_workers, unresolved_count())
+            while live < wanted and respawns_left > 0:
+                pool.spawn()
+                respawns_left -= 1
+                report.workers_respawned += 1
+                live += 1
+            if live == 0 and unresolved_count() > 0:
+                raise WorkerLost(
+                    "worker pool exhausted: no live workers and no respawn "
+                    "budget left",
+                    unit_ids=sorted(set(range(len(units))) - resolved),
+                )
+
+        try:
+            for _ in range(n_workers):
+                pool.spawn()
+
+            while unresolved_count() > 0:
+                if should_stop is not None and should_stop():
+                    report.interrupted = True
+                    break
+                now = time.monotonic()
+                if (
+                    policy.deadline_s is not None
+                    and now - started > policy.deadline_s
+                ):
+                    report.deadline_hit = True
+                    for vp_name in list(by_vp):
+                        if (
+                            vp_name not in outcome.results
+                            and vp_name not in outcome.failed
+                        ):
+                            fail_vp(vp_name, DEADLINE_FAULT)
+                    break
+
+                # -- liveness sweep --------------------------------------
+                for handle in list(pool.workers.values()):
+                    if handle.retired:
+                        continue
+                    if not handle.process.is_alive():
+                        report.workers_lost += 1
+                        pool.retire(handle)
+                        orphan_units(handle)
+                        continue
+                    active = [u for u in handle.assigned if u not in resolved]
+                    if active and handle.stale_for(now) > policy.liveness_timeout_s:
+                        report.workers_wedged += 1
+                        pool.retire(handle, terminate=True)
+                        orphan_units(handle)
+                maybe_respawn()
+
+                # -- dispatch --------------------------------------------
+                for handle in pool.live():
+                    while pending and len(
+                        [u for u in handle.assigned if u not in resolved]
+                    ) < policy.prefetch:
+                        uid = pending.popleft()
+                        if uid in resolved:
+                            continue
+                        handle.dispatch(uid)
+
+                # -- collect ---------------------------------------------
+                try:
+                    messages = [pool.out_q.get(timeout=policy.poll_interval_s)]
+                except queue_mod.Empty:
+                    messages = []
+                while True:
+                    try:
+                        messages.append(pool.out_q.get_nowait())
+                    except queue_mod.Empty:
+                        break
+
+                stop = False
+                for kind, worker_id, unit_id, payload in messages:
+                    report.heartbeats += 1
+                    handle = pool.workers.get(worker_id)
+                    if handle is not None:
+                        handle.heartbeat()
+                    if kind in (MSG_START, "hb"):
+                        continue
+                    if unit_id in resolved:
+                        report.duplicate_results += 1
+                        continue
+                    unit = units[unit_id]
+                    if handle is not None and unit_id in handle.assigned:
+                        handle.assigned.remove(unit_id)
+                    if kind == MSG_OK:
+                        if not complete_unit(unit, payload):
+                            report.interrupted = True
+                            stop = True
+                            break
+                    elif kind == MSG_ERR:
+                        # A scan exception is a property of the unit, not
+                        # the worker: count it against the VP's breaker
+                        # and retry only while the breaker holds.
+                        error_counts[unit.vp_name] = (
+                            error_counts.get(unit.vp_name, 0) + 1
+                        )
+                        if breaker.record_failure(unit.vp_name):
+                            fail_vp(unit.vp_name, BREAKER_FAULT)
+                        elif breaker.is_open(unit.vp_name):
+                            fail_vp(unit.vp_name, BREAKER_FAULT)
+                        else:
+                            pending.appendleft(unit_id)
+                if stop:
+                    break
+        finally:
+            pool.shutdown()
+
+        report.breaker_open_vps = breaker.open_keys
+        report.finish()
+        self._mirror_metrics(report)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _mirror_metrics(report: ExecutionReport) -> None:
+        metrics = current_metrics()
+        if not getattr(metrics, "enabled", False):
+            return
+        metrics.counter("exec_units_completed").inc(report.units_completed)
+        metrics.counter("exec_units_failed").inc(report.units_failed)
+        metrics.counter("exec_heartbeats").inc(report.heartbeats)
+        metrics.counter("exec_reassignments").inc(report.reassignments)
+        metrics.counter("exec_workers_lost").inc(report.workers_lost)
+        metrics.counter("exec_workers_wedged").inc(report.workers_wedged)
+        metrics.counter("exec_workers_respawned").inc(report.workers_respawned)
+        metrics.counter("exec_breaker_tripped").inc(len(report.breaker_open_vps))
+        if report.deadline_hit:
+            metrics.counter("exec_deadline_expired").inc()
+        metrics.gauge("exec_workers").set(report.workers)

@@ -1,0 +1,201 @@
+"""Pool-supervision bookkeeping: policy, breakers, budgets, report.
+
+Everything here is process-free state machinery, unit-testable without
+spawning a single worker; :mod:`repro.exec.engine` drives it from its
+event loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..measurement.faults import WorkerFaultPlan
+from .errors import ReassignmentBudgetExceeded
+
+#: Fault tag recorded on a VP that the per-VP circuit breaker tripped.
+BREAKER_FAULT = "worker_breaker"
+#: Fault tag recorded on a VP whose shards were cut off by the deadline.
+DEADLINE_FAULT = "deadline"
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a census execution engine runs and when it gives up.
+
+    ``workers=0`` executes the plan in-process in canonical unit order —
+    the determinism reference (and the fallback where ``fork`` is
+    unavailable).  ``workers>=1`` runs a real multiprocessing pool.
+    """
+
+    workers: int = 2
+    #: Target shards per VP.  1 (default) makes each unit a whole VP
+    #: scan, byte-identical to the serial path; >1 slices the target
+    #: space with shard-keyed RNG streams (a different — but equally
+    #: deterministic — byte stream, stable across worker counts).
+    n_target_shards: int = 1
+    #: Overall wall-clock budget for one census's scan phase (seconds).
+    #: On expiry, unfinished VPs are marked failed and the existing
+    #: quorum machinery decides whether the census still stands.
+    deadline_s: Optional[float] = None
+    #: A worker with work whose last heartbeat is older than this is
+    #: declared wedged: terminated, its shards reassigned.
+    liveness_timeout_s: float = 5.0
+    #: Event-loop tick (result poll timeout).
+    poll_interval_s: float = 0.05
+    #: Work units a worker may hold at once (pipelining vs. blast radius).
+    prefetch: int = 2
+    #: Reassignments allowed per unit before escalating.
+    max_reassignments_per_unit: int = 3
+    #: Total reassignments allowed per census (None: 4×workers + 8).
+    max_total_reassignments: Optional[int] = None
+    #: Worker respawns allowed per census (None: 2×workers + 2).
+    max_respawns: Optional[int] = None
+    #: Scan exceptions tolerated per VP before its breaker trips open.
+    breaker_threshold: int = 3
+    #: Injected worker-level chaos (tests/benchmarks only).
+    worker_faults: Optional[WorkerFaultPlan] = None
+    #: Shuffle the dispatch order (tests prove order-independence).
+    submit_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.n_target_shards < 1:
+            raise ValueError("n_target_shards must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.liveness_timeout_s <= 0:
+            raise ValueError("liveness_timeout_s must be positive")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        if self.prefetch < 1:
+            raise ValueError("prefetch must be >= 1")
+        if self.max_reassignments_per_unit < 0:
+            raise ValueError("max_reassignments_per_unit must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+
+    @property
+    def total_reassignment_budget(self) -> int:
+        if self.max_total_reassignments is not None:
+            return self.max_total_reassignments
+        return 4 * max(self.workers, 1) + 8
+
+    @property
+    def respawn_budget(self) -> int:
+        if self.max_respawns is not None:
+            return self.max_respawns
+        return 2 * max(self.workers, 1) + 2
+
+
+class CircuitBreaker:
+    """Per-key failure counter with a trip threshold.
+
+    Keyed by VP name: a vantage point whose shards keep raising
+    (deterministic scan errors — bad input, not bad workers) trips open
+    after ``threshold`` failures and is routed to the quarantine path
+    instead of burning retries.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self._failures: Dict[str, int] = {}
+        self._open: Dict[str, bool] = {}
+
+    def record_failure(self, key: str) -> bool:
+        """Count one failure; return True when this trips the breaker."""
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        if count >= self.threshold and not self._open.get(key, False):
+            self._open[key] = True
+            return True
+        return False
+
+    def is_open(self, key: str) -> bool:
+        return self._open.get(key, False)
+
+    def failures(self, key: str) -> int:
+        return self._failures.get(key, 0)
+
+    @property
+    def open_keys(self) -> List[str]:
+        return sorted(k for k, tripped in self._open.items() if tripped)
+
+
+class ReassignmentLedger:
+    """Bounded accounting of orphaned-shard reassignments."""
+
+    def __init__(self, per_unit_budget: int, total_budget: int) -> None:
+        self.per_unit_budget = per_unit_budget
+        self.total_budget = total_budget
+        self._per_unit: Dict[int, int] = {}
+        self.total = 0
+
+    def charge(self, unit_id: int) -> None:
+        """Record one reassignment; raise when a budget is exhausted."""
+        attempts = self._per_unit.get(unit_id, 0) + 1
+        if attempts > self.per_unit_budget:
+            raise ReassignmentBudgetExceeded(
+                unit_id, attempts, self.per_unit_budget
+            )
+        if self.total + 1 > self.total_budget:
+            raise ReassignmentBudgetExceeded(
+                None, self.total + 1, self.total_budget
+            )
+        self.total += 1
+        self._per_unit[unit_id] = attempts
+
+    def attempts(self, unit_id: int) -> int:
+        return self._per_unit.get(unit_id, 0)
+
+
+@dataclass
+class ExecutionReport:
+    """What the pool supervisor saw while executing one census."""
+
+    workers: int
+    n_units: int
+    n_shards: int = 1
+    units_completed: int = 0
+    units_failed: int = 0
+    reassignments: int = 0
+    workers_lost: int = 0
+    workers_wedged: int = 0
+    workers_respawned: int = 0
+    heartbeats: int = 0
+    duplicate_results: int = 0
+    breaker_open_vps: List[str] = field(default_factory=list)
+    deadline_hit: bool = False
+    interrupted: bool = False
+    in_process: bool = False
+    wall_s: float = 0.0
+    _started: float = field(default_factory=time.monotonic, repr=False)
+
+    def finish(self) -> "ExecutionReport":
+        self.wall_s = time.monotonic() - self._started
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict dump for health reports and run manifests."""
+        return {
+            "workers": self.workers,
+            "n_units": self.n_units,
+            "n_shards": self.n_shards,
+            "units_completed": self.units_completed,
+            "units_failed": self.units_failed,
+            "reassignments": self.reassignments,
+            "workers_lost": self.workers_lost,
+            "workers_wedged": self.workers_wedged,
+            "workers_respawned": self.workers_respawned,
+            "heartbeats": self.heartbeats,
+            "duplicate_results": self.duplicate_results,
+            "breaker_open_vps": list(self.breaker_open_vps),
+            "deadline_hit": self.deadline_hit,
+            "interrupted": self.interrupted,
+            "in_process": self.in_process,
+            "wall_s": self.wall_s,
+        }

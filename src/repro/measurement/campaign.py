@@ -41,9 +41,13 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
+    from ..exec.plan import WorkUnit
+    from ..exec.supervisor import ExecutionPolicy
 
 from ..internet.topology import SyntheticInternet
 from ..obs import current_metrics, current_tracer
@@ -58,6 +62,19 @@ from .recordio import (
     concatenate,
     outcome_for,
 )
+
+#: Domain separator for shard-keyed scan RNG streams (``n_shards > 1``).
+#: Sharding slices the probed target set, which shifts how many jitter
+#: draws each reply consumes — so a shard cannot share the whole-scan
+#: stream and still be schedule-independent.  Instead each shard gets
+#: its own stream keyed by (salt, seed, census, VP, shard): the sharded
+#: byte stream differs from the unsharded one, but is identical for any
+#: worker count, dispatch order, or fault schedule.
+_SHARD_SALT = 0x5A4D31
+
+#: Domain separator for retry-backoff jitter draws (see
+#: :meth:`~repro.measurement.faults.RetryPolicy.backoff_hours`).
+_BACKOFF_SALT = 0xBAC0FF
 
 
 class CensusAborted(RuntimeError):
@@ -126,6 +143,10 @@ class CampaignHealthReport:
     failed_vps: List[str] = field(default_factory=list)
     salvaged_vps: List[str] = field(default_factory=list)
     degraded: bool = False
+    #: Pool-supervision dump (``ExecutionReport.to_dict``) when the
+    #: census ran on the parallel execution engine; None on the classic
+    #: serial path.
+    execution: Optional[Dict] = None
 
     @property
     def n_faults(self) -> int:
@@ -151,6 +172,15 @@ class CampaignHealthReport:
             f"  records dropped:    {self.records_dropped_corrupt}"
             f" in {self.batches_dropped_corrupt} corrupt batch(es)",
         ]
+        if self.execution is not None:
+            ex = self.execution
+            lines.append(
+                f"  pool:               {ex.get('workers', 0)} worker(s), "
+                f"{ex.get('n_units', 0)} unit(s), "
+                f"{ex.get('reassignments', 0)} reassignment(s), "
+                f"{ex.get('workers_lost', 0)} lost, "
+                f"{ex.get('workers_wedged', 0)} wedged"
+            )
         return lines
 
 
@@ -251,6 +281,7 @@ class CensusCampaign:
         retry: Optional[RetryPolicy] = None,
         min_vp_quorum: int = 1,
         quarantine_threshold: int = 2,
+        executor: Optional["ExecutionPolicy"] = None,
     ) -> None:
         if not 0.0 <= degraded_fraction <= 1.0:
             raise ValueError("degraded_fraction must be in [0, 1]")
@@ -266,6 +297,12 @@ class CensusCampaign:
         self.degraded_fraction = degraded_fraction
         self.fault_plan = fault_plan or FaultPlan()
         self.retry = retry or RetryPolicy()
+        #: Parallel-execution policy.  None runs the classic serial VP
+        #: loop; an :class:`~repro.exec.supervisor.ExecutionPolicy` runs
+        #: each census's scans on the supervised sharded engine
+        #: (``workers=0`` = in-process reference, byte-identical to any
+        #: pool size).
+        self.executor = executor
         self.min_vp_quorum = min_vp_quorum
         #: Cross-census per-VP fault bookkeeping (drives quarantine).
         self.health = VpHealthTracker(quarantine_threshold=quarantine_threshold)
@@ -437,64 +474,107 @@ class CensusCampaign:
         durations: List[float] = []
         drops: List[float] = []
         greylist = Greylist()
-        fresh_scans = 0
 
-        for census_vp_index, (vp, degraded) in enumerate(pairs):
-            with tracer.span("vp_scan", vp=vp.name) as vp_span:
-                outcome = None
-                if journal is not None:
-                    entry = journal.valid_batch(vp.name)
-                    if entry is not None:
-                        outcome = _VpOutcome.from_journal(entry.payload, entry.records)
-                        report.n_vps_resumed += 1
-                        metrics.counter("vps_resumed").inc()
-                        vp_span.set("resumed", True)
-                if outcome is None:
-                    if abort_after_vps is not None and fresh_scans >= abort_after_vps:
+        def account(vp_name: str, outcome: _VpOutcome, fresh: bool) -> None:
+            """Census-order bookkeeping for one VP's outcome.
+
+            Shared by the serial loop and the parallel assembly pass, so
+            health/quarantine state, metrics, and batch order evolve
+            identically whichever engine ran the scans.
+            """
+            self._absorb_outcome(report, outcome, vp_name)
+            self.health.record(vp_name, ok=outcome.clean)
+            durations.append(outcome.duration_hours)
+            drops.append(outcome.drop_rate)
+            if fresh:
+                metrics.counter("probes_sent").inc(probes_per_vp)
+            if metrics.enabled:
+                metrics.counter("vps_" + outcome.status).inc()
+                if outcome.retries:
+                    metrics.counter("scan_retries").inc(outcome.retries)
+                    metrics.counter("probes_retried").inc(
+                        outcome.retries * probes_per_vp
+                    )
+                metrics.counter("records_salvaged").inc(outcome.records_salvaged)
+                metrics.counter("records_dropped_corrupt").inc(
+                    outcome.records_dropped
+                )
+                metrics.histogram(
+                    "vp_scan_duration_hours", buckets=(6, 12, 24, 48, 96, 192)
+                ).observe(outcome.duration_hours)
+            if outcome.usable and outcome.records is not None:
+                batches.append(outcome.records)
+                checksums.append(
+                    outcome.checksum
+                    if outcome.checksum is not None
+                    else outcome.records.checksum()
+                )
+                self._collect_greylist(outcome.records, greylist)
+
+        from ..exec.signals import graceful_shutdown
+
+        with graceful_shutdown() as stop_flag:
+            if self.executor is not None:
+                self._run_vp_scans_parallel(
+                    census_id=census_id,
+                    pairs=pairs,
+                    index_of=index_of,
+                    probe_mask=probe_mask,
+                    base_order=base_order,
+                    rate=rate,
+                    journal=journal,
+                    abort_after_vps=abort_after_vps,
+                    stop_flag=stop_flag,
+                    report=report,
+                    account=account,
+                    metrics=metrics,
+                    checkpoint=checkpoint,
+                )
+            else:
+                fresh_scans = 0
+                for census_vp_index, (vp, degraded) in enumerate(pairs):
+                    if stop_flag:
+                        # Operator drain: the journal already holds every
+                        # finished batch, fsynced; stop before starting
+                        # more work and leave a resumable checkpoint.
                         raise CensusInterrupted(census_id, fresh_scans, checkpoint)
-                    outcome = self._supervised_scan(
-                        platform_index=index_of[vp.name],
-                        census_id=census_id,
-                        probe_mask=probe_mask,
-                        census_vp_index=census_vp_index,
-                        base_order=base_order,
-                        rate_pps=rate,
-                        degraded=degraded,
-                    )
-                    fresh_scans += 1
-                    metrics.counter("probes_sent").inc(probes_per_vp)
-                    if journal is not None:
-                        journal.write_batch(
-                            outcome.journal_payload(vp.name), outcome.records
-                        )
-                vp_span.set("status", outcome.status)
-
-                self._absorb_outcome(report, outcome, vp.name)
-                self.health.record(vp.name, ok=outcome.clean)
-                durations.append(outcome.duration_hours)
-                drops.append(outcome.drop_rate)
-                if metrics.enabled:
-                    metrics.counter("vps_" + outcome.status).inc()
-                    if outcome.retries:
-                        metrics.counter("scan_retries").inc(outcome.retries)
-                        metrics.counter("probes_retried").inc(
-                            outcome.retries * probes_per_vp
-                        )
-                    metrics.counter("records_salvaged").inc(outcome.records_salvaged)
-                    metrics.counter("records_dropped_corrupt").inc(
-                        outcome.records_dropped
-                    )
-                    metrics.histogram(
-                        "vp_scan_duration_hours", buckets=(6, 12, 24, 48, 96, 192)
-                    ).observe(outcome.duration_hours)
-                if outcome.usable and outcome.records is not None:
-                    batches.append(outcome.records)
-                    checksums.append(
-                        outcome.checksum
-                        if outcome.checksum is not None
-                        else outcome.records.checksum()
-                    )
-                    self._collect_greylist(outcome.records, greylist)
+                    with tracer.span("vp_scan", vp=vp.name) as vp_span:
+                        outcome = None
+                        fresh = False
+                        if journal is not None:
+                            entry = journal.valid_batch(vp.name)
+                            if entry is not None:
+                                outcome = _VpOutcome.from_journal(
+                                    entry.payload, entry.records
+                                )
+                                report.n_vps_resumed += 1
+                                metrics.counter("vps_resumed").inc()
+                                vp_span.set("resumed", True)
+                        if outcome is None:
+                            if (
+                                abort_after_vps is not None
+                                and fresh_scans >= abort_after_vps
+                            ):
+                                raise CensusInterrupted(
+                                    census_id, fresh_scans, checkpoint
+                                )
+                            outcome = self._supervised_scan(
+                                platform_index=index_of[vp.name],
+                                census_id=census_id,
+                                probe_mask=probe_mask,
+                                census_vp_index=census_vp_index,
+                                base_order=base_order,
+                                rate_pps=rate,
+                                degraded=degraded,
+                            )
+                            fresh_scans += 1
+                            fresh = True
+                            if journal is not None:
+                                journal.write_batch(
+                                    outcome.journal_payload(vp.name), outcome.records
+                                )
+                        vp_span.set("status", outcome.status)
+                        account(vp.name, outcome, fresh)
 
         if len(batches) < self.min_vp_quorum:
             raise CensusAborted(census_id, len(batches), self.min_vp_quorum, report)
@@ -520,6 +600,131 @@ class CensusCampaign:
             rate_pps=rate,
             health=report,
         )
+
+    def _run_vp_scans_parallel(
+        self,
+        census_id: int,
+        pairs: List[Tuple[VantagePoint, bool]],
+        index_of: Dict[str, int],
+        probe_mask: np.ndarray,
+        base_order: np.ndarray,
+        rate: float,
+        journal: Optional[CensusJournal],
+        abort_after_vps: Optional[int],
+        stop_flag,
+        report: CampaignHealthReport,
+        account,
+        metrics,
+        checkpoint,
+    ) -> None:
+        """Run this census's VP scans on the supervised sharded engine.
+
+        Journal resume, flap decisions, the VP-level fault policy, and
+        all census bookkeeping stay in the parent; workers execute only
+        the pure keyed scan kernel (:meth:`run_work_unit`).  Results are
+        journaled as they arrive (the journal is keyed by VP name, so
+        arrival order is irrelevant) and *accounted* strictly in census
+        order, which is what keeps output byte-identical to the serial
+        loop.
+        """
+        from ..exec.engine import ShardedExecutor
+        from ..exec.plan import build_plan
+        from ..exec.pool import UnitContext
+
+        policy = self.executor
+        resumed: Dict[str, _VpOutcome] = {}
+        flapped: Dict[str, _VpOutcome] = {}
+        fresh_vps: List[Tuple[str, int, int, bool]] = []
+        for census_vp_index, (vp, degraded) in enumerate(pairs):
+            if journal is not None:
+                entry = journal.valid_batch(vp.name)
+                if entry is not None:
+                    resumed[vp.name] = _VpOutcome.from_journal(
+                        entry.payload, entry.records
+                    )
+                    report.n_vps_resumed += 1
+                    metrics.counter("vps_resumed").inc()
+                    continue
+            # Flap is a VP-level availability fault: decided here, never
+            # shipped to a worker (there is nothing to compute).
+            flap = self._flap_outcome(census_id, index_of[vp.name])
+            if flap is not None:
+                flapped[vp.name] = flap
+                if journal is not None:
+                    journal.write_batch(flap.journal_payload(vp.name), flap.records)
+                continue
+            fresh_vps.append(
+                (vp.name, index_of[vp.name], census_vp_index, bool(degraded))
+            )
+
+        plan = build_plan(fresh_vps, n_shards=policy.n_target_shards)
+        budget = (
+            None
+            if abort_after_vps is None
+            else max(abort_after_vps - len(flapped), 0)
+        )
+        if budget is not None and budget == 0 and len(plan):
+            raise CensusInterrupted(census_id, len(flapped), checkpoint)
+
+        engine_outcomes: Dict[str, _VpOutcome] = {}
+
+        def on_vp_complete(vp_name: str, result: VpScanResult) -> bool:
+            outcome = self._apply_fault_policy(
+                index_of[vp_name], census_id, result, rate
+            )
+            engine_outcomes[vp_name] = outcome
+            if journal is not None:
+                journal.write_batch(outcome.journal_payload(vp_name), outcome.records)
+            return budget is None or len(engine_outcomes) < budget
+
+        context = UnitContext(
+            campaign=self,
+            census_id=census_id,
+            probe_mask=probe_mask,
+            base_order=base_order,
+            rate_pps=rate,
+            units=plan.units,
+            worker_faults=policy.worker_faults,
+        )
+        exec_outcome = ShardedExecutor(policy).run(
+            context,
+            plan,
+            on_vp_complete=on_vp_complete,
+            should_stop=lambda: bool(stop_flag),
+        )
+        report.execution = exec_outcome.report.to_dict()
+        interrupted = exec_outcome.report.interrupted
+
+        for vp, degraded in pairs:
+            name = vp.name
+            if name in resumed:
+                account(name, resumed[name], False)
+            elif name in flapped:
+                account(name, flapped[name], True)
+            elif name in engine_outcomes:
+                account(name, engine_outcomes[name], True)
+            elif name in exec_outcome.failed and not interrupted:
+                # Engine-level failure (breaker trip or deadline): marked
+                # failed — feeding quarantine and the quorum check — but
+                # deliberately NOT journaled, so a resumed census rescans
+                # rather than trusting a gave-up marker.
+                tag = exec_outcome.failed[name]
+                account(
+                    name,
+                    _VpOutcome(
+                        status="failed",
+                        records=None,
+                        checksum=None,
+                        duration_hours=float("nan"),
+                        drop_rate=float("nan"),
+                        faults=[tag],
+                    ),
+                    True,
+                )
+        if interrupted:
+            raise CensusInterrupted(
+                census_id, len(flapped) + len(engine_outcomes), checkpoint
+            )
 
     def run(
         self,
@@ -600,38 +805,9 @@ class CensusCampaign:
         degraded: bool,
     ) -> _VpOutcome:
         """One VP scan under the fault injector and retry policy."""
-        injector = self._injector
-        if injector is None:
-            result = self._scan_vp(
-                platform_index,
-                census_id=census_id,
-                probe_mask=probe_mask,
-                census_vp_index=census_vp_index,
-                base_order=base_order,
-                rate_pps=rate_pps,
-                degraded=degraded,
-            )
-            return _VpOutcome(
-                status="ok",
-                records=result.records,
-                checksum=result.records.checksum(),
-                duration_hours=result.duration_hours,
-                drop_rate=result.drop_rate,
-            )
-
-        faults: List[str] = []
-        retries = 0
-        backoff = 0.0
-        if injector.flaps(census_id, platform_index):
-            return _VpOutcome(
-                status="failed",
-                records=None,
-                checksum=None,
-                duration_hours=float("nan"),
-                drop_rate=float("nan"),
-                faults=[FaultKind.FLAP.value],
-            )
-
+        flap = self._flap_outcome(census_id, platform_index)
+        if flap is not None:
+            return flap
         # The underlying scan is deterministic in (seed, census, VP), so
         # one simulation serves every attempt; faults decide what the
         # supervisor observed each time.
@@ -644,6 +820,66 @@ class CensusCampaign:
             rate_pps=rate_pps,
             degraded=degraded,
         )
+        return self._apply_fault_policy(platform_index, census_id, result, rate_pps)
+
+    def _flap_outcome(
+        self, census_id: int, platform_index: int
+    ) -> Optional[_VpOutcome]:
+        """The VP's flap verdict for this census, if it flapped."""
+        if self._injector is not None and self._injector.flaps(
+            census_id, platform_index
+        ):
+            return _VpOutcome(
+                status="failed",
+                records=None,
+                checksum=None,
+                duration_hours=float("nan"),
+                drop_rate=float("nan"),
+                faults=[FaultKind.FLAP.value],
+            )
+        return None
+
+    def _backoff_u(self, census_id: int, platform_index: int, attempt: int) -> float:
+        """Keyed jitter draw for one retry's backoff (0 when disabled).
+
+        Keyed by (seed, census, VP, attempt) rather than drawn from a
+        shared stream: every retry schedule is reproducible no matter
+        which VPs retried before it, serially or on a pool.
+        """
+        if self.retry.jitter <= 0.0:
+            return 0.0
+        rng = np.random.default_rng(
+            [_BACKOFF_SALT, self.seed, census_id, platform_index, attempt]
+        )
+        return float(rng.random())
+
+    def _apply_fault_policy(
+        self,
+        platform_index: int,
+        census_id: int,
+        result: VpScanResult,
+        rate_pps: float,
+    ) -> _VpOutcome:
+        """Replay the fault/retry policy over one finished scan result.
+
+        Shared verbatim by the serial path and the parallel engine (which
+        calls it in the parent on each merged per-VP result): what the
+        supervisor "observed" depends only on the keyed injector, never
+        on which process computed the scan.
+        """
+        injector = self._injector
+        if injector is None:
+            return _VpOutcome(
+                status="ok",
+                records=result.records,
+                checksum=result.records.checksum(),
+                duration_hours=result.duration_hours,
+                drop_rate=result.drop_rate,
+            )
+
+        faults: List[str] = []
+        retries = 0
+        backoff = 0.0
         salvage: Optional[VpScanResult] = None
         dropped_records = 0
         dropped_batches = 0
@@ -651,7 +887,9 @@ class CensusCampaign:
         for attempt in range(self.retry.max_attempts):
             if attempt:
                 retries += 1
-                backoff += self.retry.backoff_hours(attempt)
+                backoff += self.retry.backoff_hours(
+                    attempt, self._backoff_u(census_id, platform_index, attempt)
+                )
             kind = injector.fault_for(census_id, platform_index, attempt)
             if kind is None:
                 return _VpOutcome(
@@ -781,6 +1019,32 @@ class CensusCampaign:
             mask[self.internet.target_index(prefix)] = False
         return mask
 
+    def run_work_unit(
+        self,
+        census_id: int,
+        probe_mask: Optional[np.ndarray],
+        base_order: np.ndarray,
+        rate_pps: float,
+        unit: "WorkUnit",
+    ) -> VpScanResult:
+        """Execute one (VP × target-shard) work unit of a census.
+
+        The pure compute kernel of the parallel engine: its output is a
+        function of (campaign seed, census, VP, shard) alone, so any
+        worker — or the parent, in-process — produces the same bytes.
+        """
+        return self._scan_vp(
+            unit.platform_index,
+            census_id=census_id,
+            probe_mask=probe_mask,
+            census_vp_index=unit.census_vp_index,
+            base_order=base_order,
+            rate_pps=rate_pps,
+            degraded=unit.degraded,
+            shard_index=unit.shard_index,
+            n_shards=unit.n_shards,
+        )
+
     def _scan_vp(
         self,
         platform_index: int,
@@ -790,6 +1054,8 @@ class CensusCampaign:
         base_order: Optional[np.ndarray] = None,
         rate_pps: Optional[float] = None,
         degraded: bool = False,
+        shard_index: int = 0,
+        n_shards: int = 1,
     ) -> VpScanResult:
         vp = self.platform.vantage_points[platform_index]
         coords = self.effective_coords(platform_index)
@@ -801,7 +1067,21 @@ class CensusCampaign:
         # without recomputing a full permutation per node.
         shift = (platform_index * 7919 + census_id * 104729) % n
         order = np.roll(base_order, shift)
-        rng = np.random.default_rng(self.seed * 1_000_003 + census_id * 1009 + platform_index)
+        if n_shards > 1:
+            # Target sharding changes which replies draw policing jitter,
+            # so a shard cannot reuse the whole-scan RNG stream: each
+            # shard gets its own keyed stream (see _SHARD_SALT).
+            from ..exec.plan import shard_target_mask
+
+            smask = shard_target_mask(n, shard_index, n_shards)
+            probe_mask = smask if probe_mask is None else (probe_mask & smask)
+            rng = np.random.default_rng(
+                [_SHARD_SALT, self.seed, census_id, platform_index, shard_index]
+            )
+        else:
+            rng = np.random.default_rng(
+                self.seed * 1_000_003 + census_id * 1009 + platform_index
+            )
         return simulate_vp_scan(
             internet=self.internet,
             vp=vp,

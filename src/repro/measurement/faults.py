@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -259,6 +259,11 @@ class RetryPolicy:
     timeout_hours: Optional[float] = None
     backoff_base_hours: float = 0.25
     backoff_factor: float = 2.0
+    #: Jitter amplitude as a fraction of the deterministic backoff: the
+    #: actual wait is scaled by ``1 + jitter * u`` with ``u`` drawn by
+    #: the campaign from an RNG keyed on (seed, census, VP, attempt) —
+    #: decorrelated retry storms without sacrificing reproducibility.
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -269,10 +274,18 @@ class RetryPolicy:
             raise ValueError("backoff_base_hours must be non-negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
-    def backoff_hours(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
-        return self.backoff_base_hours * self.backoff_factor ** (attempt - 1)
+    def backoff_hours(self, attempt: int, u: float = 0.0) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``u`` in [0, 1) is the caller's keyed jitter draw; with the
+        default ``jitter=0`` it has no effect and the schedule is the
+        classic deterministic exponential.
+        """
+        base = self.backoff_base_hours * self.backoff_factor ** (attempt - 1)
+        return base * (1.0 + self.jitter * u)
 
     def times_out(self, duration_hours: float) -> bool:
         return self.timeout_hours is not None and duration_hours > self.timeout_hours
@@ -400,6 +413,137 @@ class PoisonPlan:
         block (``PoisonPlan.single(PoisonKind.NAN_RTT, 0.5)``)."""
         key = kind.value if isinstance(kind, PoisonKind) else PoisonKind(kind).value
         return cls(**{key: fraction, "seed": seed})
+
+
+# ----------------------------------------------------------------------
+# Worker-level faults: killing the *executors*, not the vantage points
+# ----------------------------------------------------------------------
+
+
+class WorkerFaultKind(enum.Enum):
+    """How a census worker process can misbehave.
+
+    Where :class:`FaultKind` models the measurement *nodes* (a PlanetLab
+    host crashing mid-scan), these model the *execution platform* running
+    the census — the worker processes of
+    :class:`repro.exec.engine.ShardedExecutor`.  The supervisor must
+    recover from all three without changing a byte of census output.
+    """
+
+    #: The worker process dies outright (OOM kill, segfault) while
+    #: holding work units; its shards must be reassigned.
+    DEAD_WORKER = "dead_worker"
+    #: The worker stops making progress *and* stops heartbeating (stuck
+    #: in an uninterruptible state); only liveness tracking can tell.
+    WEDGED_WORKER = "wedged_worker"
+    #: The worker is alive and heartbeating but much slower than its
+    #: peers (noisy neighbour); it must NOT be killed, only waited out.
+    SLOW_WORKER = "slow_worker"
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Deterministic worker-fault schedule for one pool run.
+
+    Two addressing modes, combinable:
+
+    * **explicit** — ``dead_worker_ids`` / ``wedged_worker_ids`` /
+      ``slow_worker_ids`` name worker ids that misbehave on their first
+      task (respawned replacements get fresh ids and recover the pool);
+    * **probabilistic** — per-task probabilities drawn from an RNG keyed
+      on ``(seed, worker id, task sequence)``, so a given worker's fate
+      on its n-th task is reproducible regardless of scheduling.
+
+    Fault decisions only ever change *which process computes a shard*,
+    never the shard's bytes — that is the engine's determinism contract.
+    """
+
+    dead_prob: float = 0.0
+    wedged_prob: float = 0.0
+    slow_prob: float = 0.0
+    dead_worker_ids: Tuple[int, ...] = ()
+    wedged_worker_ids: Tuple[int, ...] = ()
+    slow_worker_ids: Tuple[int, ...] = ()
+    #: Seed of the worker-fault RNG — independent of every other seed.
+    seed: int = 0
+    #: How long a wedged worker sits silent (it stops heartbeating, so
+    #: the supervisor's liveness timeout is what actually bounds this).
+    wedge_seconds: float = 30.0
+    #: Extra latency a slow worker adds per task, heartbeating all along.
+    slow_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in ("dead_prob", "wedged_prob", "slow_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.dead_prob + self.wedged_prob + self.slow_prob > 1.0:
+            raise ValueError("worker fault probabilities must sum to <= 1")
+        if self.seed < 0:
+            raise ValueError("worker fault seed must be non-negative")
+        if self.wedge_seconds <= 0 or self.slow_seconds < 0:
+            raise ValueError("fault durations must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.dead_prob > 0.0
+            or self.wedged_prob > 0.0
+            or self.slow_prob > 0.0
+            or self.dead_worker_ids
+            or self.wedged_worker_ids
+            or self.slow_worker_ids
+        )
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **kwargs) -> "WorkerFaultPlan":
+        """Spread ``rate`` evenly over dead, wedged and slow workers."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        share = rate / 3.0
+        return cls(
+            dead_prob=share, wedged_prob=share, slow_prob=share, seed=seed, **kwargs
+        )
+
+
+#: Domain separation for worker-fault draws (vs node faults and poison).
+_WORKER_SALT = 0x30B57A
+
+
+class WorkerFaultInjector:
+    """Decides each worker task's fate from a :class:`WorkerFaultPlan`.
+
+    Runs *inside* the worker process; the decision for (worker, task n)
+    is keyed, so it does not depend on what other workers are doing.
+    """
+
+    def __init__(self, plan: WorkerFaultPlan) -> None:
+        self.plan = plan
+
+    def fault_for(self, worker_id: int, task_seq: int) -> Optional[WorkerFaultKind]:
+        """The fault (if any) striking one worker's n-th task (1-based)."""
+        plan = self.plan
+        if task_seq == 1:
+            if worker_id in plan.dead_worker_ids:
+                return WorkerFaultKind.DEAD_WORKER
+            if worker_id in plan.wedged_worker_ids:
+                return WorkerFaultKind.WEDGED_WORKER
+            if worker_id in plan.slow_worker_ids:
+                return WorkerFaultKind.SLOW_WORKER
+        if plan.dead_prob <= 0.0 and plan.wedged_prob <= 0.0 and plan.slow_prob <= 0.0:
+            return None
+        rng = np.random.default_rng([_WORKER_SALT, plan.seed, worker_id, task_seq])
+        u = float(rng.random())
+        edge = plan.dead_prob
+        if u < edge:
+            return WorkerFaultKind.DEAD_WORKER
+        edge += plan.wedged_prob
+        if u < edge:
+            return WorkerFaultKind.WEDGED_WORKER
+        edge += plan.slow_prob
+        if u < edge:
+            return WorkerFaultKind.SLOW_WORKER
+        return None
 
 
 def _impossible_point(lat: float, lon: float) -> GeoPoint:

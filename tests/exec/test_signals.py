@@ -1,0 +1,59 @@
+"""Graceful-shutdown flag semantics (satellite of the drain fix)."""
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.exec.signals import ShutdownFlag, graceful_shutdown
+
+
+class TestShutdownFlag:
+    def test_starts_clear(self):
+        flag = ShutdownFlag()
+        assert not flag
+        assert flag.signum == 0
+
+
+class TestGracefulShutdown:
+    def test_first_signal_sets_flag_instead_of_raising(self):
+        with graceful_shutdown() as flag:
+            os.kill(os.getpid(), signal.SIGINT)
+            # Delivery happens at a bytecode boundary; this statement is one.
+            assert bool(flag)
+            assert flag.signum == signal.SIGINT
+
+    def test_second_signal_raises(self):
+        with graceful_shutdown() as flag:
+            # raise_signal delivers synchronously, keeping the raise
+            # deterministically inside the pytest.raises block.
+            signal.raise_signal(signal.SIGINT)
+            assert bool(flag)
+            with pytest.raises(KeyboardInterrupt):
+                signal.raise_signal(signal.SIGINT)
+
+    def test_sigterm_also_drains(self):
+        with graceful_shutdown() as flag:
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert bool(flag)
+            assert flag.signum == signal.SIGTERM
+
+    def test_handlers_restored_on_exit(self):
+        before = signal.getsignal(signal.SIGINT)
+        with graceful_shutdown():
+            assert signal.getsignal(signal.SIGINT) is not before
+        assert signal.getsignal(signal.SIGINT) is before
+
+    def test_non_main_thread_yields_unwired_flag(self):
+        seen = {}
+
+        def body():
+            with graceful_shutdown() as flag:
+                seen["flag"] = flag
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert isinstance(seen["flag"], ShutdownFlag)
+        assert not seen["flag"]

@@ -1,0 +1,144 @@
+"""Unit tests for the process-free supervision machinery."""
+
+import pytest
+
+from repro.exec.errors import ReassignmentBudgetExceeded
+from repro.exec.supervisor import (
+    CircuitBreaker,
+    ExecutionPolicy,
+    ExecutionReport,
+    ReassignmentLedger,
+)
+from repro.measurement.faults import (
+    WorkerFaultInjector,
+    WorkerFaultKind,
+    WorkerFaultPlan,
+)
+
+
+class TestExecutionPolicy:
+    def test_defaults_are_sane(self):
+        policy = ExecutionPolicy()
+        assert policy.workers == 2
+        assert policy.n_target_shards == 1
+        assert policy.deadline_s is None
+        assert policy.worker_faults is None
+
+    def test_default_budgets_scale_with_workers(self):
+        policy = ExecutionPolicy(workers=4)
+        assert policy.total_reassignment_budget == 4 * 4 + 8
+        assert policy.respawn_budget == 2 * 4 + 2
+
+    def test_explicit_budgets_win(self):
+        policy = ExecutionPolicy(max_total_reassignments=5, max_respawns=1)
+        assert policy.total_reassignment_budget == 5
+        assert policy.respawn_budget == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": -1},
+            {"n_target_shards": 0},
+            {"deadline_s": 0.0},
+            {"liveness_timeout_s": 0.0},
+            {"poll_interval_s": 0.0},
+            {"prefetch": 0},
+            {"max_reassignments_per_unit": -1},
+            {"breaker_threshold": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_trips_exactly_once_at_threshold(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert breaker.record_failure("vp") is False
+        assert breaker.record_failure("vp") is False
+        assert breaker.record_failure("vp") is True
+        assert breaker.record_failure("vp") is False  # already open
+        assert breaker.is_open("vp")
+        assert breaker.failures("vp") == 4
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("a")
+        assert breaker.is_open("a")
+        assert not breaker.is_open("b")
+        assert breaker.open_keys == ["a"]
+
+    def test_open_keys_sorted(self):
+        breaker = CircuitBreaker(threshold=1)
+        for key in ("z", "a", "m"):
+            breaker.record_failure(key)
+        assert breaker.open_keys == ["a", "m", "z"]
+
+
+class TestReassignmentLedger:
+    def test_per_unit_budget_enforced(self):
+        ledger = ReassignmentLedger(per_unit_budget=2, total_budget=100)
+        ledger.charge(7)
+        ledger.charge(7)
+        with pytest.raises(ReassignmentBudgetExceeded) as exc:
+            ledger.charge(7)
+        assert exc.value.unit_id == 7
+        assert ledger.attempts(7) == 2
+
+    def test_total_budget_enforced(self):
+        ledger = ReassignmentLedger(per_unit_budget=10, total_budget=3)
+        for unit_id in range(3):
+            ledger.charge(unit_id)
+        with pytest.raises(ReassignmentBudgetExceeded) as exc:
+            ledger.charge(3)
+        assert exc.value.unit_id is None
+        assert ledger.total == 3
+
+
+class TestExecutionReport:
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        report = ExecutionReport(workers=2, n_units=8, n_shards=2)
+        report.units_completed = 8
+        report.breaker_open_vps = ["vp-1"]
+        dumped = json.loads(json.dumps(report.finish().to_dict()))
+        assert dumped["workers"] == 2
+        assert dumped["units_completed"] == 8
+        assert dumped["breaker_open_vps"] == ["vp-1"]
+        assert dumped["wall_s"] >= 0.0
+
+
+class TestWorkerFaultPlan:
+    def test_disabled_by_default(self):
+        assert not WorkerFaultPlan().enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerFaultPlan(dead_prob=1.5)
+        with pytest.raises(ValueError):
+            WorkerFaultPlan(dead_prob=0.7, wedged_prob=0.7)
+
+    def test_explicit_ids_fire_on_first_task_only(self):
+        plan = WorkerFaultPlan(dead_worker_ids=(1,), wedged_worker_ids=(2,))
+        injector = WorkerFaultInjector(plan)
+        assert injector.fault_for(1, 1) is WorkerFaultKind.DEAD_WORKER
+        assert injector.fault_for(2, 1) is WorkerFaultKind.WEDGED_WORKER
+        assert injector.fault_for(1, 2) is None
+        assert injector.fault_for(0, 1) is None
+
+    def test_probabilistic_draws_are_keyed(self):
+        plan = WorkerFaultPlan(dead_prob=0.5, seed=42)
+        a = WorkerFaultInjector(plan)
+        b = WorkerFaultInjector(plan)
+        draws = [(w, t) for w in range(4) for t in range(1, 6)]
+        assert [a.fault_for(w, t) for w, t in draws] == [
+            b.fault_for(w, t) for w, t in draws
+        ]
+        assert any(a.fault_for(w, t) is not None for w, t in draws)
+
+    def test_uniform_splits_rate(self):
+        plan = WorkerFaultPlan.uniform(0.3, seed=1)
+        assert plan.enabled
+        assert plan.dead_prob + plan.wedged_prob + plan.slow_prob == pytest.approx(0.3)

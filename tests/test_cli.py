@@ -256,3 +256,80 @@ class TestExitCodes:
         )
         assert code == EXIT_ABORTED
         validate_manifest(json.loads(path.read_text()))
+
+
+class TestParallelOptions:
+    def test_workers_and_deadline_default_off(self):
+        args = build_parser().parse_args(["glance"])
+        assert args.workers is None
+        assert args.deadline is None
+
+    def test_parse_workers_values(self):
+        from repro.cli import _parse_workers
+
+        assert _parse_workers(None) is None
+        assert _parse_workers("0") == 0
+        assert _parse_workers("4") == 4
+        assert _parse_workers("auto") >= 1
+        with pytest.raises(ValueError):
+            _parse_workers("-1")
+        with pytest.raises(ValueError):
+            _parse_workers("many")
+
+    def test_bad_workers_is_usage_error(self):
+        with pytest.raises(SystemExit) as info:
+            main(SCALE + ["--workers", "many", "glance"])
+        assert info.value.code == 2
+
+    def test_pool_output_matches_serial(self, capsys):
+        assert main(SCALE + ["glance"]) == EXIT_OK
+        plain = capsys.readouterr().out
+        assert main(SCALE + ["--workers", "2", "glance"]) == EXIT_OK
+        assert capsys.readouterr().out == plain
+
+    def test_health_reports_pool_supervision(self, capsys):
+        assert main(SCALE + ["--workers", "2", "health"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "pool:" in out
+        assert "2 worker(s)" in out
+
+    def test_immediate_deadline_aborts_with_3(self, capsys):
+        code = main(SCALE + ["--deadline", "0.000001", "glance"])
+        assert code == EXIT_ABORTED
+        assert "aborted" in capsys.readouterr().err
+
+    def test_interrupt_exits_130_and_writes_manifest(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import contextlib
+        import json
+
+        import repro.exec.signals as signals
+        from repro.cli import EXIT_INTERRUPTED
+        from repro.obs import validate_manifest
+
+        class CountdownFlag:
+            polls = 2
+            signum = 2
+
+            def __bool__(self):
+                CountdownFlag.polls -= 1
+                return CountdownFlag.polls < 0
+
+        @contextlib.contextmanager
+        def fake_shutdown(*args, **kwargs):
+            yield CountdownFlag()
+
+        monkeypatch.setattr(signals, "graceful_shutdown", fake_shutdown)
+        manifest = tmp_path / "drained.json"
+        code = main(
+            SCALE
+            + ["--checkpoint-dir", str(tmp_path), "--manifest", str(manifest),
+               "health"]
+        )
+        assert code == EXIT_INTERRUPTED
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        validate_manifest(json.loads(manifest.read_text()))
+        # The drain left a resumable journal behind.
+        assert list(tmp_path.glob("census-*.journal"))
