@@ -1,15 +1,17 @@
 """Fig. 7 — validation against CloudFlare and EdgeCast HTTP ground truth.
 
-Paper: city-level agreement (TPR) of 77% for CloudFlare and 65% for
-EdgeCast; median geolocation error on misclassifications of 434 km and
-287 km respectively; GT/PAI high for CloudFlare, lower for EdgeCast.
+Paper: city-level agreement of 77% for CloudFlare and 65% for EdgeCast
+(the paper labels this "TPR", though the quantity — matched fraction of
+the *predicted* cities — is precision); median geolocation error on
+misclassifications of 434 km and 287 km respectively; GT/PAI high for
+CloudFlare, lower for EdgeCast.
 """
 
 from conftest import write_exhibit
 
 PAPER = {
-    "CLOUDFLARENET,US": {"tpr": 0.77, "median_error_km": 434.0},
-    "EDGECAST,US": {"tpr": 0.65, "median_error_km": 287.0},
+    "CLOUDFLARENET,US": {"precision": 0.77, "median_error_km": 434.0},
+    "EDGECAST,US": {"precision": 0.65, "median_error_km": 287.0},
 }
 
 
@@ -26,7 +28,7 @@ def test_fig07_ground_truth_validation(benchmark, paper_study, results_dir):
     for name, paper in PAPER.items():
         report = reports[name]
         lines.append(
-            f"{name:18s} {paper['tpr']:9.2f} {report.tpr_mean:8.2f} "
+            f"{name:18s} {paper['precision']:9.2f} {report.precision_mean:8.2f} "
             f"{paper['median_error_km']:9.0f} {report.median_error_km:8.0f} "
             f"{report.gt_pai:7.2f}"
         )
@@ -34,9 +36,10 @@ def test_fig07_ground_truth_validation(benchmark, paper_study, results_dir):
 
     for name, paper in PAPER.items():
         report = reports[name]
-        # TPR in the paper's band: clearly better than chance, not perfect.
-        assert 0.5 <= report.tpr_mean <= 0.98, name
-        assert report.tpr_mean >= paper["tpr"] - 0.25, name
+        # Precision in the paper's band: clearly better than chance, not
+        # perfect.
+        assert 0.5 <= report.precision_mean <= 0.98, name
+        assert report.precision_mean >= paper["precision"] - 0.25, name
         # Median error has the paper's magnitude: hundreds of km, not
         # tens (same metro) nor thousands (wrong continent).
         if report.all_errors_km:

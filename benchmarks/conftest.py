@@ -14,6 +14,7 @@ is 250 PlanetLab-like nodes (the paper's censuses used 240-269).
 
 from __future__ import annotations
 
+import os
 import pathlib
 from typing import Sequence
 
@@ -25,11 +26,21 @@ from repro.workflow import CensusStudy, StudyConfig
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: ``REPRO_BENCH_TINY=1`` shrinks the shared study to CI scale (a couple
+#: of minutes end to end).  Benchmarks must keep their *relative* gates
+#: (speedups, ratios) under this knob and guard absolute paper-scale
+#: assertions (counts, extrapolated hours) behind :data:`TINY_SCALE`.
+TINY_SCALE = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
 #: Paper-scale study configuration shared by all benchmarks.
 PAPER_SCALE = StudyConfig(
-    internet=InternetConfig(seed=2015, n_unicast_slash24=8_000, tail_deployments=260),
-    n_vantage_points=250,
-    n_censuses=4,
+    internet=InternetConfig(
+        seed=2015,
+        n_unicast_slash24=800 if TINY_SCALE else 8_000,
+        tail_deployments=40 if TINY_SCALE else 260,
+    ),
+    n_vantage_points=60 if TINY_SCALE else 250,
+    n_censuses=2 if TINY_SCALE else 4,
     availability=0.85,
     rate_pps=1000.0,
     igreedy=IGreedyConfig(),

@@ -4,6 +4,7 @@ from .analysis import AnalysisResult, CensusFunnel, analyze_matrix, census_funne
 from .characterize import ASFootprint, Characterization, GlanceRow
 from .combine import RttMatrix, combine_censuses, matrix_from_census, merge_matrices
 from .coverage import CoverageReport, coverage_report, spot_check_equivalence
+from .fastpath import FastAnalysisEngine, SharedGeometry, analyze_matrix_fast
 from .geomap import GeoGrid, deployment_map, replica_density_map
 from .hijack import HijackAlarm, detect_hijacks, inject_hijack
 from .longitudinal import (
@@ -53,6 +54,9 @@ __all__ = [
     "CoverageReport",
     "coverage_report",
     "spot_check_equivalence",
+    "FastAnalysisEngine",
+    "SharedGeometry",
+    "analyze_matrix_fast",
     "GeoGrid",
     "deployment_map",
     "replica_density_map",

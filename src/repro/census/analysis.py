@@ -71,14 +71,35 @@ def analyze_matrix(
     city_db: Optional[CityDB] = None,
     config: Optional[IGreedyConfig] = None,
     min_samples: int = 3,
+    workers: Optional[int] = None,
 ) -> AnalysisResult:
     """Detect, enumerate and geolocate every anycast /24 in the matrix.
 
     ``min_samples`` guards against spurious detections from targets that
     answered almost nobody (too few disks to reason about).
+
+    Engine selection follows ``config.resolved_engine()``: the default
+    (``"auto"``) runs the array-native fast path of
+    :mod:`repro.census.fastpath`; ``"reference"`` (or the
+    ``REPRO_ANALYSIS_ENGINE`` environment variable) forces the original
+    per-sample object pipeline kept for differential testing.  Both
+    produce equivalent results.  ``workers`` (fast path only) chunks the
+    detected targets over a forked worker pool; ``None``/``0`` is serial.
     """
     cfg = config or IGreedyConfig()
     db = city_db or default_city_db()
+
+    if cfg.resolved_engine() == "fast":
+        from .fastpath import analyze_matrix_fast
+
+        return analyze_matrix_fast(
+            matrix,
+            city_db=db,
+            config=cfg,
+            min_samples=min_samples,
+            workers=workers or 0,
+        )
+
     metrics = current_metrics()
 
     vp_dist = matrix.vp_distance_matrix()

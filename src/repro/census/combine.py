@@ -14,7 +14,7 @@ the effective platform of the combined dataset.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -45,6 +45,7 @@ class RttMatrix:
             raise ValueError("RttMatrix dimension mismatch")
         if len(self.vp_locations) != n_v:
             raise ValueError("vp_locations length mismatch")
+        self._vp_distances: Optional[np.ndarray] = None
 
     @property
     def n_targets(self) -> int:
@@ -55,10 +56,22 @@ class RttMatrix:
         return len(self.vp_names)
 
     def vp_distance_matrix(self) -> np.ndarray:
-        """Great-circle distances between all VP pairs (detection input)."""
-        lats = [p.lat for p in self.vp_locations]
-        lons = [p.lon for p in self.vp_locations]
-        return pairwise_distances_km(lats, lons, lats, lons)
+        """Great-circle distances between all VP pairs (detection input).
+
+        Computed once and cached on the instance (read-only): detection,
+        the per-target enumeration geometry, and the throughput benchmark
+        all share the same matrix, and every disk of every target is
+        centered on one of these VPs — so per-target overlap matrices are
+        slices of this cache plus a radii outer sum, with zero fresh
+        trigonometry.
+        """
+        if self._vp_distances is None:
+            lats = [p.lat for p in self.vp_locations]
+            lons = [p.lon for p in self.vp_locations]
+            distances = pairwise_distances_km(lats, lons, lats, lons)
+            distances.setflags(write=False)
+            self._vp_distances = distances
+        return self._vp_distances
 
     def row_of(self, prefix: int) -> int:
         """Row index of a /24 prefix."""

@@ -43,9 +43,19 @@ class PrefixValidation:
     errors_km: List[float]
 
     @property
-    def tpr(self) -> float:
-        """City-level agreement rate among predicted replicas."""
+    def precision(self) -> float:
+        """City-level agreement rate among predicted replicas.
+
+        Matched fraction of the *predicted* cities — precision.  The
+        paper's Fig. 7 labels this quantity "TPR"; :attr:`tpr` is kept as
+        a deprecated alias under that historical name.
+        """
         return self.matched / len(self.predicted) if self.predicted else 0.0
+
+    @property
+    def tpr(self) -> float:
+        """Deprecated alias of :attr:`precision` (the paper's label)."""
+        return self.precision
 
 
 @dataclass
@@ -63,12 +73,22 @@ class ValidationReport:
         return len(self.gt_cities) / len(self.pai_cities) if self.pai_cities else 0.0
 
     @property
+    def precision_mean(self) -> float:
+        return float(np.mean([p.precision for p in self.per_prefix])) if self.per_prefix else 0.0
+
+    @property
+    def precision_std(self) -> float:
+        return float(np.std([p.precision for p in self.per_prefix])) if self.per_prefix else 0.0
+
+    @property
     def tpr_mean(self) -> float:
-        return float(np.mean([p.tpr for p in self.per_prefix])) if self.per_prefix else 0.0
+        """Deprecated alias of :attr:`precision_mean` (the paper's label)."""
+        return self.precision_mean
 
     @property
     def tpr_std(self) -> float:
-        return float(np.std([p.tpr for p in self.per_prefix])) if self.per_prefix else 0.0
+        """Deprecated alias of :attr:`precision_std` (the paper's label)."""
+        return self.precision_std
 
     @property
     def all_errors_km(self) -> List[float]:

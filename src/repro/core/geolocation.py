@@ -16,7 +16,7 @@ benchmark (0 = ignore population, pick the city nearest the disk center).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -59,21 +59,28 @@ def classify_disk(
     if population_exponent < 0:
         raise ValueError("population_exponent must be non-negative")
     with current_tracer().span("geolocation"):
-        candidates = city_db.cities_in_disk(disk)
-        if not candidates:
+        inside = city_db.city_indices_in_disk(disk)
+        if inside.size == 0:
             return None
         if population_exponent == 0.0:
             # Uniform prior: the maximum-likelihood choice degenerates to the
             # city closest to the disk center.
-            best = min(candidates, key=lambda c: disk.center.distance_km(c.location))
-            return GeolocatedReplica(
-                city=best, disk=disk, confidence=1.0 / len(candidates)
+            best = min(
+                (city_db.city_at(i) for i in inside),
+                key=lambda c: disk.center.distance_km(c.location),
             )
-        weights = np.array([c.population**population_exponent for c in candidates])
+            return GeolocatedReplica(
+                city=best, disk=disk, confidence=1.0 / inside.size
+            )
+        # Weight vector sliced from the cached population array — no
+        # per-city Python objects or scalar exponentiation in the loop.
+        weights = city_db.population_array()[inside] ** population_exponent
         total = float(weights.sum())
         idx = int(np.argmax(weights))
         return GeolocatedReplica(
-            city=candidates[idx], disk=disk, confidence=float(weights[idx]) / total
+            city=city_db.city_at(int(inside[idx])),
+            disk=disk,
+            confidence=float(weights[idx]) / total,
         )
 
 
@@ -82,6 +89,28 @@ def classify_nearest(disk: Disk, city_db: CityDB) -> GeolocatedReplica:
     with current_tracer().span("geolocation", fallback=True):
         city = city_db.nearest(disk.center)
         return GeolocatedReplica(city=city, disk=disk, confidence=0.0)
+
+
+def classify_disks(
+    disks: Sequence[Disk],
+    city_db: CityDB,
+    population_exponent: float = 1.0,
+    center_distances: Optional[np.ndarray] = None,
+) -> List[GeolocatedReplica]:
+    """Batched classification of many disks in one vectorized call.
+
+    Equivalent to ``classify_disk`` per disk with the ``classify_nearest``
+    fallback applied, but all city-to-center distances are computed in a
+    single haversine over the gazetteer's cached radian arrays (or taken
+    from a precomputed ``center_distances`` matrix).  See
+    :meth:`repro.geo.cities.CityDB.classify_disks`.
+    """
+    with current_tracer().span("geolocation", batched=len(disks)):
+        return city_db.classify_disks(
+            disks,
+            population_exponent=population_exponent,
+            center_distances=center_distances,
+        )
 
 
 def geolocation_error_km(predicted: City, truth: City) -> float:
@@ -97,8 +126,12 @@ def match_replicas_to_truth(
 
     Returns a dict with ``true_positives`` (exact city matches),
     ``errors_km`` (distance of each mispredicted replica to its closest
-    unmatched true city) and ``recall`` (matched fraction of truth).
-    Used by the validation pipeline (paper Fig. 7).
+    unmatched true city), ``recall`` (matched fraction of truth) and
+    ``precision`` (exact-match fraction of the predictions).  ``"tpr"``
+    is kept as a deprecated alias of ``"precision"`` — the quantity was
+    historically mislabeled; it divides by the *predicted* count, which
+    is precision, not a true-positive rate.  Used by the validation
+    pipeline (paper Fig. 7).
     """
     remaining = list(truth)
     tp = 0
@@ -112,9 +145,13 @@ def match_replicas_to_truth(
             nearest = min(remaining, key=lambda t: geolocation_error_km(city, t))
             errors.append(geolocation_error_km(city, nearest))
             remaining.remove(nearest)
+    precision = tp / len(predicted) if predicted else 0.0
     return {
         "true_positives": tp,
         "errors_km": errors,
         "recall": (len(truth) - len(remaining)) / len(truth) if truth else 1.0,
-        "tpr": tp / len(predicted) if predicted else 0.0,
+        "precision": precision,
+        # Deprecated alias: this ratio was historically (and wrongly)
+        # published under "tpr"; keep it until consumers migrate.
+        "tpr": precision,
     }

@@ -25,7 +25,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .coords import GeoPoint, distances_to_point_km
+from .coords import (
+    GeoPoint,
+    distances_to_point_km,
+    pairwise_distances_from_radians,
+    unit_vectors,
+)
 from .disks import Disk
 
 
@@ -382,9 +387,26 @@ class CityDB:
                 raise ValueError(f"duplicate city {city.key}")
             by_key[city.key] = city
         self._by_key = by_key
+        self._index_by_key = {c.key: i for i, c in enumerate(self._cities)}
         self._lats = np.array([c.location.lat for c in self._cities])
         self._lons = np.array([c.location.lon for c in self._cities])
         self._pops = np.array([c.population for c in self._cities])
+        # Derived geometry, computed once: radian coordinates feed the
+        # radians-native haversine (skipping the degree conversion in the
+        # classification hot loop) and unit vectors serve aggregate
+        # queries such as spherical centroids.
+        self._lat_rad = np.radians(self._lats)
+        self._lon_rad = np.radians(self._lons)
+        self._units = unit_vectors(self._lat_rad, self._lon_rad)
+        for arr in (
+            self._lats,
+            self._lons,
+            self._pops,
+            self._lat_rad,
+            self._lon_rad,
+            self._units,
+        ):
+            arr.setflags(write=False)
 
     def __len__(self) -> int:
         return len(self._cities)
@@ -410,11 +432,130 @@ class CityDB:
             raise KeyError(f"ambiguous city {name!r}: specify country")
         return matches[0]
 
+    def city_at(self, index: int) -> City:
+        """The city at a gazetteer index (the order of :meth:`__iter__`)."""
+        return self._cities[index]
+
+    def index_of(self, city: City) -> int:
+        """Gazetteer index of a city (keyed by ``(name, country)``)."""
+        try:
+            return self._index_by_key[city.key]
+        except KeyError:
+            raise KeyError(f"city {city.key} not in this CityDB") from None
+
+    def population_array(self) -> np.ndarray:
+        """Cached read-only population vector, aligned with city indices.
+
+        Classifiers build their weight vectors by slicing this array
+        instead of touching per-city Python objects.
+        """
+        return self._pops
+
+    def coordinates_radians(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached read-only ``(lat, lon)`` radian arrays (city order)."""
+        return self._lat_rad, self._lon_rad
+
+    def unit_vector_array(self) -> np.ndarray:
+        """Cached read-only unit vectors on the sphere, shape ``(n, 3)``."""
+        return self._units
+
+    def spherical_centroid(self, indices: Sequence[int]) -> GeoPoint:
+        """Spherical centroid of a set of cities (by gazetteer index)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            raise ValueError("centroid of empty city set")
+        mean = self._units[idx].mean(axis=0)
+        norm = float(np.linalg.norm(mean))
+        if norm < 1e-12:
+            raise ValueError("degenerate city set: centroid undefined")
+        x, y, z = (mean / norm).tolist()
+        return GeoPoint(
+            float(np.degrees(np.arcsin(min(1.0, max(-1.0, z))))),
+            float(np.degrees(np.arctan2(y, x))),
+        )
+
     def cities_in_disk(self, disk: Disk) -> List[City]:
         """All cities whose centers lie inside the disk."""
+        return [self._cities[i] for i in self.city_indices_in_disk(disk)]
+
+    def city_indices_in_disk(self, disk: Disk) -> np.ndarray:
+        """Gazetteer indices of all cities inside the disk (ascending)."""
         dists = distances_to_point_km(self._lats, self._lons, disk.center)
-        idx = np.nonzero(dists <= disk.radius_km + 1e-9)[0]
-        return [self._cities[i] for i in idx]
+        return np.nonzero(dists <= disk.radius_km + 1e-9)[0]
+
+    def center_distance_matrix(self, disks: Sequence[Disk]) -> np.ndarray:
+        """Distances from every city to every disk center, ``(n_cities, k)``.
+
+        One vectorized haversine over the cached radian arrays; column *j*
+        is bit-identical to ``distances_to_point_km(..., disks[j].center)``.
+        """
+        lats = np.radians([d.center.lat for d in disks])
+        lons = np.radians([d.center.lon for d in disks])
+        return pairwise_distances_from_radians(
+            self._lat_rad, self._lon_rad, lats, lons
+        )
+
+    def classify_disks(
+        self,
+        disks: Sequence[Disk],
+        population_exponent: float = 1.0,
+        center_distances: Optional[np.ndarray] = None,
+    ) -> List:
+        """Batched replica classification: one replica per disk.
+
+        Equivalent to running :func:`repro.core.geolocation.classify_disk`
+        (with the :func:`~repro.core.geolocation.classify_nearest`
+        fallback) on each disk, but the city-to-center geometry for *all*
+        disks is a single vectorized haversine call and the population
+        weights come from the cached :meth:`population_array` slice.
+
+        ``center_distances`` lets callers that hold a precomputed
+        city-to-center matrix (e.g. the census fast path, whose disks are
+        always centered on vantage points) pass the relevant columns in
+        and skip the geometry entirely.
+        """
+        if population_exponent < 0:
+            raise ValueError("population_exponent must be non-negative")
+        from ..core.geolocation import GeolocatedReplica  # local: avoids cycle
+
+        if not disks:
+            return []
+        if center_distances is None:
+            center_distances = self.center_distance_matrix(disks)
+        if center_distances.shape != (len(self._cities), len(disks)):
+            raise ValueError("center_distances shape mismatch")
+        out = []
+        for j, disk in enumerate(disks):
+            col = center_distances[:, j]
+            inside = np.nonzero(col <= disk.radius_km + 1e-9)[0]
+            if inside.size == 0:
+                # Nearest-city fallback, exactly like classify_nearest.
+                city = self._cities[int(np.argmin(col))]
+                out.append(GeolocatedReplica(city=city, disk=disk, confidence=0.0))
+                continue
+            if population_exponent == 0.0:
+                # Uniform prior degenerates to the city nearest the center.
+                best = min(
+                    (self._cities[i] for i in inside),
+                    key=lambda c: disk.center.distance_km(c.location),
+                )
+                out.append(
+                    GeolocatedReplica(
+                        city=best, disk=disk, confidence=1.0 / inside.size
+                    )
+                )
+                continue
+            weights = self._pops[inside] ** population_exponent
+            total = float(weights.sum())
+            idx = int(np.argmax(weights))
+            out.append(
+                GeolocatedReplica(
+                    city=self._cities[int(inside[idx])],
+                    disk=disk,
+                    confidence=float(weights[idx]) / total,
+                )
+            )
+        return out
 
     def largest_in_disk(self, disk: Disk) -> Optional[City]:
         """The most populous city inside the disk, or ``None`` if empty.

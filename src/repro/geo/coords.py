@@ -90,16 +90,55 @@ def pairwise_distances_km(
     shot — the hot path of a simulated census (O(10^7) pairs), which would be
     intractable with per-pair Python calls.
     """
-    phi1 = np.radians(np.asarray(lats1, dtype=np.float64))[:, None]
-    lam1 = np.radians(np.asarray(lons1, dtype=np.float64))[:, None]
-    phi2 = np.radians(np.asarray(lats2, dtype=np.float64))[None, :]
-    lam2 = np.radians(np.asarray(lons2, dtype=np.float64))[None, :]
+    return pairwise_distances_from_radians(
+        np.radians(np.asarray(lats1, dtype=np.float64)),
+        np.radians(np.asarray(lons1, dtype=np.float64)),
+        np.radians(np.asarray(lats2, dtype=np.float64)),
+        np.radians(np.asarray(lons2, dtype=np.float64)),
+    )
+
+
+def pairwise_distances_from_radians(
+    phi1: np.ndarray,
+    lam1: np.ndarray,
+    phi2: np.ndarray,
+    lam2: np.ndarray,
+) -> np.ndarray:
+    """Haversine matrix over coordinates already converted to radians.
+
+    Callers that query the same point set repeatedly (the city gazetteer,
+    the fixed vantage-point grid) cache the radian arrays once and skip the
+    degree conversion on every call.  The arithmetic is elementwise, so a
+    distance computed here is bit-identical to the same pair computed
+    through :func:`pairwise_distances_km` — submatrices of a cached matrix
+    can therefore substitute for fresh per-pair computations exactly.
+    """
+    phi1 = np.asarray(phi1, dtype=np.float64)[:, None]
+    lam1 = np.asarray(lam1, dtype=np.float64)[:, None]
+    phi2 = np.asarray(phi2, dtype=np.float64)[None, :]
+    lam2 = np.asarray(lam2, dtype=np.float64)[None, :]
     a = (
         np.sin((phi2 - phi1) / 2.0) ** 2
         + np.cos(phi1) * np.cos(phi2) * np.sin((lam2 - lam1) / 2.0) ** 2
     )
     np.clip(a, 0.0, 1.0, out=a)
     return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a))
+
+
+def unit_vectors(lats_rad: np.ndarray, lons_rad: np.ndarray) -> np.ndarray:
+    """Unit vectors on the sphere for radian coordinate arrays, shape (n, 3).
+
+    Dot products of unit vectors give the cosine of the central angle —
+    useful for aggregate queries (spherical centroids, coarse bounding
+    tests) that do not need the haversine's bit-exact distances.
+    """
+    lats_rad = np.asarray(lats_rad, dtype=np.float64)
+    lons_rad = np.asarray(lons_rad, dtype=np.float64)
+    cos_lat = np.cos(lats_rad)
+    return np.stack(
+        [cos_lat * np.cos(lons_rad), cos_lat * np.sin(lons_rad), np.sin(lats_rad)],
+        axis=1,
+    )
 
 
 def distances_to_point_km(

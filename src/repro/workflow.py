@@ -82,6 +82,11 @@ class StudyConfig:
     #: determinism reference); ``N >= 1`` runs a supervised pool of N
     #: forked workers.  Output bytes are identical in every mode.
     workers: Optional[int] = None
+    #: Worker processes for the *analysis* stage (fast engine only).
+    #: ``None``/``0`` analyzes detected targets serially; ``N >= 1``
+    #: chunks them over a forked pool with a canonical-order merge, so
+    #: results are identical for every worker count.
+    analysis_workers: Optional[int] = None
     #: Wall-clock budget (seconds) for each census's scan phase when the
     #: parallel engine is active; on expiry unfinished VPs are failed
     #: into the quorum machinery instead of hanging the run.
@@ -339,7 +344,10 @@ class CensusStudy:
 
             def build() -> AnalysisResult:
                 result = analyze_matrix(
-                    matrix, city_db=self.city_db, config=self.config.igreedy
+                    matrix,
+                    city_db=self.city_db,
+                    config=self.config.igreedy,
+                    workers=self.config.analysis_workers,
                 )
                 if self.supervisor is not None:
                     result.confidence = confidence_verdicts(

@@ -87,7 +87,7 @@ class TestErrorMetrics:
         cities = [db.get("Paris"), db.get("Tokyo")]
         out = match_replicas_to_truth(cities, cities)
         assert out["true_positives"] == 2
-        assert out["tpr"] == 1.0
+        assert out["precision"] == 1.0
         assert out["recall"] == 1.0
         assert out["errors_km"] == []
 
@@ -96,9 +96,17 @@ class TestErrorMetrics:
         truth = [db.get("Paris"), db.get("Ashburn", "US")]
         out = match_replicas_to_truth(predicted, truth)
         assert out["true_positives"] == 1
-        assert out["tpr"] == 0.5
+        assert out["precision"] == 0.5
         assert len(out["errors_km"]) == 1
         assert out["errors_km"][0] < 50  # Reston is near Ashburn
+
+    def test_tpr_is_deprecated_alias_of_precision(self, db):
+        # The quantity divides by the predicted count — precision.  The
+        # historical "tpr" key must keep returning the same value.
+        predicted = [db.get("Paris"), db.get("Tokyo"), db.get("Reston", "US")]
+        truth = [db.get("Paris"), db.get("Tokyo")]
+        out = match_replicas_to_truth(predicted, truth)
+        assert out["precision"] == out["tpr"] == pytest.approx(2 / 3)
 
     def test_match_empty_truth(self, db):
         out = match_replicas_to_truth([db.get("Paris")], [])

@@ -1,0 +1,266 @@
+"""Fast path ≡ reference path — the hard invariant of the analysis engine.
+
+The array-native engine (:mod:`repro.census.fastpath`) must produce an
+:class:`AnalysisResult` equivalent object-for-object to the reference
+per-sample pipeline for *every* configuration and *any* worker count:
+same prefixes, same detection verdicts and witnesses, same replica cities
+in the same order, same confidences, same iteration counts.
+
+The property suite drives both engines over randomly generated small
+internets (random VP geometry, NaN holes, duplicated RTT values to
+provoke tie-breaks) across the full configuration grid:
+strict/iterative enumeration × population_exponent ∈ {0, 1} × max_rtt
+on/off/aggressive.  Degenerate inputs (no samples, single samples,
+everything filtered) and the parallel merge (workers ∈ {0, 1, 2, 4})
+are covered by explicit cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.census.analysis import analyze_matrix  # noqa: E402
+from repro.census.combine import RttMatrix  # noqa: E402
+from repro.census.fastpath import analyze_matrix_fast  # noqa: E402
+from repro.core.igreedy import IGreedyConfig  # noqa: E402
+from repro.geo.cities import default_city_db  # noqa: E402
+from repro.geo.coords import GeoPoint  # noqa: E402
+
+
+def reference_config(**kwargs) -> IGreedyConfig:
+    return IGreedyConfig(engine="reference", **kwargs)
+
+
+def fast_config(**kwargs) -> IGreedyConfig:
+    return IGreedyConfig(engine="fast", **kwargs)
+
+
+def assert_equivalent(ref, fast) -> None:
+    """Object-for-object equality of two AnalysisResults."""
+    assert np.array_equal(ref.prefixes, fast.prefixes)
+    assert np.array_equal(ref.anycast_mask, fast.anycast_mask)
+    # Same targets in the same (canonical) order.
+    assert list(ref.results.keys()) == list(fast.results.keys())
+    for prefix, a in ref.results.items():
+        b = fast.results[prefix]
+        assert a.detection == b.detection, prefix
+        assert a.iterations == b.iterations, prefix
+        assert len(a.replicas) == len(b.replicas), (
+            prefix,
+            a.city_names,
+            b.city_names,
+        )
+        for ra, rb in zip(a.replicas, b.replicas):
+            # Frozen dataclasses: city, witnessing disk, and the exact
+            # confidence float must all agree.
+            assert ra == rb, prefix
+
+
+# -- random-matrix generation ------------------------------------------
+
+
+@st.composite
+def rtt_matrices(draw):
+    """A small random RttMatrix: 2-8 VPs, 1-12 targets, NaN holes, ties."""
+    n_vps = draw(st.integers(min_value=2, max_value=8))
+    n_targets = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+
+    lats = rng.uniform(-70.0, 70.0, size=n_vps)
+    lons = rng.uniform(-179.0, 179.0, size=n_vps)
+    locations = [GeoPoint(float(a), float(b)) for a, b in zip(lats, lons)]
+    # Shuffled zero-padded names so lexicographic order differs from
+    # column order — exercises the name tie-break in sample sorting.
+    names = [f"vp-{i:03d}" for i in rng.permutation(n_vps)]
+
+    # Quantized RTTs produce frequent exact duplicates across VPs, the
+    # adversarial case for (rtt, name) ordering and MIS tie-breaks.
+    rtt = rng.choice([2.0, 5.0, 10.0, 20.0, 60.0, 150.0, 350.0], size=(n_targets, n_vps))
+    holes = rng.random((n_targets, n_vps)) < draw(
+        st.floats(min_value=0.0, max_value=0.6)
+    )
+    rtt = np.where(holes, np.nan, rtt).astype(np.float32)
+
+    prefixes = np.sort(
+        rng.choice(2**24, size=n_targets, replace=False).astype(np.uint32)
+    )
+    return RttMatrix(
+        prefixes=prefixes,
+        vp_names=names,
+        vp_locations=locations,
+        rtt_ms=rtt,
+        sample_count=(~np.isnan(rtt)).astype(np.uint8),
+    )
+
+
+CONFIG_GRID = [
+    dict(strict_enumeration=True, population_exponent=1.0, max_rtt_ms=300.0),
+    dict(strict_enumeration=True, population_exponent=0.0, max_rtt_ms=None),
+    dict(strict_enumeration=True, population_exponent=1.0, max_rtt_ms=8.0),
+    dict(strict_enumeration=False, population_exponent=1.0, max_rtt_ms=300.0),
+    dict(strict_enumeration=False, population_exponent=0.0, max_rtt_ms=300.0),
+    dict(strict_enumeration=False, population_exponent=1.0, max_rtt_ms=None),
+]
+
+
+class TestPropertyEquivalence:
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(matrix=rtt_matrices(), config_index=st.integers(0, len(CONFIG_GRID) - 1))
+    def test_fast_equals_reference(self, matrix, config_index):
+        kwargs = CONFIG_GRID[config_index]
+        db = default_city_db()
+        ref = analyze_matrix(matrix, city_db=db, config=reference_config(**kwargs))
+        fast = analyze_matrix(matrix, city_db=db, config=fast_config(**kwargs))
+        assert_equivalent(ref, fast)
+
+    @settings(max_examples=15, deadline=None)
+    @given(matrix=rtt_matrices())
+    def test_min_samples_guard_matches(self, matrix):
+        db = default_city_db()
+        for min_samples in (1, 3, 5):
+            ref = analyze_matrix(
+                matrix, city_db=db, config=reference_config(), min_samples=min_samples
+            )
+            fast = analyze_matrix(
+                matrix, city_db=db, config=fast_config(), min_samples=min_samples
+            )
+            assert_equivalent(ref, fast)
+
+
+# -- degenerate inputs -------------------------------------------------
+
+
+def _matrix(rtt_rows, n_vps=4, seed=3):
+    rng = np.random.default_rng(seed)
+    lats = rng.uniform(-60.0, 60.0, size=n_vps)
+    lons = rng.uniform(-170.0, 170.0, size=n_vps)
+    rtt = np.asarray(rtt_rows, dtype=np.float32)
+    return RttMatrix(
+        prefixes=np.arange(1, rtt.shape[0] + 1, dtype=np.uint32),
+        vp_names=[f"vp-{i}" for i in range(n_vps)],
+        vp_locations=[GeoPoint(float(a), float(b)) for a, b in zip(lats, lons)],
+        rtt_ms=rtt,
+        sample_count=(~np.isnan(rtt)).astype(np.uint8),
+    )
+
+
+class TestDegenerateInputs:
+    def test_all_nan_rows(self):
+        matrix = _matrix(np.full((3, 4), np.nan))
+        db = default_city_db()
+        ref = analyze_matrix(matrix, city_db=db, config=reference_config())
+        fast = analyze_matrix(matrix, city_db=db, config=fast_config())
+        assert_equivalent(ref, fast)
+        assert not fast.anycast_mask.any()
+        assert fast.results == {}
+
+    def test_below_min_samples(self):
+        rtt = np.full((2, 4), np.nan)
+        rtt[0, 0] = 3.0
+        rtt[1, 0] = 3.0
+        rtt[1, 1] = 4.0
+        matrix = _matrix(rtt)
+        db = default_city_db()
+        ref = analyze_matrix(matrix, city_db=db, config=reference_config())
+        fast = analyze_matrix(matrix, city_db=db, config=fast_config())
+        assert_equivalent(ref, fast)
+        assert not fast.anycast_mask.any()
+
+    def test_max_rtt_filters_everything(self):
+        # Every RTT exceeds max_rtt: the filter would leave < 2 disks, so
+        # both engines must fall back to the unfiltered set.
+        rtt = np.full((2, 4), 200.0, dtype=np.float32)
+        rtt[:, 0] = 2.0  # tiny disks far from the rest force detection
+        matrix = _matrix(rtt, seed=11)
+        db = default_city_db()
+        cfg = dict(max_rtt_ms=1.0)
+        ref = analyze_matrix(matrix, city_db=db, config=reference_config(**cfg))
+        fast = analyze_matrix(matrix, city_db=db, config=fast_config(**cfg))
+        assert_equivalent(ref, fast)
+        for result in fast.results.values():
+            assert result.replicas  # fallback actually enumerated
+
+    def test_iterative_tiny_iteration_budget(self):
+        rng = np.random.default_rng(5)
+        rtt = rng.choice([3.0, 8.0, 30.0], size=(6, 6)).astype(np.float32)
+        matrix = _matrix(rtt, n_vps=6, seed=5)
+        db = default_city_db()
+        cfg = dict(strict_enumeration=False, max_iterations=1)
+        ref = analyze_matrix(matrix, city_db=db, config=reference_config(**cfg))
+        fast = analyze_matrix(matrix, city_db=db, config=fast_config(**cfg))
+        assert_equivalent(ref, fast)
+
+
+# -- parallel merge determinism ----------------------------------------
+
+
+class TestParallelDeterminism:
+    @pytest.fixture(scope="class")
+    def dense_matrix(self):
+        rng = np.random.default_rng(17)
+        n_targets, n_vps = 40, 10
+        lats = rng.uniform(-60.0, 60.0, size=n_vps)
+        lons = rng.uniform(-170.0, 170.0, size=n_vps)
+        rtt = rng.choice(
+            [2.0, 5.0, 12.0, 40.0, 90.0, 220.0], size=(n_targets, n_vps)
+        )
+        rtt = np.where(rng.random(rtt.shape) < 0.2, np.nan, rtt).astype(np.float32)
+        return RttMatrix(
+            prefixes=np.arange(100, 100 + n_targets, dtype=np.uint32),
+            vp_names=[f"vp-{i:02d}" for i in rng.permutation(n_vps)],
+            vp_locations=[GeoPoint(float(a), float(b)) for a, b in zip(lats, lons)],
+            rtt_ms=rtt,
+            sample_count=(~np.isnan(rtt)).astype(np.uint8),
+        )
+
+    @pytest.mark.parametrize("strict", [True, False])
+    def test_workers_identical_output(self, dense_matrix, strict):
+        db = default_city_db()
+        cfg = fast_config(strict_enumeration=strict)
+        serial = analyze_matrix_fast(dense_matrix, city_db=db, config=cfg, workers=0)
+        assert serial.results, "fixture must contain detected targets"
+        for workers in (1, 2, 4):
+            parallel = analyze_matrix_fast(
+                dense_matrix, city_db=db, config=cfg, workers=workers
+            )
+            assert_equivalent(serial, parallel)
+
+    def test_workers_match_reference(self, dense_matrix):
+        db = default_city_db()
+        ref = analyze_matrix(dense_matrix, city_db=db, config=reference_config())
+        parallel = analyze_matrix(
+            dense_matrix, city_db=db, config=fast_config(), workers=3
+        )
+        assert_equivalent(ref, parallel)
+
+
+# -- engine selection --------------------------------------------------
+
+
+class TestEngineKnob:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError):
+            IGreedyConfig(engine="warp")
+
+    def test_env_var_overrides_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYSIS_ENGINE", "reference")
+        assert IGreedyConfig(engine="fast").resolved_engine() == "reference"
+        monkeypatch.setenv("REPRO_ANALYSIS_ENGINE", "fast")
+        assert IGreedyConfig(engine="reference").resolved_engine() == "fast"
+        monkeypatch.delenv("REPRO_ANALYSIS_ENGINE")
+        assert IGreedyConfig().resolved_engine() == "fast"
+
+    def test_invalid_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYSIS_ENGINE", "warp")
+        with pytest.raises(ValueError):
+            IGreedyConfig().resolved_engine()
