@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""A daily anycast census service with a crash-tolerant archive.
+
+The paper proposes running the census periodically to track how the
+anycast landscape evolves (Sec. 5).  This example operates that idea as
+a *service*: dated runs land in an append-only archive, each day's
+analysis reuses the previous day's archived results for every target
+whose RTT signature did not change (incremental recompute), and the
+archive self-heals — kill the process anywhere, corrupt a day on disk,
+and ``catch-up`` restores the exact bytes an uninterrupted timeline
+would have produced.
+
+Run time: ~5 s.
+
+    python examples/daily_census.py
+
+The CLI speaks the same archive::
+
+    repro-anycast service history --archive /tmp/anycast-archive
+    repro-anycast service fsck --archive /tmp/anycast-archive
+"""
+
+import shutil
+import tempfile
+
+from repro.workflow import small_service
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="anycast-archive-")
+    try:
+        service = small_service(root)
+
+        print("Running a three-day census schedule...")
+        for day in range(3):
+            outcome = service.run_epoch(day)
+            print(
+                f"  day {day}: {outcome.mode:11s} "
+                f"recomputed {outcome.n_recomputed:4d} targets, "
+                f"copied {outcome.n_copied:4d} from day "
+                f"{outcome.baseline_epoch} "
+                f"({outcome.n_anycast} anycast /24s)"
+            )
+
+        print("\nSimulating a crash: corrupting day 1 on disk...")
+        records = service.archive.run_dir(1) / "records.bin"
+        records.write_bytes(records.read_bytes()[:-20])  # torn write
+
+        print("Fresh service starts up, fscks, and catches up:")
+        fresh = small_service(root)
+        report, outcomes = fresh.catch_up(2)
+        for line in report.summary_lines():
+            print(f"  {line}")
+        for outcome in outcomes:
+            print(f"  day {outcome.epoch}: {outcome.status}")
+
+        print("\nDay-over-day churn (from the archived manifests):")
+        for row in fresh.history():
+            churn = row["churn"]
+            if churn is None:
+                continue
+            print(
+                f"  day {churn['epoch_before']} -> {churn['epoch_after']}: "
+                f"+{churn['replicas']['births']}/-{churn['replicas']['deaths']} "
+                f"replicas, {churn['ases']['grown']} AS(es) grew"
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

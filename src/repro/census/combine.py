@@ -21,6 +21,7 @@ import numpy as np
 from ..geo.coords import GeoPoint, pairwise_distances_km
 from ..measurement.campaign import Census
 from ..measurement.platform import VantagePoint
+from ..measurement.recordio import CensusRecords
 
 
 @dataclass
@@ -136,6 +137,38 @@ def combine_censuses(censuses: Sequence[Census]) -> RttMatrix:
 def matrix_from_census(census: Census) -> RttMatrix:
     """Single-census convenience wrapper."""
     return combine_censuses([census])
+
+
+def matrix_from_records(
+    records: "CensusRecords",
+    vp_names: List[str],
+    vp_locations: List[GeoPoint],
+) -> RttMatrix:
+    """Rebuild a single-census matrix from archived records.
+
+    The archive stores a census's raw records plus its VP roster (names
+    and locations, in platform order); this reproduces exactly what
+    :func:`matrix_from_census` computed on the live census — same fold,
+    same float32 minima, same ordering — so analyses recomputed from the
+    archive are byte-comparable to the originals.
+    """
+    replies = records.replies()
+    prefixes = np.unique(replies.prefix)
+    n_t, n_v = len(prefixes), len(vp_names)
+    rtt = np.full((n_t, n_v), np.inf, dtype=np.float32)
+    counts = np.zeros((n_t, n_v), dtype=np.uint8)
+    rows = np.searchsorted(prefixes, replies.prefix)
+    cols = replies.vp_index.astype(np.int64)
+    np.minimum.at(rtt, (rows, cols), replies.rtt_ms)
+    np.add.at(counts, (rows, cols), 1)
+    rtt[np.isinf(rtt)] = np.nan
+    return RttMatrix(
+        prefixes=prefixes,
+        vp_names=list(vp_names),
+        vp_locations=list(vp_locations),
+        rtt_ms=rtt,
+        sample_count=counts,
+    )
 
 
 def merge_matrices(a: RttMatrix, b: RttMatrix) -> RttMatrix:

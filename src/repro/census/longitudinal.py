@@ -18,6 +18,7 @@ This module provides the two halves of such a study:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
@@ -26,6 +27,24 @@ import numpy as np
 from ..internet.catalog import CatalogEntry
 from ..net.asn import BusinessCategory
 from .characterize import Characterization
+
+#: Reserved ASN block for epoch-born anycast adopters.  Hashed allocation
+#: inside a private block far above every catalog ASN: identity depends on
+#: the evolution seed and adopter ordinal, never on the current catalog
+#: contents — so a shrunk catalog can never hand a dead AS's number to a
+#: newcomer (which would silently merge two different deployments in any
+#: longitudinal diff keyed by ASN).
+ADOPTER_ASN_BASE = 4_200_000_000
+ADOPTER_ASN_SPAN = 94_967_294  # up to the 32-bit ASN ceiling
+
+
+def _adopter_asn(seed: int, ordinal: int, used: set) -> int:
+    """Collision-free ASN for one new adopter, stable in (seed, ordinal)."""
+    h = zlib.crc32(f"adopter:{seed}:{ordinal}".encode())
+    asn = ADOPTER_ASN_BASE + h % ADOPTER_ASN_SPAN
+    while asn in used:  # linear probing inside the reserved block
+        asn = ADOPTER_ASN_BASE + (asn - ADOPTER_ASN_BASE + 1) % ADOPTER_ASN_SPAN
+    return asn
 
 
 @dataclass(frozen=True)
@@ -76,14 +95,16 @@ def evolve_catalog(
         evolved.append(replace(entry, n_sites=n_sites) if n_sites != entry.n_sites else entry)
 
     next_rank = max((e.rank for e in catalog), default=0) + 1
-    next_asn = max((e.asn for e in catalog), default=64_500) + 1
+    used_asns = {e.asn for e in catalog}
     categories = [BusinessCategory.DNS, BusinessCategory.CDN, BusinessCategory.CLOUD]
     for i in range(cfg.new_adopters):
+        asn = _adopter_asn(seed, i, used_asns)
+        used_asns.add(asn)
         evolved.append(
             CatalogEntry(
                 rank=next_rank + i,
-                asn=next_asn + i,
-                name=f"NEW-ADOPTER-{next_asn + i},US",
+                asn=asn,
+                name=f"NEW-ADOPTER-{asn},US",
                 country="US",
                 category=categories[int(rng.integers(0, len(categories)))],
                 n_slash24=int(rng.integers(1, 4)),
@@ -110,22 +131,36 @@ class ASChange:
     def replica_delta(self) -> float:
         return self.replicas_after - self.replicas_before
 
+    @property
+    def ip24_delta(self) -> int:
+        return self.ip24_after - self.ip24_before
+
 
 @dataclass
 class LongitudinalReport:
-    """Census-observed changes between two epochs."""
+    """Census-observed changes between two epochs.
+
+    The lists partition the tracked ASes: replica-count motion wins
+    (``grown``/``shrunk``), then /24-footprint-only motion
+    (``footprint_grown``/``footprint_shrunk`` — an AS serving the same
+    replica count from more or fewer prefixes), then ``stable``.
+    """
 
     grown: List[ASChange] = field(default_factory=list)
     shrunk: List[ASChange] = field(default_factory=list)
     stable: List[ASChange] = field(default_factory=list)
     appeared: List[ASChange] = field(default_factory=list)
     disappeared: List[ASChange] = field(default_factory=list)
+    #: Replica-stable ASes whose advertised /24 footprint grew / shrank.
+    footprint_grown: List[ASChange] = field(default_factory=list)
+    footprint_shrunk: List[ASChange] = field(default_factory=list)
 
     @property
     def n_tracked(self) -> int:
         return (
             len(self.grown) + len(self.shrunk) + len(self.stable)
             + len(self.appeared) + len(self.disappeared)
+            + len(self.footprint_grown) + len(self.footprint_shrunk)
         )
 
 
@@ -133,12 +168,19 @@ def compare_epochs(
     before: Characterization,
     after: Characterization,
     min_delta: float = 1.0,
+    min_ip24_delta: int = 1,
 ) -> LongitudinalReport:
     """Diff two epochs' census characterizations by AS.
 
     ``min_delta`` is the mean-replica change below which an AS counts as
-    stable (one replica of slack absorbs enumeration noise).
+    replica-stable (one replica of slack absorbs enumeration noise);
+    ``min_ip24_delta`` plays the same role for the /24 footprint of
+    replica-stable ASes.
     """
+    if min_delta < 0:
+        raise ValueError("min_delta must be non-negative")
+    if min_ip24_delta < 0:
+        raise ValueError("min_ip24_delta must be non-negative")
     report = LongitudinalReport()
     before_asns = set(before.footprints)
     after_asns = set(after.footprints)
@@ -162,6 +204,10 @@ def compare_epochs(
             report.grown.append(change)
         elif change.replica_delta <= -min_delta:
             report.shrunk.append(change)
+        elif change.ip24_delta >= min_ip24_delta:
+            report.footprint_grown.append(change)
+        elif change.ip24_delta <= -min_ip24_delta:
+            report.footprint_shrunk.append(change)
         else:
             report.stable.append(change)
     return report

@@ -10,6 +10,8 @@ Runs scaled-down census studies from the terminal::
     repro-anycast trace                    # span tree of the whole pipeline
     repro-anycast stats                    # pipeline metrics table
     repro-anycast --manifest run.json glance   # + JSON run manifest
+    repro-anycast service catch-up --archive runs/ --through 6
+    repro-anycast service fsck --archive runs/
 
 All subcommands share the scale/seed options; results are printed as plain
 text tables.
@@ -41,6 +43,10 @@ EXIT_OK = 0
 EXIT_USAGE = 2
 EXIT_ABORTED = 3
 EXIT_UNEXPECTED = 4
+#: ``service fsck`` found problems.  With repair (the default) they were
+#: fixed and the archive is healthy again; with ``--dry-run`` they are
+#: merely reported.  Distinct from 0 so cron jobs can alert on rot.
+EXIT_REPAIRED = 5
 EXIT_INTERRUPTED = 130
 
 _POLICIES = {
@@ -232,6 +238,67 @@ def _cmd_health(study: CensusStudy, args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_from_args(args: argparse.Namespace):
+    from .service import CensusService, ServiceConfig
+
+    policy_factory = _POLICIES[args.resilience_policy]
+    return CensusService(
+        ServiceConfig(
+            archive_root=args.archive,
+            internet_seed=args.seed,
+            n_unicast=args.unicast,
+            tail_deployments=args.tail,
+            n_vps=args.vps,
+            availability=args.availability,
+            noise=args.noise,
+            incremental=not args.no_incremental,
+            churn_threshold=args.churn_threshold,
+            resilience=policy_factory() if policy_factory is not None else None,
+        )
+    )
+
+
+def _cmd_service(study: CensusStudy, args: argparse.Namespace) -> int:
+    # The longitudinal service owns its archive and builds its own
+    # pipeline per epoch; the shared study object is unused (and, being
+    # lazy, was never materialized).
+    service = _service_from_args(args)
+    if args.verb == "fsck":
+        report = service.fsck(repair=not args.dry_run)
+        for line in report.summary_lines():
+            print(line)
+        return EXIT_OK if report.clean else EXIT_REPAIRED
+    if args.verb == "run":
+        outcome = service.run_epoch(args.epoch)
+        for line in outcome.summary_lines():
+            print(line)
+        return EXIT_OK
+    if args.verb == "catch-up":
+        through = args.through if args.through is not None else args.epoch
+        report, outcomes = service.catch_up(through)
+        if not report.clean:
+            for line in report.summary_lines():
+                print(line)
+        for outcome in outcomes:
+            for line in outcome.summary_lines():
+                print(line)
+        return EXIT_OK
+    # history
+    rows = [
+        (
+            row["epoch"],
+            row["mode"],
+            f"{row['churn_fraction']:.3f}",
+            row["n_targets"],
+            row["n_anycast"],
+            row["total_replicas"],
+        )
+        for row in service.history()
+    ]
+    print(format_table(rows, ["day", "mode", "churn", "targets", "anycast", "replicas"]))
+    return EXIT_OK
+
+
 def _cmd_funnel(study: CensusStudy, args: argparse.Namespace) -> int:
     for i, funnel in enumerate(study.funnels(), start=1):
         print(f"census {i}:")
@@ -331,6 +398,37 @@ def build_parser() -> argparse.ArgumentParser:
         help='catalog AS name for a per-deployment map (default: world density)',
     )
     map_cmd.set_defaults(func=_cmd_map)
+    svc = sub.add_parser(
+        "service",
+        help="longitudinal census service: dated runs into a crash-"
+             "tolerant archive",
+    )
+    svc.add_argument(
+        "verb", choices=["run", "catch-up", "fsck", "history"],
+        help="run one day; fsck + run every missing day; verify/repair "
+             "the archive; print the per-day summary table",
+    )
+    svc.add_argument("--archive", required=True, metavar="DIR",
+                     help="archive root directory")
+    svc.add_argument("--epoch", type=int, default=0, metavar="DAY",
+                     help="day number for 'run' (default: 0)")
+    svc.add_argument("--through", type=int, default=None, metavar="DAY",
+                     help="last day for 'catch-up' (default: --epoch)")
+    svc.add_argument("--availability", type=float, default=1.0,
+                     help="per-census VP availability (default: 1.0)")
+    svc.add_argument("--noise", choices=["keyed", "stream"], default="keyed",
+                     help="campaign noise mode; 'keyed' gives per-target "
+                          "stable RTT rows, enabling incremental recompute "
+                          "(default: keyed)")
+    svc.add_argument("--no-incremental", action="store_true",
+                     help="always run cold censuses")
+    svc.add_argument("--churn-threshold", type=float, default=0.25,
+                     help="churn fraction above which incremental mode "
+                          "falls back to a cold census (default: 0.25)")
+    svc.add_argument("--dry-run", action="store_true",
+                     help="fsck only: report problems without touching "
+                          "the archive")
+    svc.set_defaults(func=_cmd_service)
     return parser
 
 

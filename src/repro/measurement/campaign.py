@@ -282,11 +282,14 @@ class CensusCampaign:
         min_vp_quorum: int = 1,
         quarantine_threshold: int = 2,
         executor: Optional["ExecutionPolicy"] = None,
+        noise: str = "stream",
     ) -> None:
         if not 0.0 <= degraded_fraction <= 1.0:
             raise ValueError("degraded_fraction must be in [0, 1]")
         if min_vp_quorum < 1:
             raise ValueError("min_vp_quorum must be >= 1")
+        if noise not in ("stream", "keyed"):
+            raise ValueError(f"unknown noise mode {noise!r}")
         self.internet = internet
         self.platform = platform
         self.rate_pps = rate_pps
@@ -303,6 +306,14 @@ class CensusCampaign:
         #: (``workers=0`` = in-process reference, byte-identical to any
         #: pool size).
         self.executor = executor
+        #: Per-probe noise source.  ``"stream"`` (default) consumes one
+        #: positional RNG stream per scan — byte-stable, but any change to
+        #: the target universe shifts every draw.  ``"keyed"`` hashes each
+        #: draw from (seed, census, VP, prefix): a target's records then
+        #: depend only on itself, so censuses over *evolved* universes
+        #: keep unchanged targets' records identical — the property the
+        #: longitudinal service's incremental recompute is built on.
+        self.noise = noise
         self.min_vp_quorum = min_vp_quorum
         #: Cross-census per-VP fault bookkeeping (drives quarantine).
         self.health = VpHealthTracker(quarantine_threshold=quarantine_threshold)
@@ -1059,7 +1070,8 @@ class CensusCampaign:
     ) -> VpScanResult:
         vp = self.platform.vantage_points[platform_index]
         coords = self.effective_coords(platform_index)
-        base = base_rtt_row(self.internet, vp, coords[0], coords[1])
+        keyed = self.noise == "keyed"
+        base = base_rtt_row(self.internet, vp, coords[0], coords[1], keyed=keyed)
         n = self.internet.n_targets
         if base_order is None:
             base_order = np.array(lfsr_permutation(n, seed=census_id + 1), dtype=np.int64)
@@ -1082,6 +1094,16 @@ class CensusCampaign:
             rng = np.random.default_rng(
                 self.seed * 1_000_003 + census_id * 1009 + platform_index
             )
+        # Keyed noise is per-target, so the key deliberately ignores the
+        # shard index: sharded and unsharded keyed scans emit the same
+        # per-target values (shards merely partition the rows).
+        noise_key = None
+        if keyed:
+            noise_key = (
+                self.seed * 1_000_003
+                + census_id * 1009
+                + zlib.crc32(vp.name.encode())
+            ) & 0xFFFFFFFFFFFFFFFF
         return simulate_vp_scan(
             internet=self.internet,
             vp=vp,
@@ -1093,4 +1115,5 @@ class CensusCampaign:
             rng=rng,
             probe_mask=probe_mask,
             degraded=degraded,
+            noise_key=noise_key,
         )

@@ -68,6 +68,36 @@ def vp_path_seed(internet_seed: int, vp_name: str) -> int:
     return (internet_seed * 2654435761 + zlib.crc32(vp_name.encode())) % (2**31)
 
 
+_U64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer, vectorized over uint64 (wrapping arithmetic)."""
+    x = (x + np.uint64(0x9E3779B97F4A7C15)) & _U64
+    x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _U64
+    x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _U64
+    return x ^ (x >> np.uint64(31))
+
+
+def keyed_uniform(key: int, salt: str, prefixes: np.ndarray) -> np.ndarray:
+    """Per-target uniforms in [0, 1), keyed — not streamed.
+
+    Each target's draw is a pure hash of ``(key, salt, prefix)``: unlike a
+    positional ``rng.random(n)`` stream, adding or removing *other*
+    targets from the universe cannot shift it.  This is the primitive
+    behind the campaign's ``noise="keyed"`` mode, which in turn is what
+    lets the longitudinal service prove a target's measurements unchanged
+    across epochs and skip its re-analysis.
+    """
+    base = (
+        int(key) * 0x9E3779B97F4A7C15
+        + zlib.crc32(salt.encode()) * 0xBF58476D1CE4E5B9
+    ) & 0xFFFFFFFFFFFFFFFF
+    x = np.asarray(prefixes).astype(np.uint64) ^ np.uint64(base)
+    z = _splitmix64(_splitmix64(x))
+    return (z >> np.uint64(11)).astype(np.float64) * 2.0**-53
+
+
 @dataclass
 class VpScanResult:
     """Outcome of one VP's full hitlist scan."""
@@ -89,14 +119,29 @@ def base_rtt_row(
     vp: VantagePoint,
     eff_lats: np.ndarray,
     eff_lons: np.ndarray,
+    keyed: bool = False,
 ) -> np.ndarray:
-    """Per-target base RTT from a VP, deterministic across censuses."""
+    """Per-target base RTT from a VP, deterministic across censuses.
+
+    ``keyed=True`` draws the per-path stretch and last-mile delay from
+    target-keyed uniforms instead of the positional stream: a target's
+    base RTT then depends only on its own (prefix, path) — not on how
+    many other targets the universe holds — at the cost of different
+    bytes than stream mode.
+    """
     from ..geo.coords import pairwise_distances_km
 
     distances = pairwise_distances_km(
         [vp.location.lat], [vp.location.lon], eff_lats, eff_lons
     )[0]
-    rng = np.random.default_rng(vp_path_seed(internet.config.seed, vp.name))
+    seed = vp_path_seed(internet.config.seed, vp.name)
+    if keyed:
+        return internet.config.latency.path_rtt_ms_from_uniforms(
+            distances,
+            keyed_uniform(seed, "path-stretch", internet.prefixes),
+            keyed_uniform(seed, "path-lastmile", internet.prefixes),
+        )
+    rng = np.random.default_rng(seed)
     return internet.config.latency.path_rtt_ms(distances, rng)
 
 
@@ -112,6 +157,7 @@ def simulate_vp_scan(
     probe_mask: Optional[np.ndarray] = None,
     reply_loss_prob: float = REPLY_LOSS_PROB,
     degraded: bool = False,
+    noise_key: Optional[int] = None,
 ) -> VpScanResult:
     """Simulate one VP scanning every target once.
 
@@ -132,6 +178,13 @@ def simulate_vp_scan(
     degraded:
         An overloaded host for this census: heavy reply loss plus inflated
         user-space RTT timestamps (the paper's Fig. 8 straggler cohort).
+    noise_key:
+        When set, per-probe noise (policing, loss, error emission, jitter)
+        is drawn from :func:`keyed_uniform` under this key instead of the
+        positional ``rng`` stream: each target's outcome then depends only
+        on (key, prefix), so universe growth leaves unchanged targets'
+        records identical — the contract of the campaign's ``"keyed"``
+        noise mode.  ``rng`` is unused in that case.
     """
     if not 0.0 <= reply_loss_prob <= 1.0:
         raise ValueError("reply_loss_prob must be in [0, 1]")
@@ -151,8 +204,13 @@ def simulate_vp_scan(
 
     keep_prob = vp.rate_limit.keep_probability(rate_pps)
     loss = DEGRADED_LOSS_PROB if degraded else reply_loss_prob
-    policed = rng.random(n) < keep_prob
-    survives = policed & (rng.random(n) >= loss)
+    if noise_key is not None:
+        u = lambda salt: keyed_uniform(noise_key, salt, internet.prefixes)  # noqa: E731
+        policed = u("police") < keep_prob
+        survives = policed & (u("loss") >= loss)
+    else:
+        policed = rng.random(n) < keep_prob
+        survives = policed & (rng.random(n) >= loss)
 
     is_reply = (resp == RESP_REPLY) & probe_mask
     reply_kept = is_reply & survives
@@ -168,15 +226,28 @@ def simulate_vp_scan(
         RESP_HOST_PROHIBITED: IcmpOutcome.HOST_PROHIBITED,
         RESP_NET_PROHIBITED: IcmpOutcome.NET_PROHIBITED,
     }
-    emits = rng.random(n) < ERROR_EMISSION_PROB
+    if noise_key is not None:
+        emits = u("emit") < ERROR_EMISSION_PROB
+    else:
+        emits = rng.random(n) < ERROR_EMISSION_PROB
 
     columns_vp, columns_prefix, columns_ts, columns_rtt, columns_flag = [], [], [], [], []
 
     reply_idx = np.nonzero(reply_kept)[0]
     if len(reply_idx):
-        rtts = internet.config.latency.probe_rtt_ms(base_rtts[reply_idx], rng)
-        if degraded:
-            rtts = rtts + rng.exponential(DEGRADED_SPIKE_MS, size=rtts.shape)
+        if noise_key is not None:
+            rtts = internet.config.latency.probe_rtt_ms_from_uniforms(
+                base_rtts[reply_idx],
+                u("jitter")[reply_idx],
+                u("spike-gate")[reply_idx],
+                u("spike")[reply_idx],
+            )
+            if degraded:
+                rtts = rtts - DEGRADED_SPIKE_MS * np.log1p(-u("degraded")[reply_idx])
+        else:
+            rtts = internet.config.latency.probe_rtt_ms(base_rtts[reply_idx], rng)
+            if degraded:
+                rtts = rtts + rng.exponential(DEGRADED_SPIKE_MS, size=rtts.shape)
         columns_vp.append(np.full(len(reply_idx), vp_index, dtype=np.uint16))
         columns_prefix.append(internet.prefixes[reply_idx].astype(np.uint32))
         columns_ts.append(send_ms[reply_idx])

@@ -325,6 +325,61 @@ class _CountingTextSink(io.TextIOBase):
         return len(s)
 
 
+class CorruptPayloadError(ValueError):
+    """A checksummed payload failed its integrity check (torn or flipped)."""
+
+
+# Footer of the checksummed raw container: magic, payload CRC-32, payload
+# length (mod 2^32).  A footer — not a header — so truncation strips the
+# seal itself and is caught even when the payload happens to parse.
+_SEAL_MAGIC = b"ACSM"
+_SEAL_FOOTER = struct.Struct("<4sII")
+
+
+def write_raw_checksummed(records: "CensusRecords", fp: BinaryIO) -> int:
+    """Write :meth:`CensusRecords.write_raw` plus an integrity footer.
+
+    The archive's payload format: the raw lossless columns followed by a
+    CRC-32 seal over them.  :func:`read_raw_checksummed` refuses torn or
+    bit-flipped files with :class:`CorruptPayloadError` instead of
+    returning silently-wrong data.
+    """
+    sink = io.BytesIO()
+    records.write_raw(sink)
+    payload = sink.getvalue()
+    footer = _SEAL_FOOTER.pack(
+        _SEAL_MAGIC, zlib.crc32(payload) & 0xFFFFFFFF, len(payload) & 0xFFFFFFFF
+    )
+    fp.write(payload)
+    fp.write(footer)
+    return len(payload) + len(footer)
+
+
+def read_raw_checksummed(fp: BinaryIO) -> "CensusRecords":
+    """Read a checksummed raw payload, verifying the seal first.
+
+    Raises :class:`CorruptPayloadError` on any integrity failure:
+    missing/garbled footer, truncated payload, or CRC mismatch.
+    """
+    data = fp.read()
+    if len(data) < _SEAL_FOOTER.size:
+        raise CorruptPayloadError("payload too short for integrity footer")
+    payload, footer = data[: -_SEAL_FOOTER.size], data[-_SEAL_FOOTER.size :]
+    magic, crc, length = _SEAL_FOOTER.unpack(footer)
+    if magic != _SEAL_MAGIC:
+        raise CorruptPayloadError("missing integrity footer (torn write?)")
+    if len(payload) & 0xFFFFFFFF != length:
+        raise CorruptPayloadError(
+            f"payload length {len(payload)} != sealed length {length}"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CorruptPayloadError("payload CRC mismatch (bit rot or tampering)")
+    try:
+        return CensusRecords.read_raw(io.BytesIO(payload))
+    except ValueError as exc:  # seal ok but content unparseable
+        raise CorruptPayloadError(f"sealed payload unreadable: {exc}") from exc
+
+
 class CorruptBatchError(ValueError):
     """A record batch failed its integrity checksum."""
 

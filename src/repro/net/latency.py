@@ -110,6 +110,68 @@ class LatencyModel:
             )
         return base_rtt_ms + jitter
 
+    # ------------------------------------------------------------------
+    # Uniform-driven variants (keyed noise mode)
+    # ------------------------------------------------------------------
+    #
+    # The ``rng``-driven methods above consume a positional stream: the
+    # i-th target's draw depends on how many targets precede it, so adding
+    # one /24 to the universe perturbs *every* RTT.  The ``*_from_uniforms``
+    # variants instead map caller-supplied uniforms through the inverse
+    # CDFs of the exact same distributions — callers key each uniform to
+    # the target identity, making a target's RTT independent of the rest
+    # of the universe (the property incremental recompute relies on).
+
+    def _triangular_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Inverse-CDF triangular(stretch_min, stretch_mode, stretch_max)."""
+        a, c, b = self.stretch_min, self.stretch_mode, self.stretch_max
+        if b == a:
+            return np.full_like(u, a)
+        fc = (c - a) / (b - a)
+        left = a + np.sqrt(u * (b - a) * (c - a))
+        right = b - np.sqrt((1.0 - u) * (b - a) * (b - c))
+        return np.where(u < fc, left, right)
+
+    @staticmethod
+    def _exponential_from_uniform(u: np.ndarray, scale: float) -> np.ndarray:
+        """Inverse-CDF exponential; ``log1p`` keeps u ~ 1 well-conditioned."""
+        return -scale * np.log1p(-u)
+
+    def path_rtt_ms_from_uniforms(
+        self,
+        distance_km: np.ndarray,
+        u_stretch: np.ndarray,
+        u_last_mile: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`path_rtt_ms` driven by per-path uniforms in [0, 1)."""
+        distance_km = np.asarray(distance_km, dtype=np.float64)
+        if (distance_km < 0).any():
+            raise ValueError("distances must be non-negative")
+        stretch = self._triangular_from_uniform(np.asarray(u_stretch, dtype=np.float64))
+        last_mile = self._exponential_from_uniform(
+            np.asarray(u_last_mile, dtype=np.float64), self.last_mile_ms_mean
+        )
+        return self.propagation_rtt_ms(distance_km) * stretch + last_mile
+
+    def probe_rtt_ms_from_uniforms(
+        self,
+        base_rtt_ms: np.ndarray,
+        u_jitter: np.ndarray,
+        u_spike_gate: np.ndarray,
+        u_spike: np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`probe_rtt_ms` driven by per-probe uniforms in [0, 1)."""
+        base_rtt_ms = np.asarray(base_rtt_ms, dtype=np.float64)
+        jitter = self._exponential_from_uniform(
+            np.asarray(u_jitter, dtype=np.float64), self.jitter_ms_scale
+        )
+        if self.spike_prob > 0.0 and self.spike_ms_scale > 0.0:
+            spikes = np.asarray(u_spike_gate, dtype=np.float64) < self.spike_prob
+            jitter = jitter + spikes * self._exponential_from_uniform(
+                np.asarray(u_spike, dtype=np.float64), self.spike_ms_scale
+            )
+        return base_rtt_ms + jitter
+
 
 #: Model tuned to intra-datacenter measurement (tight, for unit fixtures).
 CLEAN_MODEL = LatencyModel(

@@ -1,0 +1,389 @@
+"""Append-only archive of dated census runs.
+
+Layout (all under one root directory)::
+
+    root/
+      index.json                     # rebuildable top-level index
+      runs/
+        day-000000/
+          manifest.json              # schema-validated run manifest
+          records.bin                # raw records + CRC-32 integrity seal
+          results.json               # per-target analysis + signatures
+        day-000001/
+          ...
+      quarantine/                    # fsck moves corrupt runs here
+      journal/                       # per-epoch checkpoint journals
+
+Design rules, in decreasing order of importance:
+
+* **Crash-anywhere safety.**  A run is committed by staging its three
+  files in a dot-prefixed directory (contents fsynced), then a single
+  ``os.replace`` into the dated name.  A crash before the rename leaves
+  only a staging directory (discarded by fsck); after it, a fully-valid
+  run whose index entry is stale (rebuilt by fsck).  There is no window
+  in which a reader can observe a half-written run.
+* **No wall clock.**  Nothing under the root records when it was
+  written: the archive is a pure function of (service config, epoch),
+  which is what makes "kill it anywhere, catch up, compare trees"
+  byte-exact and testable.
+* **Self-describing integrity.**  Payloads carry their own CRC seals
+  (:func:`~repro.measurement.recordio.read_raw_checksummed`) *and* the
+  manifest records each payload's size and CRC, so fsck can distinguish
+  a torn payload from a manifest pointing at the wrong bytes.
+* **The index is a cache.**  ``index.json`` exists so ``history`` and
+  dashboards need not stat every run directory; it is always rebuildable
+  from the surviving manifests and never trusted over them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import re
+import shutil
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..measurement.recordio import (
+    CensusRecords,
+    CorruptPayloadError,
+    read_raw_checksummed,
+    write_raw_checksummed,
+)
+
+RUN_SCHEMA_VERSION = 1
+RUN_KIND = "census-run"
+INDEX_KIND = "census-archive-index"
+
+MANIFEST_FILE = "manifest.json"
+RECORDS_FILE = "records.bin"
+RESULTS_FILE = "results.json"
+PAYLOAD_FILES = (RECORDS_FILE, RESULTS_FILE)
+
+_RUN_DIR_RE = re.compile(r"^day-(\d{6})$")
+_STAGING_PREFIX = "."
+
+#: Analysis modes a run manifest may declare.
+ANALYSIS_MODES = ("cold", "incremental")
+
+
+def run_dirname(epoch: int) -> str:
+    """Directory name of one epoch's run (``day-000012``)."""
+    if not 0 <= epoch <= 999_999:
+        raise ValueError(f"epoch {epoch} outside the dated-run range")
+    return f"day-{epoch:06d}"
+
+
+def parse_run_dirname(name: str) -> Optional[int]:
+    """Epoch encoded in a run directory name, or ``None`` if malformed."""
+    match = _RUN_DIR_RE.match(name)
+    return int(match.group(1)) if match else None
+
+
+def canonical_json_bytes(doc: Any) -> bytes:
+    """The archive's one JSON serialization: sorted keys, stable floats.
+
+    Every JSON file under the root goes through this, so two runs that
+    computed the same values produce the same bytes — the foundation of
+    the chaos suite's tree comparison.
+    """
+    return (json.dumps(doc, sort_keys=True, indent=1) + "\n").encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Run manifest schema
+# ----------------------------------------------------------------------
+
+def run_manifest_problems(doc: Any) -> List[str]:
+    """All schema violations of a parsed run manifest (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["run manifest is not a JSON object"]
+    if doc.get("kind") != RUN_KIND:
+        problems.append(f"kind is {doc.get('kind')!r}, expected {RUN_KIND!r}")
+    if not isinstance(doc.get("schema_version"), int):
+        problems.append("schema_version must be an integer")
+    elif doc["schema_version"] > RUN_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {doc['schema_version']} is newer than "
+            f"supported {RUN_SCHEMA_VERSION}"
+        )
+    if not (isinstance(doc.get("epoch"), int) and doc["epoch"] >= 0):
+        problems.append("epoch must be an int >= 0")
+    census = doc.get("census")
+    if not isinstance(census, dict):
+        problems.append("census must be an object")
+    vps = doc.get("vantage_points")
+    if not isinstance(vps, list) or not vps:
+        problems.append("vantage_points must be a non-empty list")
+    else:
+        for i, vp in enumerate(vps):
+            if not (
+                isinstance(vp, dict)
+                and isinstance(vp.get("name"), str)
+                and isinstance(vp.get("lat"), (int, float))
+                and isinstance(vp.get("lon"), (int, float))
+            ):
+                problems.append(f"vantage_points[{i}] must carry name/lat/lon")
+                break
+    payloads = doc.get("payloads")
+    if not isinstance(payloads, dict):
+        problems.append("payloads must be an object")
+    else:
+        for name in PAYLOAD_FILES:
+            entry = payloads.get(name)
+            if not (
+                isinstance(entry, dict)
+                and isinstance(entry.get("bytes"), int)
+                and entry["bytes"] >= 0
+                and isinstance(entry.get("crc32"), int)
+            ):
+                problems.append(f"payloads[{name!r}] must carry bytes/crc32")
+    analysis = doc.get("analysis")
+    if not isinstance(analysis, dict):
+        problems.append("analysis must be an object")
+    elif analysis.get("mode") not in ANALYSIS_MODES:
+        problems.append(
+            f"analysis.mode is {analysis.get('mode')!r}, "
+            f"expected one of {ANALYSIS_MODES}"
+        )
+    churn = doc.get("churn", None)
+    if churn is not None and not isinstance(churn, dict):
+        problems.append("churn must be null or an object")
+    return problems
+
+
+def validate_run_manifest(doc: Any) -> None:
+    """Raise ``ValueError`` listing every schema violation in ``doc``."""
+    problems = run_manifest_problems(doc)
+    if problems:
+        raise ValueError(
+            "invalid run manifest:\n" + "\n".join(f"  - {p}" for p in problems)
+        )
+
+
+# ----------------------------------------------------------------------
+# The archive
+# ----------------------------------------------------------------------
+
+class ArchiveError(RuntimeError):
+    """The archive refused an operation (duplicate epoch, bad manifest)."""
+
+
+class CensusArchive:
+    """One longitudinal archive rooted at a directory.
+
+    ``crash_hook`` is the chaos-test seam: when set, it is invoked with a
+    named commit point (``"commit:staged"``, ``"commit:renamed"``,
+    ``"commit:indexed"``) and may raise to simulate a crash exactly
+    there.  Production runs leave it ``None``.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = pathlib.Path(root)
+        self.crash_hook: Optional[Callable[[str], None]] = None
+
+    # -- layout --------------------------------------------------------
+
+    @property
+    def runs_dir(self) -> pathlib.Path:
+        return self.root / "runs"
+
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.root / "quarantine"
+
+    @property
+    def journal_dir(self) -> pathlib.Path:
+        return self.root / "journal"
+
+    @property
+    def index_path(self) -> pathlib.Path:
+        return self.root / "index.json"
+
+    def ensure_layout(self) -> None:
+        """Create the fixed directories (quarantine stays lazy)."""
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
+
+    def run_dir(self, epoch: int) -> pathlib.Path:
+        return self.runs_dir / run_dirname(epoch)
+
+    def journal_path(self, epoch: int) -> pathlib.Path:
+        return self.journal_dir / f"epoch-{epoch:06d}.journal"
+
+    # -- reading -------------------------------------------------------
+
+    def epochs(self) -> List[int]:
+        """Committed epochs, sorted — by directory presence, not index."""
+        if not self.runs_dir.is_dir():
+            return []
+        found = []
+        for entry in self.runs_dir.iterdir():
+            epoch = parse_run_dirname(entry.name)
+            if epoch is not None and entry.is_dir():
+                found.append(epoch)
+        return sorted(found)
+
+    def has(self, epoch: int) -> bool:
+        return self.run_dir(epoch).is_dir()
+
+    def latest_epoch_before(self, epoch: int) -> Optional[int]:
+        """The newest committed epoch strictly before ``epoch``."""
+        earlier = [e for e in self.epochs() if e < epoch]
+        return max(earlier) if earlier else None
+
+    def read_manifest(self, epoch: int) -> Dict[str, Any]:
+        """Load and schema-validate one run's manifest."""
+        path = self.run_dir(epoch) / MANIFEST_FILE
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise CorruptPayloadError(
+                f"unreadable manifest for epoch {epoch}: {exc}"
+            ) from exc
+        validate_run_manifest(doc)
+        if doc["epoch"] != epoch:
+            raise CorruptPayloadError(
+                f"manifest in {path.parent.name} claims epoch {doc['epoch']}"
+            )
+        return doc
+
+    def read_records(self, epoch: int) -> CensusRecords:
+        """Load one run's records, verifying the integrity seal."""
+        path = self.run_dir(epoch) / RECORDS_FILE
+        try:
+            with open(path, "rb") as fp:
+                return read_raw_checksummed(fp)
+        except OSError as exc:
+            raise CorruptPayloadError(
+                f"unreadable records for epoch {epoch}: {exc}"
+            ) from exc
+
+    def read_results(self, epoch: int) -> Dict[str, Any]:
+        """Load one run's results document, verified against the manifest."""
+        manifest = self.read_manifest(epoch)
+        path = self.run_dir(epoch) / RESULTS_FILE
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise CorruptPayloadError(
+                f"unreadable results for epoch {epoch}: {exc}"
+            ) from exc
+        sealed = manifest["payloads"][RESULTS_FILE]
+        if len(data) != sealed["bytes"] or (
+            zlib.crc32(data) & 0xFFFFFFFF
+        ) != sealed["crc32"]:
+            raise CorruptPayloadError(
+                f"results payload for epoch {epoch} does not match its manifest"
+            )
+        return json.loads(data.decode("utf-8"))
+
+    # -- committing ----------------------------------------------------
+
+    def commit_run(
+        self,
+        epoch: int,
+        manifest_core: Dict[str, Any],
+        records: CensusRecords,
+        results_doc: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Atomically commit one epoch's run; return the full manifest.
+
+        ``manifest_core`` is everything but ``payloads`` (filled here
+        from the serialized bytes) — the caller never has to guess CRCs.
+        """
+        if self.has(epoch):
+            raise ArchiveError(f"epoch {epoch} is already committed")
+        self.ensure_layout()
+
+        records_sink = io.BytesIO()
+        write_raw_checksummed(records, records_sink)
+        records_bytes = records_sink.getvalue()
+        results_bytes = canonical_json_bytes(results_doc)
+
+        manifest = dict(manifest_core)
+        manifest["kind"] = RUN_KIND
+        manifest["schema_version"] = RUN_SCHEMA_VERSION
+        manifest["epoch"] = epoch
+        manifest["payloads"] = {
+            RECORDS_FILE: {
+                "bytes": len(records_bytes),
+                "crc32": zlib.crc32(records_bytes) & 0xFFFFFFFF,
+            },
+            RESULTS_FILE: {
+                "bytes": len(results_bytes),
+                "crc32": zlib.crc32(results_bytes) & 0xFFFFFFFF,
+            },
+        }
+        validate_run_manifest(manifest)
+
+        final = self.run_dir(epoch)
+        staging = self.runs_dir / f"{_STAGING_PREFIX}{final.name}.staging"
+        if staging.exists():  # a previous crashed commit: start clean
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        self._write_file(staging / RECORDS_FILE, records_bytes)
+        self._write_file(staging / RESULTS_FILE, results_bytes)
+        self._write_file(staging / MANIFEST_FILE, canonical_json_bytes(manifest))
+        self._fire("commit:staged")
+        os.replace(staging, final)
+        self._fire("commit:renamed")
+        self.write_index(self.build_index())
+        self._fire("commit:indexed")
+        return manifest
+
+    @staticmethod
+    def _write_file(path: pathlib.Path, data: bytes) -> None:
+        with open(path, "wb") as fp:
+            fp.write(data)
+            fp.flush()
+            os.fsync(fp.fileno())
+
+    def _fire(self, point: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(point)
+
+    # -- index ---------------------------------------------------------
+
+    def build_index(self) -> Dict[str, Any]:
+        """Recompute the index from the on-disk manifests.
+
+        Runs whose manifest does not load/validate are skipped — the
+        index only ever advertises what a reader can actually use (fsck
+        is the pass that removes the bad run itself).
+        """
+        runs: Dict[str, Any] = {}
+        for epoch in self.epochs():
+            try:
+                manifest = self.read_manifest(epoch)
+            except (CorruptPayloadError, ValueError):
+                continue
+            manifest_bytes = canonical_json_bytes(manifest)
+            runs[run_dirname(epoch)] = {
+                "epoch": epoch,
+                "analysis_mode": manifest["analysis"]["mode"],
+                "n_records": manifest["census"].get("n_records"),
+                "manifest_crc32": zlib.crc32(manifest_bytes) & 0xFFFFFFFF,
+            }
+        return {
+            "kind": INDEX_KIND,
+            "schema_version": RUN_SCHEMA_VERSION,
+            "runs": runs,
+        }
+
+    def write_index(self, index: Dict[str, Any]) -> None:
+        """Atomically (re)write ``index.json``."""
+        tmp = self.index_path.with_name(self.index_path.name + ".tmp")
+        self._write_file(tmp, canonical_json_bytes(index))
+        os.replace(tmp, self.index_path)
+
+    def read_index(self) -> Optional[Dict[str, Any]]:
+        """The on-disk index, or ``None`` when absent/unparseable."""
+        try:
+            doc = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return doc if isinstance(doc, dict) and doc.get("kind") == INDEX_KIND else None

@@ -1,0 +1,165 @@
+"""Per-target RTT signatures and the incremental-vs-cold decision.
+
+The service's incremental recompute stands on one fact about the
+analysis pipeline: a target's verdict is a pure function of its own RTT
+row plus run-wide context that is identical for every row (the VP
+roster, the gazetteer, the iGreedy config).  Detection
+(:func:`repro.core.detection.detection_mask`) is computed row by row,
+and enumeration/geolocation (:meth:`FastAnalysisEngine.analyze_row`)
+reads only the target's row and the shared geometry — nothing couples
+two targets.
+
+So a *signature* — a keyed hash over (VP-roster digest, the row's raw
+float32 bytes) — certifies: equal signature ⟹ byte-equal analysis
+input ⟹ identical analysis output.  The roster digest folds the VP
+names *and coordinates* into every signature, which makes the scheme
+conservative under platform drift: change one VP and every signature
+changes, forcing a cold census rather than silently comparing rows
+measured from different places.
+
+:func:`plan_delta` turns two epochs' signature maps into the recompute
+plan, falling back to a full cold census whenever incremental mode is
+disabled, has no baseline, cannot read it, or the churn fraction
+exceeds the configured threshold (at which point recomputing everything
+is both cheaper to reason about and barely slower).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..census.combine import RttMatrix
+from ..geo.coords import GeoPoint
+
+#: Cold-census reasons (manifest ``analysis.reason`` vocabulary).
+REASON_DISABLED = "incremental-disabled"
+REASON_NO_BASELINE = "no-baseline"
+REASON_BASELINE_UNREADABLE = "baseline-unreadable"
+REASON_CHURN = "churn-exceeds-threshold"
+REASON_DELTA = "delta"
+
+
+def vp_context_digest(vp_names: Sequence[str], vp_locations: Sequence[GeoPoint]) -> str:
+    """Digest of the VP roster (names + exact coordinates), hex.
+
+    Folded into every target signature: two rows are only comparable
+    when they were measured by the same vantage points from the same
+    places.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for name, location in zip(vp_names, vp_locations):
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(np.float64(location.lat).tobytes())
+        h.update(np.float64(location.lon).tobytes())
+    return h.hexdigest()
+
+
+def target_signatures(matrix: RttMatrix) -> Dict[int, str]:
+    """Per-target signature over (VP roster, raw float32 RTT row).
+
+    Hashing the row *bytes* (NaNs included) rather than any derived
+    quantity means the certificate covers everything the analysis can
+    possibly read from the row.
+    """
+    context = vp_context_digest(matrix.vp_names, matrix.vp_locations).encode("ascii")
+    rows = np.ascontiguousarray(matrix.rtt_ms, dtype="<f4")
+    signatures: Dict[int, str] = {}
+    for i, prefix in enumerate(matrix.prefixes):
+        h = hashlib.blake2b(context, digest_size=8)
+        h.update(rows[i].tobytes())
+        signatures[int(prefix)] = h.hexdigest()
+    return signatures
+
+
+@dataclass
+class DeltaPlan:
+    """What the analysis stage must recompute this epoch."""
+
+    #: ``"incremental"`` or ``"cold"``.
+    mode: str
+    #: Why (one of the ``REASON_*`` constants).
+    reason: str
+    baseline_epoch: Optional[int]
+    #: Fraction of current targets whose signature is new or changed.
+    churn_fraction: float
+    #: Common targets whose signature changed.
+    changed: List[int] = field(default_factory=list)
+    #: Common targets whose signature is identical — copy from baseline.
+    unchanged: List[int] = field(default_factory=list)
+    #: Targets present now but not in the baseline.
+    appeared: List[int] = field(default_factory=list)
+    #: Baseline targets that no longer reply.
+    disappeared: List[int] = field(default_factory=list)
+
+    @property
+    def recompute(self) -> List[int]:
+        """Targets the engine must actually analyze this epoch."""
+        return sorted(self.changed + self.appeared)
+
+
+def plan_delta(
+    current: Dict[int, str],
+    baseline: Optional[Dict[int, str]],
+    baseline_epoch: Optional[int] = None,
+    churn_threshold: float = 0.25,
+    enabled: bool = True,
+    baseline_problem: Optional[str] = None,
+) -> DeltaPlan:
+    """Decide incremental vs cold and partition the target set.
+
+    ``baseline_problem`` is set by the caller when the baseline run
+    exists but could not be read (corrupt/quarantined) — always a cold
+    census, with the manifest recording why.
+    """
+    if not 0.0 <= churn_threshold <= 1.0:
+        raise ValueError("churn_threshold must be in [0, 1]")
+
+    def cold(reason: str, epoch: Optional[int] = None, churn: float = 1.0) -> DeltaPlan:
+        return DeltaPlan(
+            mode="cold",
+            reason=reason,
+            baseline_epoch=epoch,
+            churn_fraction=churn,
+            changed=sorted(current),
+        )
+
+    if not enabled:
+        return cold(REASON_DISABLED)
+    if baseline_problem is not None:
+        return cold(f"{REASON_BASELINE_UNREADABLE}: {baseline_problem}", baseline_epoch)
+    if baseline is None:
+        return cold(REASON_NO_BASELINE)
+
+    changed: List[int] = []
+    unchanged: List[int] = []
+    appeared: List[int] = []
+    for prefix, signature in current.items():
+        previous = baseline.get(prefix)
+        if previous is None:
+            appeared.append(prefix)
+        elif previous == signature:
+            unchanged.append(prefix)
+        else:
+            changed.append(prefix)
+    disappeared = sorted(set(baseline) - set(current))
+    churn = (len(changed) + len(appeared)) / max(len(current), 1)
+
+    plan = DeltaPlan(
+        mode="incremental",
+        reason=REASON_DELTA,
+        baseline_epoch=baseline_epoch,
+        churn_fraction=churn,
+        changed=sorted(changed),
+        unchanged=sorted(unchanged),
+        appeared=sorted(appeared),
+        disappeared=disappeared,
+    )
+    if churn > churn_threshold:
+        plan.mode = "cold"
+        plan.reason = REASON_CHURN
+    return plan

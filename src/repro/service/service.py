@@ -1,0 +1,564 @@
+"""The longitudinal census service: dated runs over an evolving internet.
+
+One :class:`CensusService` owns an archive and a deterministic recipe
+for epoch *k*'s world: the base deployment catalog chain-evolved *k*
+times (:func:`~repro.census.longitudinal.evolve_catalog`, one fixed
+seed per step), the same synthetic-internet seed, the same platform.
+Running epoch *k* is therefore a pure function — which is what makes
+every robustness property testable as byte equality:
+
+* **crash tolerance**: each epoch's census journals per-VP batches to
+  ``journal/epoch-NNNNNN.journal``; a killed run resumes from the
+  journal bit-for-bit (keyed per-VP RNG), and the archive commit itself
+  is atomic, so re-running after a crash at *any* point converges to
+  the same archive bytes as an uninterrupted timeline;
+* **catch-up**: :meth:`CensusService.catch_up` first fscks the archive
+  (quarantining anything rotten), then runs every missing epoch up to
+  the requested day — missed days and quarantined days are the same
+  case;
+* **incremental recompute**: with keyed campaign noise, a target's raw
+  records depend only on itself, so unchanged targets produce
+  byte-identical RTT rows across epochs.  The analysis stage copies
+  their archived result entries verbatim and re-runs the iGreedy engine
+  only for rows whose signature moved — provably equal to a cold
+  census (see :mod:`~repro.service.delta`), and cheap when churn is low.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..census.combine import RttMatrix, matrix_from_census
+from ..census.fastpath import FastAnalysisEngine
+from ..census.longitudinal import EvolutionConfig, evolve_catalog
+from ..core.detection import detection_mask, radius_matrix
+from ..core.igreedy import IGreedyConfig
+from ..geo.cities import CityDB, default_city_db
+from ..internet.catalog import CatalogEntry, full_catalog
+from ..internet.topology import InternetConfig, SyntheticInternet
+from ..measurement.campaign import (
+    CensusAborted,
+    CensusCampaign,
+    CensusInterrupted,
+)
+from ..measurement.platform import planetlab_platform
+from ..measurement.recordio import CorruptPayloadError
+from ..obs import current_metrics, current_tracer
+from ..resilience import ResiliencePolicy, StageFailed, StageSupervisor
+from .archive import CensusArchive
+from .churn import churn_between
+from .delta import DeltaPlan, plan_delta, target_signatures, vp_context_digest
+from .fsck import FsckReport, fsck_archive
+
+RESULTS_KIND = "census-results"
+
+
+@dataclass
+class ServiceConfig:
+    """The deterministic recipe of one longitudinal service."""
+
+    #: Archive root directory (created on first run).
+    archive_root: str
+    #: Seed of the synthetic internet (unicast world + per-AS builders).
+    internet_seed: int = 2015
+    n_unicast: int = 400
+    #: Tail deployments of the *default* base catalog (ignored when
+    #: ``base_catalog`` is given).
+    tail_deployments: int = 0
+    #: Epoch-0 deployment catalog; defaults to
+    #: ``full_catalog(tail_count=tail_deployments, seed=internet_seed)``.
+    base_catalog: Optional[Sequence[CatalogEntry]] = None
+    #: Landscape drift applied once per epoch.
+    evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
+    evolution_seed: int = 7
+    n_vps: int = 20
+    vp_seed: int = 41
+    #: Constant campaign seed: every epoch runs a *fresh* campaign with
+    #: the same seed, so census-level draws (availability, degraded
+    #: flags) repeat identically and only the world differs.
+    campaign_seed: int = 500
+    availability: float = 1.0
+    degraded_fraction: float = 0.0
+    rate_pps: Optional[float] = None
+    #: Campaign noise mode.  ``"keyed"`` (the service default) is what
+    #: makes incremental recompute *useful*; ``"stream"`` stays safe but
+    #: every epoch's signatures differ, so every run goes cold.
+    noise: str = "keyed"
+    #: Incremental recompute on/off (off = every epoch is a cold census).
+    incremental: bool = True
+    #: Churn fraction above which incremental mode falls back to cold.
+    churn_threshold: float = 0.25
+    min_samples: int = 3
+    igreedy: IGreedyConfig = field(default_factory=IGreedyConfig)
+    #: AS-churn thresholds forwarded to ``compare_epochs``.
+    min_delta: float = 1.0
+    min_ip24_delta: int = 1
+    #: Stage supervision; ``None`` runs stages bare.
+    resilience: Optional[ResiliencePolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.noise not in ("stream", "keyed"):
+            raise ValueError(f"unknown noise mode {self.noise!r}")
+        if not 0.0 <= self.churn_threshold <= 1.0:
+            raise ValueError("churn_threshold must be in [0, 1]")
+
+
+@dataclass
+class EpochOutcome:
+    """What one :meth:`CensusService.run_epoch` call did."""
+
+    epoch: int
+    #: ``"committed"`` (ran and archived) or ``"already-present"``.
+    status: str
+    mode: str
+    reason: str
+    baseline_epoch: Optional[int]
+    churn_fraction: float
+    n_recomputed: int
+    n_copied: int
+    n_targets: int
+    n_anycast: int
+    total_replicas: int
+
+    def summary_lines(self) -> List[str]:
+        return [
+            f"epoch {self.epoch}: {self.status} "
+            f"[{self.mode}: {self.reason}]",
+            f"  targets: {self.n_targets} "
+            f"({self.n_anycast} anycast, {self.total_replicas} replicas)",
+            f"  recomputed/copied: {self.n_recomputed}/{self.n_copied} "
+            f"(churn {self.churn_fraction:.3f}, "
+            f"baseline {self.baseline_epoch})",
+        ]
+
+
+class CensusService:
+    """Crash-tolerant scheduler of dated census runs into one archive."""
+
+    def __init__(self, config: ServiceConfig, city_db: Optional[CityDB] = None) -> None:
+        self.config = config
+        self.archive = CensusArchive(config.archive_root)
+        self.city_db = city_db or default_city_db()
+        self.platform = planetlab_platform(
+            count=config.n_vps, seed=config.vp_seed, city_db=self.city_db
+        )
+        self.supervisor: Optional[StageSupervisor] = (
+            StageSupervisor(config.resilience)
+            if config.resilience is not None
+            else None
+        )
+        self._catalogs: Dict[int, List[CatalogEntry]] = {}
+
+    # ------------------------------------------------------------------
+    # The evolving world
+    # ------------------------------------------------------------------
+
+    def catalog_for(self, epoch: int) -> List[CatalogEntry]:
+        """Epoch *k*'s deployment catalog: the base chain-evolved k times."""
+        if epoch < 0:
+            raise ValueError("epoch must be >= 0")
+        if 0 not in self._catalogs:
+            base = (
+                list(self.config.base_catalog)
+                if self.config.base_catalog is not None
+                else full_catalog(
+                    tail_count=self.config.tail_deployments,
+                    seed=self.config.internet_seed,
+                )
+            )
+            self._catalogs[0] = base
+        known = max(self._catalogs)
+        for k in range(known + 1, epoch + 1):
+            self._catalogs[k] = evolve_catalog(
+                self._catalogs[k - 1],
+                seed=self.config.evolution_seed * 1_000_003 + k,
+                config=self.config.evolution,
+            )
+        return self._catalogs[epoch]
+
+    def internet_for(self, epoch: int) -> SyntheticInternet:
+        return SyntheticInternet(
+            InternetConfig(
+                seed=self.config.internet_seed,
+                n_unicast_slash24=self.config.n_unicast,
+                tail_deployments=self.config.tail_deployments,
+            ),
+            catalog=self.catalog_for(epoch),
+            city_db=self.city_db,
+        )
+
+    # ------------------------------------------------------------------
+    # Supervision plumbing
+    # ------------------------------------------------------------------
+
+    def _stage(self, name, fn):
+        """Run one stage under the resilience supervisor, if configured.
+
+        Interruption and quorum aborts are *control flow*, not stage
+        failures: the supervisor's classifier sees them as fatal and
+        wraps them, so unwrap and re-raise the original — callers (and
+        the CLI's exit-code ladder) dispatch on the real exception.
+        """
+        if self.supervisor is None:
+            return fn()
+        try:
+            return self.supervisor.run(name, fn)
+        except StageFailed as exc:
+            if isinstance(exc.__cause__, (CensusInterrupted, CensusAborted)):
+                raise exc.__cause__
+            raise
+
+    # ------------------------------------------------------------------
+    # One epoch
+    # ------------------------------------------------------------------
+
+    def run_epoch(
+        self, epoch: int, abort_after_vps: Optional[int] = None
+    ) -> EpochOutcome:
+        """Measure, analyze and commit one epoch (idempotent).
+
+        A committed epoch returns immediately (``"already-present"``).
+        ``abort_after_vps`` is the chaos knob of the underlying census:
+        the run dies with :class:`CensusInterrupted` after that many
+        fresh VP scans, leaving a resumable journal behind.
+        """
+        if self.archive.has(epoch):
+            # Re-running a committed epoch also clears any stale journal
+            # (a crash window between rename and journal cleanup).
+            journal = self.archive.journal_path(epoch)
+            if journal.exists():
+                journal.unlink()
+            return self._outcome_from_manifest(epoch, "already-present")
+
+        with current_tracer().span("service_epoch", epoch=epoch):
+            self.archive.ensure_layout()
+            internet = self.internet_for(epoch)
+            campaign = CensusCampaign(
+                internet,
+                self.platform,
+                seed=self.config.campaign_seed,
+                degraded_fraction=self.config.degraded_fraction,
+                noise=self.config.noise,
+                **(
+                    {"rate_pps": self.config.rate_pps}
+                    if self.config.rate_pps is not None
+                    else {}
+                ),
+            )
+            journal = self.archive.journal_path(epoch)
+
+            def measure():
+                campaign.run_precensus()
+                return campaign.run_census(
+                    availability=self.config.availability,
+                    checkpoint=str(journal),
+                    abort_after_vps=abort_after_vps,
+                )
+
+            census = self._stage("measurement", measure)
+            matrix = matrix_from_census(census)
+            signatures = target_signatures(matrix)
+
+            baseline_epoch = self.archive.latest_epoch_before(epoch)
+            baseline_doc: Optional[Dict[str, Any]] = None
+            baseline_problem: Optional[str] = None
+            if baseline_epoch is not None:
+                try:
+                    baseline_doc = self.archive.read_results(baseline_epoch)
+                except CorruptPayloadError as exc:
+                    baseline_problem = str(exc)
+
+            plan = plan_delta(
+                signatures,
+                self._baseline_signatures(baseline_doc),
+                baseline_epoch=baseline_epoch,
+                churn_threshold=self.config.churn_threshold,
+                enabled=self.config.incremental,
+                baseline_problem=baseline_problem,
+            )
+
+            results_doc, n_recomputed, n_copied = self._stage(
+                "analysis",
+                lambda: self._analyze(
+                    matrix, internet, signatures, plan, baseline_doc, epoch
+                ),
+            )
+
+            churn_doc = None
+            if baseline_doc is not None:
+                churn_doc = churn_between(
+                    baseline_doc,
+                    results_doc,
+                    min_delta=self.config.min_delta,
+                    min_ip24_delta=self.config.min_ip24_delta,
+                ).to_doc()
+
+            manifest_core = self._manifest_core(
+                census, matrix, results_doc, plan, n_recomputed, n_copied, churn_doc
+            )
+            self.archive.commit_run(epoch, manifest_core, census.records, results_doc)
+            if journal.exists():
+                journal.unlink()
+
+            metrics = current_metrics()
+            if metrics.enabled:
+                metrics.counter("service_epochs_committed").inc()
+                metrics.counter("service_targets_recomputed").inc(n_recomputed)
+                metrics.counter("service_targets_copied").inc(n_copied)
+
+            summary = results_doc["summary"]
+            return EpochOutcome(
+                epoch=epoch,
+                status="committed",
+                mode=plan.mode,
+                reason=plan.reason,
+                baseline_epoch=plan.baseline_epoch,
+                churn_fraction=plan.churn_fraction,
+                n_recomputed=n_recomputed,
+                n_copied=n_copied,
+                n_targets=summary["n_targets"],
+                n_anycast=summary["n_anycast"],
+                total_replicas=summary["total_replicas"],
+            )
+
+    @staticmethod
+    def _baseline_signatures(
+        baseline_doc: Optional[Dict[str, Any]],
+    ) -> Optional[Dict[int, str]]:
+        if baseline_doc is None:
+            return None
+        return {
+            int(prefix): entry["signature"]
+            for prefix, entry in baseline_doc["targets"].items()
+        }
+
+    # ------------------------------------------------------------------
+    # Analysis: incremental provably equal to cold
+    # ------------------------------------------------------------------
+
+    def _analyze(
+        self,
+        matrix: RttMatrix,
+        internet: SyntheticInternet,
+        signatures: Dict[int, str],
+        plan: DeltaPlan,
+        baseline_doc: Optional[Dict[str, Any]],
+        epoch: int,
+    ) -> Tuple[Dict[str, Any], int, int]:
+        """Build the epoch's results document.
+
+        Cold and incremental modes share one per-row code path; the only
+        incremental shortcut is copying an unchanged target's *parsed
+        baseline entry* verbatim.  Both the detection verdict and the
+        iGreedy output are functions of the target's row plus row-
+        independent context, and an unchanged signature certifies an
+        identical row — so the copied entry is exactly what recomputing
+        would produce, and the serialized documents are byte-equal.
+        """
+        cfg = self.config.igreedy
+        vp_dist = matrix.vp_distance_matrix()
+        radii = radius_matrix(matrix.rtt_ms, cfg.speed_km_per_ms)
+        filled = (~np.isnan(matrix.rtt_ms)).sum(axis=1)
+        mask = detection_mask(vp_dist, radii) & (filled >= self.config.min_samples)
+        engine = FastAnalysisEngine(matrix, city_db=self.city_db, config=cfg)
+
+        copy_from = (
+            baseline_doc["targets"]
+            if (plan.mode == "incremental" and baseline_doc is not None)
+            else {}
+        )
+        skip = set(plan.unchanged) if copy_from else set()
+
+        targets: Dict[str, Any] = {}
+        n_recomputed = 0
+        n_copied = 0
+        for row, raw_prefix in enumerate(matrix.prefixes):
+            prefix = int(raw_prefix)
+            key = str(prefix)
+            if prefix in skip:
+                targets[key] = copy_from[key]
+                n_copied += 1
+                continue
+            entry: Dict[str, Any] = {
+                "signature": signatures[prefix],
+                "anycast": bool(mask[row]),
+            }
+            if mask[row]:
+                result = engine.analyze_row(row)
+                entry["replicas"] = [
+                    {
+                        "city": replica.city.name,
+                        "country": replica.city.country,
+                        "lat": replica.city.location.lat,
+                        "lon": replica.city.location.lon,
+                        "radius_km": replica.disk.radius_km,
+                        "confidence": replica.confidence,
+                    }
+                    for replica in result.replicas
+                ]
+                entry["iterations"] = result.iterations
+                entry["witness"] = (
+                    list(result.detection.witness)
+                    if result.detection.witness is not None
+                    else None
+                )
+                entry["sample_count"] = result.detection.sample_count
+            targets[key] = entry
+            n_recomputed += 1
+
+        doc = {
+            "kind": RESULTS_KIND,
+            "epoch": epoch,
+            "signature_context": vp_context_digest(
+                matrix.vp_names, matrix.vp_locations
+            ),
+            "targets": targets,
+            "ases": self._aggregate_ases(targets, internet),
+            "summary": {
+                "n_targets": len(targets),
+                "n_anycast": sum(1 for e in targets.values() if e["anycast"]),
+                "total_replicas": sum(
+                    len(e.get("replicas", ())) for e in targets.values()
+                ),
+            },
+        }
+        return doc, n_recomputed, n_copied
+
+    @staticmethod
+    def _aggregate_ases(
+        targets: Dict[str, Any], internet: SyntheticInternet
+    ) -> Dict[str, Any]:
+        """Per-AS footprint section, recomputed from the target entries.
+
+        Mirrors :class:`~repro.census.characterize.Characterization`'s
+        aggregation (same ``mean_replicas`` arithmetic) but reads the
+        serialized entries, so incremental and cold documents agree
+        byte-for-byte whenever their target sections do.
+        """
+        counts: Dict[int, List[int]] = {}
+        names: Dict[int, str] = {}
+        for key, entry in targets.items():
+            if not entry["anycast"]:
+                continue
+            owner = internet.registry.owner_of(int(key))
+            if owner is None:
+                continue
+            counts.setdefault(owner.asn, []).append(len(entry.get("replicas", ())))
+            names[owner.asn] = owner.name
+        return {
+            str(asn): {
+                "name": names[asn],
+                "mean_replicas": float(np.mean(replicas)),
+                "n_ip24": len(replicas),
+            }
+            for asn, replicas in counts.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Manifest assembly
+    # ------------------------------------------------------------------
+
+    def _manifest_core(
+        self,
+        census,
+        matrix: RttMatrix,
+        results_doc: Dict[str, Any],
+        plan: DeltaPlan,
+        n_recomputed: int,
+        n_copied: int,
+        churn_doc: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        summary = results_doc["summary"]
+        return {
+            "census": {
+                "census_id": census.census_id,
+                "campaign_seed": self.config.campaign_seed,
+                "internet_seed": self.config.internet_seed,
+                "availability": self.config.availability,
+                "rate_pps": census.rate_pps,
+                "noise": self.config.noise,
+                "n_records": len(census.records),
+                "n_vps": census.n_vps,
+                "degraded": bool(census.health and census.health.degraded),
+            },
+            "vantage_points": [
+                {"name": name, "lat": location.lat, "lon": location.lon}
+                for name, location in zip(matrix.vp_names, matrix.vp_locations)
+            ],
+            "counts": dict(summary),
+            "analysis": {
+                "mode": plan.mode,
+                "reason": plan.reason,
+                "baseline_epoch": plan.baseline_epoch,
+                "churn_fraction": plan.churn_fraction,
+                "n_recomputed": n_recomputed,
+                "n_copied": n_copied,
+            },
+            "churn": churn_doc,
+        }
+
+    def _outcome_from_manifest(self, epoch: int, status: str) -> EpochOutcome:
+        manifest = self.archive.read_manifest(epoch)
+        analysis = manifest["analysis"]
+        counts = manifest["counts"]
+        return EpochOutcome(
+            epoch=epoch,
+            status=status,
+            mode=analysis["mode"],
+            reason=analysis["reason"],
+            baseline_epoch=analysis["baseline_epoch"],
+            churn_fraction=analysis["churn_fraction"],
+            n_recomputed=analysis["n_recomputed"],
+            n_copied=analysis["n_copied"],
+            n_targets=counts["n_targets"],
+            n_anycast=counts["n_anycast"],
+            total_replicas=counts["total_replicas"],
+        )
+
+    # ------------------------------------------------------------------
+    # Service operations
+    # ------------------------------------------------------------------
+
+    def fsck(self, repair: bool = True) -> FsckReport:
+        """Verify/repair the archive (see :func:`fsck_archive`)."""
+        return fsck_archive(self.archive, repair=repair)
+
+    def catch_up(
+        self, through_epoch: int, abort_after_vps: Optional[int] = None
+    ) -> Tuple[FsckReport, List[EpochOutcome]]:
+        """Fsck, then run every missing epoch up to ``through_epoch``.
+
+        Missed days, interrupted days (their journals resume), and
+        quarantined days all land in the same place: "not committed",
+        and this loop commits them in order.  The result is the archive
+        an uninterrupted daily service would have produced.
+        """
+        report = self.fsck(repair=True)
+        outcomes = [
+            self.run_epoch(epoch, abort_after_vps=abort_after_vps)
+            for epoch in range(through_epoch + 1)
+        ]
+        return report, outcomes
+
+    def history(self) -> List[Dict[str, Any]]:
+        """One summary row per committed epoch, straight off the manifests."""
+        rows = []
+        for epoch in self.archive.epochs():
+            manifest = self.archive.read_manifest(epoch)
+            rows.append(
+                {
+                    "epoch": epoch,
+                    "mode": manifest["analysis"]["mode"],
+                    "reason": manifest["analysis"]["reason"],
+                    "churn_fraction": manifest["analysis"]["churn_fraction"],
+                    "n_targets": manifest["counts"]["n_targets"],
+                    "n_anycast": manifest["counts"]["n_anycast"],
+                    "total_replicas": manifest["counts"]["total_replicas"],
+                    "churn": manifest.get("churn"),
+                }
+            )
+        return rows

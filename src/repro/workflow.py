@@ -480,3 +480,40 @@ def small_study(
             poison=poison,
         )
     )
+
+
+def small_service(
+    archive_root: Union[str, pathlib.Path],
+    seed: int = 2015,
+    incremental: bool = True,
+    churn_threshold: float = 0.25,
+    resilience: Optional[ResiliencePolicy] = None,
+):
+    """A laptop-scale longitudinal service for examples and tests.
+
+    A dozen catalog deployments over a small unicast haystack, gentle
+    day-over-day drift (about 1-2% of targets move per day), 20 vantage
+    points — each epoch takes a fraction of a second, and consecutive
+    days mostly reuse the previous day's archived analysis.
+    """
+    from .census.longitudinal import EvolutionConfig
+    from .internet.catalog import full_catalog
+    from .service import CensusService, ServiceConfig
+
+    return CensusService(
+        ServiceConfig(
+            archive_root=str(archive_root),
+            internet_seed=seed,
+            n_unicast=120,
+            tail_deployments=0,
+            base_catalog=full_catalog(tail_count=0, seed=seed)[:12],
+            evolution=EvolutionConfig(
+                growth_prob=0.02, max_new_sites=1, shrink_prob=0.01,
+                new_adopters=1,
+            ),
+            n_vps=20,
+            incremental=incremental,
+            churn_threshold=churn_threshold,
+            resilience=resilience,
+        )
+    )

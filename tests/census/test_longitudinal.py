@@ -153,3 +153,91 @@ class TestCompareEpochs:
         assert not report.shrunk
         assert not report.appeared
         assert not report.disappeared
+
+
+def _fake_characterization(footprints):
+    """Duck-typed Characterization: compare_epochs reads only .footprints."""
+    from types import SimpleNamespace
+
+    return SimpleNamespace(
+        footprints={
+            asn: SimpleNamespace(
+                mean_replicas=mean,
+                n_ip24=ip24,
+                autonomous_system=SimpleNamespace(name=name),
+            )
+            for asn, (name, mean, ip24) in footprints.items()
+        }
+    )
+
+
+class TestCompareEpochsClassification:
+    def test_min_delta_must_be_non_negative(self):
+        empty = _fake_characterization({})
+        with pytest.raises(ValueError):
+            compare_epochs(empty, empty, min_delta=-0.5)
+        with pytest.raises(ValueError):
+            compare_epochs(empty, empty, min_ip24_delta=-1)
+
+    def test_ip24_only_growth_is_not_stable(self):
+        before = _fake_characterization({64500: ("CDN-A", 10.0, 4)})
+        after = _fake_characterization({64500: ("CDN-A", 10.2, 7)})
+        report = compare_epochs(before, after)
+        assert [c.asn for c in report.footprint_grown] == [64500]
+        assert not report.stable
+        assert not report.grown
+        assert report.n_tracked == 1
+
+    def test_ip24_only_shrink_is_not_stable(self):
+        before = _fake_characterization({64500: ("CDN-A", 10.0, 7)})
+        after = _fake_characterization({64500: ("CDN-A", 9.8, 4)})
+        report = compare_epochs(before, after)
+        assert [c.asn for c in report.footprint_shrunk] == [64500]
+        assert report.footprint_shrunk[0].ip24_delta == -3
+        assert not report.stable
+
+    def test_replica_motion_wins_over_footprint_motion(self):
+        before = _fake_characterization({64500: ("CDN-A", 10.0, 4)})
+        after = _fake_characterization({64500: ("CDN-A", 13.0, 9)})
+        report = compare_epochs(before, after)
+        assert [c.asn for c in report.grown] == [64500]
+        assert not report.footprint_grown
+
+    def test_truly_stable_stays_stable(self):
+        before = _fake_characterization({64500: ("CDN-A", 10.0, 4)})
+        report = compare_epochs(before, before)
+        assert [c.asn for c in report.stable] == [64500]
+        assert not report.footprint_grown
+        assert not report.footprint_shrunk
+
+
+class TestAdopterIdentity:
+    """New adopters must never reuse an ASN, even across shrunk epochs."""
+
+    def test_five_epoch_chain_has_unique_asns(self, catalog):
+        cat = list(catalog)
+        seen = [e.asn for e in cat]
+        for epoch in range(5):
+            cat = evolve_catalog(cat, seed=100 + epoch)
+            new = cat[len(seen):]
+            assert len(new) == EvolutionConfig().new_adopters
+            for entry in new:
+                assert entry.asn not in seen, (
+                    f"epoch {epoch} reissued ASN {entry.asn}"
+                )
+                seen.append(entry.asn)
+        assert len(seen) == len(set(seen))
+
+    def test_shrunk_catalog_does_not_reissue_asns(self, catalog):
+        """Dropping the newest entries must not recycle their ASNs."""
+        evolved = evolve_catalog(catalog, seed=11)
+        first_gen = {e.asn for e in evolved[len(catalog):]}
+        shrunk = evolved[: len(catalog)]  # the newcomers churn out again
+        regrown = evolve_catalog(shrunk, seed=12)
+        second_gen = {e.asn for e in regrown[len(shrunk):]}
+        assert not first_gen & second_gen
+
+    def test_adopter_identity_is_seed_stable(self, catalog):
+        a = evolve_catalog(catalog, seed=11)
+        b = evolve_catalog(catalog, seed=11)
+        assert [e.asn for e in a] == [e.asn for e in b]

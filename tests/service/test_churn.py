@@ -1,0 +1,110 @@
+"""Unit tests for archive-level churn analytics."""
+
+from __future__ import annotations
+
+from repro.service.churn import churn_between
+
+
+def target(anycast, replicas=0):
+    entry = {"anycast": anycast}
+    if replicas:
+        entry["replicas"] = [{"city": f"c{i}"} for i in range(replicas)]
+    return entry
+
+
+def as_entry(name, mean_replicas, n_ip24):
+    return {"name": name, "mean_replicas": mean_replicas, "n_ip24": n_ip24}
+
+
+BEFORE = {
+    "epoch": 1,
+    "targets": {
+        "10": target(True, 3),    # loses a replica
+        "20": target(True, 2),    # flips to unicast
+        "30": target(False),      # flips to anycast
+        "40": target(True, 4),    # disappears
+        "50": target(False),      # stays unicast
+    },
+    "ases": {
+        "1": as_entry("GROWN,US", 2.0, 3),
+        "2": as_entry("SHRUNK,US", 5.0, 3),
+        "3": as_entry("STABLE,US", 3.0, 3),
+        "4": as_entry("FOOTPRINT,US", 3.0, 3),
+        "5": as_entry("GONE,US", 2.0, 1),
+    },
+}
+
+AFTER = {
+    "epoch": 2,
+    "targets": {
+        "10": target(True, 2),
+        "20": target(False),
+        "30": target(True, 5),
+        "50": target(False),
+        "60": target(True, 2),    # appears with two replicas
+    },
+    "ases": {
+        "1": as_entry("GROWN,US", 4.0, 3),
+        "2": as_entry("SHRUNK,US", 3.5, 3),
+        "3": as_entry("STABLE,US", 3.2, 3),
+        "4": as_entry("FOOTPRINT,US", 3.0, 5),
+        "6": as_entry("NEW,US", 1.0, 1),
+    },
+}
+
+
+class TestChurnBetween:
+    def setup_method(self):
+        self.summary = churn_between(BEFORE, AFTER)
+
+    def test_epochs_and_totals(self):
+        assert (self.summary.epoch_before, self.summary.epoch_after) == (1, 2)
+        assert self.summary.n_targets_before == 5
+        assert self.summary.n_targets_after == 5
+
+    def test_appearance(self):
+        assert self.summary.targets_appeared == 1
+        assert self.summary.targets_disappeared == 1
+
+    def test_flips(self):
+        assert self.summary.flips_to_anycast == 1
+        assert self.summary.flips_to_unicast == 1
+
+    def test_replica_motion(self):
+        # births: +5 (target 30) +2 (appeared 60) = 7
+        # deaths: -1 (target 10) -2 (flip 20) -4 (disappeared 40) = 7
+        assert self.summary.replica_births == 7
+        assert self.summary.replica_deaths == 7
+
+    def test_as_level_classification(self):
+        assert self.summary.ases == {
+            "grown": 1,
+            "shrunk": 1,
+            "stable": 1,
+            "appeared": 1,
+            "disappeared": 1,
+            "footprint_grown": 1,
+            "footprint_shrunk": 0,
+        }
+
+    def test_doc_round_trip(self):
+        doc = self.summary.to_doc()
+        assert doc["targets"] == {
+            "before": 5, "after": 5, "appeared": 1, "disappeared": 1,
+        }
+        assert doc["flips"] == {"to_anycast": 1, "to_unicast": 1}
+        assert doc["replicas"] == {"births": 7, "deaths": 7}
+        assert doc["ases"]["footprint_grown"] == 1
+
+    def test_summary_lines_render(self):
+        lines = self.summary.summary_lines()
+        assert any("1 -> 2" in line for line in lines)
+        assert any("flips" in line for line in lines)
+
+    def test_identical_docs_are_quiet(self):
+        quiet = churn_between(BEFORE, dict(BEFORE, epoch=2))
+        assert quiet.targets_appeared == 0
+        assert quiet.replica_births == 0
+        assert quiet.replica_deaths == 0
+        assert quiet.ases["stable"] == 5
+        assert quiet.ases["grown"] == 0

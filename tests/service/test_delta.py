@@ -1,0 +1,126 @@
+"""Unit tests for RTT signatures and the incremental-vs-cold planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.census.combine import RttMatrix
+from repro.geo.coords import GeoPoint
+from repro.service.delta import (
+    REASON_BASELINE_UNREADABLE,
+    REASON_CHURN,
+    REASON_DELTA,
+    REASON_DISABLED,
+    REASON_NO_BASELINE,
+    plan_delta,
+    target_signatures,
+    vp_context_digest,
+)
+
+
+def make_matrix(seed=0, vp_names=("vp-a", "vp-b", "vp-c"), shift=0.0):
+    rng = np.random.default_rng(seed)
+    rtt = rng.uniform(5.0, 200.0, size=(4, len(vp_names))).astype(np.float32)
+    rtt[1, 0] = np.nan
+    rtt += np.float32(shift)
+    return RttMatrix(
+        prefixes=np.array([10, 20, 30, 40], dtype=np.uint32),
+        vp_names=list(vp_names),
+        vp_locations=[GeoPoint(lat=10.0 * i, lon=20.0 * i) for i in range(len(vp_names))],
+        rtt_ms=rtt,
+        sample_count=np.ones_like(rtt, dtype=np.uint8),
+    )
+
+
+class TestSignatures:
+    def test_deterministic(self):
+        assert target_signatures(make_matrix()) == target_signatures(make_matrix())
+
+    def test_one_cell_changes_only_that_row(self):
+        base = target_signatures(make_matrix())
+        matrix = make_matrix()
+        matrix.rtt_ms[2, 1] += np.float32(0.25)
+        after = target_signatures(matrix)
+        assert after[30] != base[30]
+        assert {p: s for p, s in after.items() if p != 30} == {
+            p: s for p, s in base.items() if p != 30
+        }
+
+    def test_nan_pattern_is_part_of_the_signature(self):
+        matrix = make_matrix()
+        matrix.rtt_ms[1, 0] = np.float32(50.0)  # fill the hole
+        assert target_signatures(matrix)[20] != target_signatures(make_matrix())[20]
+
+    def test_roster_rename_changes_every_signature(self):
+        base = target_signatures(make_matrix())
+        renamed = target_signatures(make_matrix(vp_names=("vp-a", "vp-B", "vp-c")))
+        assert all(renamed[p] != base[p] for p in base)
+
+    def test_roster_move_changes_every_signature(self):
+        matrix = make_matrix()
+        matrix.vp_locations[1] = GeoPoint(lat=10.0, lon=20.5)
+        moved = target_signatures(matrix)
+        assert all(moved[p] != s for p, s in target_signatures(make_matrix()).items())
+
+    def test_context_digest_feels_coordinates(self):
+        names = ["a", "b"]
+        here = [GeoPoint(0.0, 0.0), GeoPoint(1.0, 1.0)]
+        there = [GeoPoint(0.0, 0.0), GeoPoint(1.0, 1.0000001)]
+        assert vp_context_digest(names, here) != vp_context_digest(names, there)
+
+
+class TestPlanDelta:
+    CURRENT = {10: "aa", 20: "bb", 30: "cc", 40: "dd"}
+
+    def test_disabled_goes_cold(self):
+        plan = plan_delta(self.CURRENT, {10: "aa"}, enabled=False)
+        assert (plan.mode, plan.reason) == ("cold", REASON_DISABLED)
+        assert plan.recompute == sorted(self.CURRENT)
+
+    def test_no_baseline_goes_cold(self):
+        plan = plan_delta(self.CURRENT, None)
+        assert (plan.mode, plan.reason) == ("cold", REASON_NO_BASELINE)
+        assert plan.churn_fraction == 1.0
+
+    def test_unreadable_baseline_goes_cold_with_reason(self):
+        plan = plan_delta(
+            self.CURRENT, None, baseline_epoch=3, baseline_problem="CRC mismatch"
+        )
+        assert plan.mode == "cold"
+        assert plan.reason.startswith(REASON_BASELINE_UNREADABLE)
+        assert "CRC mismatch" in plan.reason
+        assert plan.baseline_epoch == 3
+
+    def test_partition(self):
+        baseline = {10: "aa", 20: "OLD", 50: "gone"}
+        plan = plan_delta(self.CURRENT, baseline, baseline_epoch=1, churn_threshold=1.0)
+        assert (plan.mode, plan.reason) == ("incremental", REASON_DELTA)
+        assert plan.unchanged == [10]
+        assert plan.changed == [20]
+        assert plan.appeared == [30, 40]
+        assert plan.disappeared == [50]
+        assert plan.recompute == [20, 30, 40]
+        assert plan.churn_fraction == pytest.approx(3 / 4)
+
+    def test_churn_at_threshold_stays_incremental(self):
+        baseline = {10: "aa", 20: "bb", 30: "cc", 40: "OLD"}
+        plan = plan_delta(self.CURRENT, baseline, churn_threshold=0.25)
+        assert plan.mode == "incremental"
+
+    def test_churn_above_threshold_goes_cold_keeping_partition(self):
+        baseline = {10: "aa", 20: "bb", 30: "OLD", 40: "OLD"}
+        plan = plan_delta(self.CURRENT, baseline, churn_threshold=0.25)
+        assert (plan.mode, plan.reason) == ("cold", REASON_CHURN)
+        assert plan.churn_fraction == pytest.approx(0.5)
+        assert plan.changed == [30, 40]  # analytics still see the true delta
+
+    def test_empty_current_set(self):
+        plan = plan_delta({}, {10: "aa"})
+        assert plan.mode == "incremental"
+        assert plan.churn_fraction == 0.0
+        assert plan.disappeared == [10]
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            plan_delta(self.CURRENT, None, churn_threshold=1.5)
