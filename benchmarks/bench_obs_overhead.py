@@ -6,11 +6,17 @@ documents.  We run the same end-to-end small study with observability off
 and on (interleaved, best-of-N to shed scheduler noise) and require the
 traced run to stay within 5% of the plain run (plus a small absolute
 slack so sub-second runs don't fail on timer jitter).
+
+The traced arm carries the *whole* telemetry PR: tracer + metrics +
+structured event log during the run, then the Prometheus and Chrome
+trace-event exporters over the results — all inside the same budget.
 """
+
+import json
 
 from conftest import write_exhibit
 
-from repro.obs import Stopwatch
+from repro.obs import Stopwatch, to_chrome_trace, to_prometheus
 from repro.workflow import small_study
 
 ROUNDS = 3
@@ -18,29 +24,36 @@ MAX_RELATIVE_OVERHEAD = 0.05
 ABSOLUTE_SLACK_S = 0.05
 
 
-def _timed_run(trace: bool) -> float:
-    study = small_study(seed=2015, trace=trace, metrics=trace)
+def _timed_run(obs: bool) -> float:
+    study = small_study(seed=2015, trace=obs, metrics=obs, events=obs)
     with Stopwatch() as sw:
         study.characterization  # force the full pipeline
+        if obs:
+            # Telemetry post-processing the service does per epoch:
+            # serialize the event log and export both interchange formats.
+            study.events.to_lines()
+            to_prometheus(study.metrics.snapshot())
+            json.dumps(to_chrome_trace(study.tracer.to_dicts()))
     return sw.elapsed_s
 
 
 def test_obs_overhead(results_dir):
     # Warm up imports / allocator before timing anything.
-    _timed_run(trace=False)
+    _timed_run(obs=False)
 
     plain, traced = [], []
     for _ in range(ROUNDS):  # interleaved so drift hits both arms equally
-        plain.append(_timed_run(trace=False))
-        traced.append(_timed_run(trace=True))
+        plain.append(_timed_run(obs=False))
+        traced.append(_timed_run(obs=True))
 
     t_plain, t_traced = min(plain), min(traced)
     overhead = t_traced - t_plain
     relative = overhead / t_plain
 
-    n_spans = small_study(seed=2015, trace=True, metrics=True)
-    n_spans.characterization
-    span_count = n_spans.tracer.n_spans
+    probe = small_study(seed=2015, trace=True, metrics=True, events=True)
+    probe.characterization
+    span_count = probe.tracer.n_spans
+    event_count = probe.events.snapshot()["n_events"]
 
     lines = [
         "metric                              budget         measured",
@@ -49,6 +62,7 @@ def test_obs_overhead(results_dir):
         f"absolute overhead                                  {overhead * 1000.0:+.1f} ms",
         f"relative overhead                   < 5%           {relative * 100.0:+.2f}%",
         f"spans recorded per run                             {span_count}",
+        f"events recorded per run                            {event_count}",
     ]
     write_exhibit(results_dir, "obs_overhead", lines)
 

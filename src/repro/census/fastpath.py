@@ -343,7 +343,14 @@ def _analyze_rows_parallel(
     re-executed in the parent — same computation, same result (or the
     same exception the serial path would have raised).
     """
-    from ..exec.pool import MSG_ERR, MSG_OK, WorkerPool, fork_available
+    from ..exec.pool import (
+        MSG_ERR,
+        MSG_METRICS,
+        MSG_OK,
+        WorkerPool,
+        drain_worker_metrics,
+        fork_available,
+    )
 
     n_chunks = min(len(rows), max(workers * 4, workers))
     chunks = tuple(np.array_split(rows, n_chunks))
@@ -362,6 +369,7 @@ def _analyze_rows_parallel(
     pending = set(range(n_chunks))
     pool = WorkerPool(context)
     metrics = current_metrics()
+    metrics_received: set = set()
     try:
         handles = [pool.spawn() for _ in range(min(workers, n_chunks))]
         for cid in range(n_chunks):
@@ -383,7 +391,12 @@ def _analyze_rows_parallel(
                             metrics.counter("analysis_chunks_salvaged").inc()
                     pool.retire(handle)
                 continue
-            if kind == MSG_OK:
+            if kind == MSG_METRICS:
+                # A drained worker's in-worker registry (per-target
+                # histograms): merge so parallel totals match serial.
+                metrics_received.add(_wid)
+                metrics.merge(payload)
+            elif kind == MSG_OK:
                 payloads[unit_id] = payload
                 pending.discard(unit_id)
             elif kind == MSG_ERR:
@@ -392,6 +405,9 @@ def _analyze_rows_parallel(
                 # serial path would have raised.
                 payloads[unit_id] = context.execute(unit_id)
                 pending.discard(unit_id)
+        drain_worker_metrics(
+            pool, metrics, received=metrics_received, send_sentinels=False
+        )
     finally:
         pool.shutdown()
     metrics.counter("analysis_chunks_completed").inc(n_chunks)
@@ -423,10 +439,10 @@ def analyze_matrix_fast(
 
     ``workers > 0`` chunks the detected targets over a forked worker pool
     (``repro.exec``); ``0`` runs the same chunk plan serially in-process.
-    Output is identical for every worker count.  Per-target observability
-    caveat: with ``workers > 0`` the per-target histograms are recorded in
-    the (discarded) worker processes; run with ``workers=0`` when metric
-    fidelity matters.
+    Output is identical for every worker count, and so are metric totals:
+    each worker records per-target histograms in its own registry and
+    ships the snapshot home on drain, where it is merged bucket-wise
+    (:func:`repro.exec.pool.drain_worker_metrics`).
     """
     from .analysis import AnalysisResult
 

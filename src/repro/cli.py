@@ -12,6 +12,8 @@ Runs scaled-down census studies from the terminal::
     repro-anycast --manifest run.json glance   # + JSON run manifest
     repro-anycast service catch-up --archive runs/ --through 6
     repro-anycast service fsck --archive runs/
+    repro-anycast service timeline --archive runs/   # regression sentinel
+    repro-anycast obs export --archive runs/ --epoch 3 --prometheus m.prom
 
 All subcommands share the scale/seed options; results are printed as plain
 text tables.
@@ -47,6 +49,10 @@ EXIT_UNEXPECTED = 4
 #: fixed and the archive is healthy again; with ``--dry-run`` they are
 #: merely reported.  Distinct from 0 so cron jobs can alert on rot.
 EXIT_REPAIRED = 5
+#: ``service timeline`` flagged at least one regression (a per-epoch
+#: metric sitting more than k robust deviations above its rolling
+#: median).  Distinct from 0 so CI and cron can alert on drift.
+EXIT_REGRESSION = 6
 EXIT_INTERRUPTED = 130
 
 _POLICIES = {
@@ -254,6 +260,7 @@ def _service_from_args(args: argparse.Namespace):
             incremental=not args.no_incremental,
             churn_threshold=args.churn_threshold,
             resilience=policy_factory() if policy_factory is not None else None,
+            telemetry=getattr(args, "telemetry", False),
         )
     )
 
@@ -283,6 +290,13 @@ def _cmd_service(study: CensusStudy, args: argparse.Namespace) -> int:
             for line in outcome.summary_lines():
                 print(line)
         return EXIT_OK
+    if args.verb == "timeline":
+        from .obs import render_timeline
+
+        timeline, regressions = service.timeline(k=args.mad_k)
+        for line in render_timeline(timeline, regressions):
+            print(line)
+        return EXIT_REGRESSION if regressions else EXIT_OK
     # history
     rows = [
         (
@@ -296,6 +310,53 @@ def _cmd_service(study: CensusStudy, args: argparse.Namespace) -> int:
         for row in service.history()
     ]
     print(format_table(rows, ["day", "mode", "churn", "targets", "anycast", "replicas"]))
+    return EXIT_OK
+
+
+def _cmd_obs(study: CensusStudy, args: argparse.Namespace) -> int:
+    """Export one archived epoch's telemetry to standard formats."""
+    import json
+    import pathlib
+
+    from .obs import (
+        chrome_trace_problems,
+        prometheus_problems,
+        to_chrome_trace,
+        to_prometheus,
+    )
+    from .service.archive import CensusArchive
+
+    archive = CensusArchive(args.archive)
+    telemetry = archive.read_telemetry(args.epoch)
+    if telemetry is None:
+        print(
+            f"error: epoch {args.epoch} has no telemetry sidecar "
+            f"(run the service with --telemetry)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    prometheus_text = to_prometheus(telemetry.get("metrics", {}))
+    chrome_doc = to_chrome_trace(telemetry.get("trace") or [])
+    problems = [
+        f"prometheus: {p}" for p in prometheus_problems(prometheus_text)
+    ] + [f"chrome-trace: {p}" for p in chrome_trace_problems(chrome_doc)]
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return EXIT_UNEXPECTED
+    wrote = False
+    if args.prometheus is not None:
+        pathlib.Path(args.prometheus).write_text(prometheus_text, encoding="utf-8")
+        print(f"prometheus metrics written: {args.prometheus}")
+        wrote = True
+    if args.chrome_trace is not None:
+        pathlib.Path(args.chrome_trace).write_text(
+            json.dumps(chrome_doc, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"chrome trace written: {args.chrome_trace}")
+        wrote = True
+    if not wrote:
+        print(prometheus_text, end="")
     return EXIT_OK
 
 
@@ -404,9 +465,11 @@ def build_parser() -> argparse.ArgumentParser:
              "tolerant archive",
     )
     svc.add_argument(
-        "verb", choices=["run", "catch-up", "fsck", "history"],
+        "verb", choices=["run", "catch-up", "fsck", "history", "timeline"],
         help="run one day; fsck + run every missing day; verify/repair "
-             "the archive; print the per-day summary table",
+             "the archive; print the per-day summary table; scan the "
+             "archive's health series for regressions (exit 6 when one "
+             "is flagged)",
     )
     svc.add_argument("--archive", required=True, metavar="DIR",
                      help="archive root directory")
@@ -428,7 +491,35 @@ def build_parser() -> argparse.ArgumentParser:
     svc.add_argument("--dry-run", action="store_true",
                      help="fsck only: report problems without touching "
                           "the archive")
+    svc.add_argument("--telemetry", action="store_true",
+                     help="archive a telemetry sidecar (trace, metrics, "
+                          "SLO report, event log) with each committed "
+                          "run; census bytes are identical either way")
+    svc.add_argument("--mad-k", type=float, default=4.0, metavar="K",
+                     help="timeline only: flag points more than K robust "
+                          "(median/MAD) scale units above the rolling "
+                          "median (default: 4.0)")
     svc.set_defaults(func=_cmd_service)
+    obs = sub.add_parser(
+        "obs",
+        help="export archived telemetry to standard observability formats",
+    )
+    obs.add_argument(
+        "verb", choices=["export"],
+        help="export one epoch's telemetry sidecar",
+    )
+    obs.add_argument("--archive", required=True, metavar="DIR",
+                     help="archive root directory")
+    obs.add_argument("--epoch", type=int, default=0, metavar="DAY",
+                     help="epoch to export (default: 0)")
+    obs.add_argument("--prometheus", default=None, metavar="PATH",
+                     help="write the metrics snapshot in Prometheus text "
+                          "exposition format (default: print to stdout "
+                          "when no output is selected)")
+    obs.add_argument("--chrome-trace", default=None, metavar="PATH",
+                     help="write the span forest as Chrome trace-event "
+                          "JSON (load in Perfetto / chrome://tracing)")
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

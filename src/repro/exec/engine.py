@@ -35,15 +35,17 @@ from typing import Callable, Dict, List, Optional, Set
 import numpy as np
 
 from ..measurement.prober import VpScanResult
-from ..obs import current_metrics, current_tracer
+from ..obs import current_events, current_metrics, current_tracer
 from .errors import WorkerLost
 from .plan import ShardPlan, WorkUnit, merge_vp_shards
 from .pool import (
     MSG_ERR,
+    MSG_METRICS,
     MSG_OK,
     MSG_START,
     UnitContext,
     WorkerPool,
+    drain_worker_metrics,
     fork_available,
 )
 from .supervisor import (
@@ -225,6 +227,7 @@ class ShardedExecutor:
         should_stop: Optional[Callable[[], bool]],
     ) -> ExecutionOutcome:
         tracer = current_tracer()
+        events = current_events()
         policy = self.policy
         n_workers = max(1, min(policy.workers, len(plan))) if len(plan) else 0
         outcome = ExecutionOutcome()
@@ -250,6 +253,8 @@ class ShardedExecutor:
         pending: collections.deque = collections.deque(self._dispatch_order(plan))
         pool = WorkerPool(context)
         respawns_left = policy.respawn_budget
+        #: Workers whose final metrics snapshot already arrived in-loop.
+        metrics_received: Set[int] = set()
         started = time.monotonic()
 
         def unresolved_count() -> int:
@@ -284,6 +289,15 @@ class ShardedExecutor:
                 ledger.charge(uid)
                 report.reassignments += 1
                 pending.appendleft(uid)
+                if events.enabled:
+                    events.emit(
+                        "reassignment",
+                        "unit_requeued",
+                        unit_id=uid,
+                        vp=units[uid].vp_name,
+                        shard=units[uid].shard_index,
+                        from_worker=handle.worker_id,
+                    )
 
         def maybe_respawn() -> None:
             nonlocal respawns_left
@@ -329,12 +343,23 @@ class ShardedExecutor:
                         continue
                     if not handle.process.is_alive():
                         report.workers_lost += 1
+                        if events.enabled:
+                            events.emit(
+                                "worker", "worker_lost", worker=handle.worker_id
+                            )
                         pool.retire(handle)
                         orphan_units(handle)
                         continue
                     active = [u for u in handle.assigned if u not in resolved]
                     if active and handle.stale_for(now) > policy.liveness_timeout_s:
                         report.workers_wedged += 1
+                        if events.enabled:
+                            events.emit(
+                                "worker",
+                                "worker_wedged",
+                                worker=handle.worker_id,
+                                stale_s=round(handle.stale_for(now), 3),
+                            )
                         pool.retire(handle, terminate=True)
                         orphan_units(handle)
                 maybe_respawn()
@@ -362,6 +387,12 @@ class ShardedExecutor:
 
                 stop = False
                 for kind, worker_id, unit_id, payload in messages:
+                    if kind == MSG_METRICS:
+                        # An early-exiting worker's parting snapshot —
+                        # merge now, remember so the drain won't wait.
+                        metrics_received.add(worker_id)
+                        current_metrics().merge(payload)
+                        continue
                     report.heartbeats += 1
                     handle = pool.workers.get(worker_id)
                     if handle is not None:
@@ -395,6 +426,11 @@ class ShardedExecutor:
                 if stop:
                     break
         finally:
+            # Pull the workers' in-worker registries home before tearing
+            # the pool down, so parallel totals match serial runs.
+            drain_worker_metrics(
+                pool, current_metrics(), received=metrics_received
+            )
             pool.shutdown()
 
         report.breaker_open_vps = breaker.open_keys

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..measurement.faults import WorkerFaultInjector, WorkerFaultKind, WorkerFaultPlan
+from ..obs.metrics import MetricsRegistry, current_metrics, set_metrics
 from .plan import WorkUnit
 
 #: Message kinds on the results queue.  Every message is
@@ -33,6 +34,10 @@ MSG_START = "start"
 MSG_HB = "hb"
 MSG_OK = "ok"
 MSG_ERR = "err"
+#: A worker's final message: its in-worker metrics snapshot, shipped on
+#: the drain sentinel so parallel runs stop dropping worker-side
+#: counters/histograms.  ``unit_id`` is -1 (no unit).
+MSG_METRICS = "metrics"
 
 #: Exit code of a worker killed by the injected dead-worker fault.
 DEAD_WORKER_EXIT = 113
@@ -55,13 +60,18 @@ class UnitContext:
 
     def execute(self, unit_id: int):
         unit = self.units[unit_id]
-        return self.campaign.run_work_unit(
+        result = self.campaign.run_work_unit(
             census_id=self.census_id,
             probe_mask=self.probe_mask,
             base_order=self.base_order,
             rate_pps=self.rate_pps,
             unit=unit,
         )
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.counter("exec_unit_scans").inc()
+            metrics.counter("exec_unit_probes").inc(result.probes_sent)
+        return result
 
 
 def _sleep_heartbeating(
@@ -86,6 +96,14 @@ def worker_main(worker_id: int, context: UnitContext, task_q, out_q) -> None:
     # ignore SIGINT, restore default SIGTERM.
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    # The forked child inherits the parent's current registry.  When the
+    # parent had metrics on, swap in a fresh in-worker registry so this
+    # worker's observations are its own — shipped back whole on drain,
+    # then merged in the parent (order-free, so totals equal serial).
+    metrics = None
+    if current_metrics().enabled:
+        metrics = MetricsRegistry()
+        set_metrics(metrics)
     plan = context.worker_faults
     injector = (
         WorkerFaultInjector(plan) if plan is not None and plan.enabled else None
@@ -94,6 +112,8 @@ def worker_main(worker_id: int, context: UnitContext, task_q, out_q) -> None:
     while True:
         unit_id = task_q.get()
         if unit_id is None:
+            if metrics is not None:
+                out_q.put((MSG_METRICS, worker_id, -1, metrics.snapshot()))
             return
         task_seq += 1
         fault = injector.fault_for(worker_id, task_seq) if injector else None
@@ -206,3 +226,62 @@ class WorkerPool:
             self.retire(handle, terminate=True)
         self.out_q.cancel_join_thread()
         self.out_q.close()
+
+
+def drain_worker_metrics(
+    pool: WorkerPool,
+    registry,
+    received=None,
+    send_sentinels: bool = True,
+    timeout_s: float = 2.0,
+) -> int:
+    """Collect every live worker's final metrics snapshot into ``registry``.
+
+    Each worker ships one :data:`MSG_METRICS` message when it sees its
+    drain sentinel; this helper sends the sentinels (unless the caller
+    already did — ``send_sentinels=False``), then pulls the results
+    queue until every expected worker reported or ``timeout_s`` passes.
+    ``received`` pre-seeds the set of worker ids whose snapshot the
+    caller already merged during its own collect loop.
+
+    Dead or wedged workers never ship a snapshot and are pruned from the
+    expectation as soon as their process is gone — their observations
+    are lost, the same asymmetry their unfinished units already have.
+    Returns the number of snapshots merged here.  No-op (0) when the
+    registry is disabled.
+    """
+    import queue as _queue
+
+    if not getattr(registry, "enabled", False):
+        return 0
+    expected = {w.worker_id for w in pool.workers.values() if w.alive}
+    expected -= set(received or ())
+    if send_sentinels:
+        for handle in pool.workers.values():
+            if handle.alive:
+                try:
+                    handle.task_q.put(None)
+                except (ValueError, OSError):
+                    pass
+    merged = 0
+    deadline = time.monotonic() + timeout_s
+    while expected and time.monotonic() < deadline:
+        try:
+            kind, worker_id, _unit_id, payload = pool.out_q.get(timeout=0.05)
+        except _queue.Empty:
+            # A queue feeder flushes before its process exits, so a dead
+            # worker with an empty queue has nothing more to say.
+            expected = {
+                wid
+                for wid in expected
+                if pool.workers[wid].process.is_alive()
+            }
+            continue
+        if kind == MSG_METRICS:
+            if worker_id in expected:
+                registry.merge(payload)
+                merged += 1
+                expected.discard(worker_id)
+        # Any other late message (stray heartbeat, result already
+        # reassigned) is simply consumed: the caller's loop is done.
+    return merged

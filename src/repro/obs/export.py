@@ -1,0 +1,272 @@
+"""Exporters to standard observability formats.
+
+Two targets, both dependency-free:
+
+* :func:`to_prometheus` renders a :meth:`MetricsRegistry.snapshot
+  <repro.obs.metrics.MetricsRegistry.snapshot>` dict in the Prometheus
+  text exposition format (``name_total`` counters, cumulative
+  ``_bucket{le="..."}`` histogram series), ready for a node_exporter
+  textfile collector or a pushgateway.
+* :func:`to_chrome_trace` renders a tracer's span forest as Chrome
+  trace-event JSON, loadable in Perfetto / ``chrome://tracing``.  Spans
+  only record durations (not absolute starts), so the exporter lays out
+  a *synthetic* timeline: each child starts where its previous sibling
+  ended, inside its parent.  Relative widths and nesting are faithful;
+  absolute timestamps are not wall-clock.
+
+Both exporters ship with validators (:func:`prometheus_problems`,
+:func:`chrome_trace_problems`) so tests and CI can assert the outputs
+actually parse, without external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .trace import Tracer
+
+#: Metric/label name grammar from the Prometheus exposition format spec.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def _sanitize(name: str) -> str:
+    """Coerce an internal metric name to the Prometheus grammar."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not _NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: Union[int, float, None]) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus(
+    snapshot: Dict[str, Dict[str, Any]], prefix: str = "repro_"
+) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Counters become ``<prefix><name>_total``, gauges keep their name,
+    histograms expand to the standard cumulative ``_bucket``/``_sum``/
+    ``_count`` series.  Families are sorted by name so the output is
+    deterministic for a given snapshot.
+    """
+    lines: List[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _sanitize(prefix + name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(snapshot['counters'][name])}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _sanitize(prefix + name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snapshot['gauges'][name])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        snap = snapshot["histograms"][name]
+        metric = _sanitize(prefix + name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        bounds = list(snap.get("bounds", []))
+        counts = list(snap.get("bucket_counts", []))
+        for bound, count in zip(bounds, counts):
+            cumulative += int(count)
+            lines.append(f'{metric}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {int(snap.get("count", 0))}')
+        lines.append(f"{metric}_sum {_fmt(float(snap.get('sum', 0.0)))}")
+        lines.append(f"{metric}_count {int(snap.get('count', 0))}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def prometheus_problems(text: str) -> List[str]:
+    """Grammar problems with a text-exposition payload ([] when valid).
+
+    Checks each line against the exposition line grammar: comments must
+    be ``# TYPE``/``# HELP``, samples must be
+    ``name[{labels}] value`` with well-formed names, labels, and numeric
+    values, and ``_bucket`` series must be cumulative (non-decreasing)
+    and end with ``le="+Inf"``.
+    """
+    problems: List[str] = []
+    bucket_last: Dict[str, float] = {}
+    bucket_has_inf: Dict[str, bool] = {}
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+                problems.append(f"line {i}: malformed comment")
+            elif not _NAME_RE.match(parts[2]):
+                problems.append(f"line {i}: bad metric name in comment")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {i}: not a valid sample line")
+            continue
+        labels = match.group("labels")
+        if labels:
+            for pair in labels.split(","):
+                if not _LABEL_RE.match(pair.strip()):
+                    problems.append(f"line {i}: bad label pair {pair.strip()!r}")
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            problems.append(f"line {i}: non-numeric value {raw_value!r}")
+            continue
+        name = match.group("name")
+        if name.endswith("_bucket") and labels and labels.startswith('le="'):
+            prev = bucket_last.get(name)
+            if prev is not None and value == value and value < prev:
+                problems.append(f"line {i}: bucket series {name} not cumulative")
+            bucket_last[name] = value if value == value else prev or 0.0
+            if 'le="+Inf"' in labels:
+                bucket_has_inf[name] = True
+    for name in bucket_last:
+        if name not in bucket_has_inf:
+            problems.append(f"bucket series {name} missing +Inf bucket")
+    return problems
+
+
+def _span_duration_us(span: Dict[str, Any]) -> float:
+    """A span's synthetic duration: its inclusive time, stretched if
+    needed to contain the sum of its children (defensive — inclusive
+    should already dominate)."""
+    inclusive = float(span.get("inclusive_s", 0.0)) * 1e6
+    children_total = sum(_span_duration_us(c) for c in span.get("children", ()))
+    return max(inclusive, children_total)
+
+
+def _emit_span(
+    span: Dict[str, Any],
+    start_us: float,
+    out: List[Dict[str, Any]],
+    pid: int,
+    tid: int,
+) -> float:
+    duration = _span_duration_us(span)
+    out.append(
+        {
+            "name": str(span.get("name", "?")),
+            "ph": "X",
+            "ts": round(start_us, 3),
+            "dur": round(duration, 3),
+            "pid": pid,
+            "tid": tid,
+            "args": dict(span.get("attrs", {})),
+        }
+    )
+    cursor = start_us
+    for child in span.get("children", ()):
+        cursor += _emit_span(child, cursor, out, pid, tid)
+    return duration
+
+
+def to_chrome_trace(
+    trace: Union[Tracer, Sequence[Dict[str, Any]]],
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """Render a trace as a Chrome trace-event JSON document.
+
+    Accepts either a :class:`Tracer` or a list of span dicts (the
+    ``to_dicts()`` form, as stored in telemetry payloads).  Returns the
+    JSON-object envelope (``{"traceEvents": [...]}``) — dump it with
+    ``json.dump`` and load it in Perfetto or ``chrome://tracing``.
+    """
+    roots: Sequence[Dict[str, Any]]
+    if isinstance(trace, Tracer):
+        roots = trace.to_dicts()
+    else:
+        roots = list(trace)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    cursor = 0.0
+    for root in roots:
+        cursor += _emit_span(root, cursor, events, pid=1, tid=1)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_problems(doc: Any) -> List[str]:
+    """Structural problems with a Chrome trace document ([] when valid).
+
+    Verifies the envelope, per-event required fields, and that complete
+    ("X") events on each thread nest properly: any two spans are either
+    disjoint or one contains the other.
+    """
+    problems: List[str] = []
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except ValueError:
+            return ["document is not valid JSON"]
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document is not an object with a traceEvents list"]
+
+    intervals: Dict[Any, List[tuple]] = {}
+    for i, event in enumerate(doc["traceEvents"]):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(event.get("name"), str):
+            problems.append(f"event {i}: missing name")
+        if ph not in ("X", "M", "B", "E", "i"):
+            problems.append(f"event {i}: unsupported phase {ph!r}")
+            continue
+        if ph != "X":
+            continue
+        for key in ("ts", "dur", "pid", "tid"):
+            if not isinstance(event.get(key), (int, float)):
+                problems.append(f"event {i}: missing numeric {key}")
+                break
+        else:
+            if event["dur"] < 0:
+                problems.append(f"event {i}: negative duration")
+            else:
+                intervals.setdefault((event["pid"], event["tid"]), []).append(
+                    (float(event["ts"]), float(event["ts"]) + float(event["dur"]), i)
+                )
+
+    eps = 1e-6
+    for key, spans in intervals.items():
+        for a_start, a_end, a_i in spans:
+            for b_start, b_end, b_i in spans:
+                if a_i >= b_i:
+                    continue
+                disjoint = a_end <= b_start + eps or b_end <= a_start + eps
+                a_in_b = a_start >= b_start - eps and a_end <= b_end + eps
+                b_in_a = b_start >= a_start - eps and b_end <= a_end + eps
+                if not (disjoint or a_in_b or b_in_a):
+                    problems.append(
+                        f"events {a_i} and {b_i} overlap without nesting "
+                        f"on thread {key}"
+                    )
+    return problems

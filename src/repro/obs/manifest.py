@@ -24,12 +24,17 @@ Schema sketch (``schema_version`` 1)::
       "quarantine": [ {"stage", "reason", "count",
                        "repaired", "examples": [...]}, ... ],
       "degradation": {"degraded": bool, "quarantined_total": int,
-                      "stages": {...}, "confidence": {...}}
+                      "stages": {...}, "confidence": {...}},
+      # optional, added by the telemetry layer (absent on older runs):
+      "slo": {"kind": "slo-report", "verdict": "pass"|"warn"|"breach",
+              "objectives": [ {"name", "value", "warn",
+                               "breach", "verdict"}, ... ]}
     }
 
-The ``quarantine`` and ``degradation`` sections are *optional*: a
-manifest without them (every pre-resilience run) still validates, and a
-manifest with them explicitly ``null`` means resilience was off.
+The ``quarantine``, ``degradation`` and ``slo`` sections are *optional*:
+a manifest without them (every pre-resilience / pre-telemetry run) still
+validates, and a manifest with them explicitly ``null`` means the
+corresponding layer was off.
 """
 
 from __future__ import annotations
@@ -108,6 +113,9 @@ class RunManifest:
     quarantine: Optional[List[Dict[str, Any]]] = None
     #: Degradation report dump; ``None`` when the layer is off.
     degradation: Optional[Dict[str, Any]] = None
+    #: Serialized SLO report (see :mod:`repro.obs.slo`); ``None`` when no
+    #: SLO spec was evaluated (the key is then omitted).
+    slo: Optional[Dict[str, Any]] = None
     generator: str = "repro-anycast"
     schema_version: int = SCHEMA_VERSION
     #: Wall-clock creation time.  Lives only here — never in results.
@@ -122,6 +130,7 @@ class RunManifest:
         health: Iterable[Any] = (),
         quarantine: Any = None,
         degradation: Any = None,
+        slo: Any = None,
     ) -> "RunManifest":
         """Assemble a manifest from live pipeline objects.
 
@@ -148,6 +157,8 @@ class RunManifest:
             quarantine = quarantine.to_dicts()
         if degradation is not None and hasattr(degradation, "to_dict"):
             degradation = degradation.to_dict()
+        if slo is not None and hasattr(slo, "to_doc"):
+            slo = slo.to_doc()
         return cls(
             config=_to_jsonable(config) if config is not None else {},
             trace=trace,
@@ -156,6 +167,7 @@ class RunManifest:
             pipeline_stages=stages,
             quarantine=quarantine,
             degradation=degradation,
+            slo=slo,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -175,6 +187,8 @@ class RunManifest:
             doc["quarantine"] = list(self.quarantine)
         if self.degradation is not None:
             doc["degradation"] = dict(self.degradation)
+        if self.slo is not None:
+            doc["slo"] = dict(self.slo)
         return doc
 
     def to_json(self, indent: int = 2) -> str:
@@ -257,6 +271,11 @@ def manifest_problems(doc: Any) -> List[str]:
             for i, span in enumerate(trace):
                 _span_problems(span, f"trace[{i}]", problems)
     _resilience_problems(doc, problems)
+    slo = doc.get("slo")
+    if slo is not None:
+        from .slo import slo_report_problems
+
+        problems.extend(f"slo: {p}" for p in slo_report_problems(slo))
     return problems
 
 

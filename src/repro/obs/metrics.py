@@ -37,6 +37,10 @@ class Counter:
             raise ValueError("counters only go up")
         self.value += amount
 
+    def merge(self, value: Union[int, float]) -> None:
+        """Fold another counter's snapshot value into this one (adds)."""
+        self.inc(value)
+
     def snapshot(self) -> Union[int, float]:
         return self.value
 
@@ -52,6 +56,11 @@ class Gauge:
 
     def set(self, value: Union[int, float]) -> None:
         self.value = value
+
+    def merge(self, value: Optional[Union[int, float]]) -> None:
+        """Fold another gauge's snapshot into this one (last write wins)."""
+        if value is not None:
+            self.set(value)
 
     def snapshot(self) -> Optional[Union[int, float]]:
         return self.value
@@ -98,6 +107,59 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) by linear
+        interpolation within the bucket holding that rank.
+
+        The estimate is clamped to the observed ``[min, max]`` range, so
+        degenerate distributions (all values equal) report exact
+        percentiles; ranks that land in the overflow bucket report
+        ``max``.  Deterministic: a pure function of the bucket counts.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("percentile q must be in [0, 1]")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            in_bucket = self.bucket_counts[i]
+            if in_bucket and cumulative + in_bucket >= rank:
+                lower = self.bounds[i - 1] if i > 0 else min(self.min, bound)
+                fraction = (rank - cumulative) / in_bucket
+                estimate = lower + (bound - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += in_bucket
+        return self.max  # rank falls in the overflow bucket
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Bucket bounds must match exactly (snapshots are only structurally
+        comparable across identical ladders); counts add bucket-wise and
+        min/max combine, so merging worker snapshots in any order yields
+        the same totals a serial run would have observed.
+        """
+        bounds = tuple(float(b) for b in snap.get("bounds", ()))
+        if bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{bounds} vs {self.bounds}"
+            )
+        counts = snap.get("bucket_counts", ())
+        if len(counts) != len(self.bucket_counts):
+            raise ValueError("bucket_counts length does not match bounds")
+        for i, c in enumerate(counts):
+            self.bucket_counts[i] += int(c)
+        self.count += int(snap.get("count", 0))
+        self.total += float(snap.get("sum", 0.0))
+        for other in (snap.get("min"),):
+            if other is not None:
+                self.min = other if self.min is None else min(self.min, other)
+        for other in (snap.get("max"),):
+            if other is not None:
+                self.max = other if self.max is None else max(self.max, other)
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -105,6 +167,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
             "bounds": list(self.bounds),
             "bucket_counts": list(self.bucket_counts),
         }
@@ -150,6 +215,20 @@ class MetricsRegistry:
     def reset(self) -> None:
         self._instruments.clear()
 
+    def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. shipped back from a worker
+        process) into this registry: counters add, histograms merge
+        bucket-wise, gauges take the snapshot's value (last write wins).
+        Instruments absent here are created on the fly, so a parent can
+        merge snapshots containing metrics it never touched itself.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).merge(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).merge(value)
+        for name, snap in snapshot.get("histograms", {}).items():
+            self.histogram(name, buckets=snap["bounds"]).merge(snap)
+
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Plain-dict snapshot: ``{"counters": {...}, "gauges": {...},
         "histograms": {...}}`` with names sorted for stable output."""
@@ -181,6 +260,12 @@ class _NullInstrument:
     def observe(self, value: Union[int, float]) -> None:
         pass
 
+    def merge(self, value: Any) -> None:
+        pass
+
+    def percentile(self, q: float) -> None:
+        return None
+
     def snapshot(self) -> Dict[str, Any]:
         return {}
 
@@ -211,6 +296,9 @@ class NullMetricsRegistry:
         return False
 
     def reset(self) -> None:
+        pass
+
+    def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
         pass
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:

@@ -1,0 +1,290 @@
+"""Declarative SLOs: latency and error budgets evaluated per epoch.
+
+An operated census needs more than raw telemetry — it needs a verdict.
+:class:`SloSpec` declares budgets (a ``warn`` threshold and a larger
+``breach`` threshold per objective) over per-stage wall-clock durations
+and over error fractions the metrics registry already tracks
+(VP-scan failure rate, quarantine fraction, degraded-target fraction).
+:func:`evaluate_slo` folds a trace + metrics snapshot into a
+schema-validated :class:`SloReport` whose objectives each carry a
+``pass`` / ``warn`` / ``breach`` verdict; the report's overall verdict
+is the worst of its objectives.
+
+Objectives with no data (stage never ran, counter never incremented)
+verdict ``pass`` — an SLO cannot be breached by silence; fsck-level
+integrity problems are the archive's job, not the SLO's.
+
+Wall-clock stage durations are the sanctioned nondeterminism: they live
+only in telemetry sidecars and SLO reports, never in census bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .trace import Tracer
+
+#: Verdicts, in increasing severity (list order is the comparison order).
+VERDICTS = ("pass", "warn", "breach")
+
+#: ``kind`` tag carried by serialized reports.
+SLO_REPORT_KIND = "slo-report"
+
+
+@dataclass(frozen=True)
+class Budget:
+    """A warn/breach threshold pair (both inclusive upper bounds)."""
+
+    warn: float
+    breach: float
+
+    def __post_init__(self) -> None:
+        if self.warn < 0 or self.breach < 0:
+            raise ValueError("budget thresholds must be non-negative")
+        if self.warn > self.breach:
+            raise ValueError("warn threshold must not exceed breach threshold")
+
+    def verdict(self, value: Optional[float]) -> str:
+        if value is None:
+            return "pass"
+        if value <= self.warn:
+            return "pass"
+        if value <= self.breach:
+            return "warn"
+        return "breach"
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Declarative budget set for one epoch.
+
+    ``stage_seconds`` maps span names (as produced by the tracer — e.g.
+    ``census``, ``analysis``) to wall-clock budgets; the error-budget
+    fields bound fractions in ``[0, 1]``.  Any field left ``None`` (or
+    any stage not listed) is simply not evaluated.
+    """
+
+    stage_seconds: Mapping[str, Budget] = field(default_factory=dict)
+    probe_failure_rate: Optional[Budget] = None
+    quarantine_fraction: Optional[Budget] = None
+    degraded_target_fraction: Optional[Budget] = None
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One evaluated objective: the measured value against its budget."""
+
+    name: str
+    value: Optional[float]
+    warn: float
+    breach: float
+    verdict: str
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "value": None if self.value is None else round(float(self.value), 6),
+            "warn": float(self.warn),
+            "breach": float(self.breach),
+            "verdict": self.verdict,
+        }
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """All objectives for one epoch plus the overall (worst) verdict."""
+
+    objectives: Sequence[Objective]
+    verdict: str
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "kind": SLO_REPORT_KIND,
+            "verdict": self.verdict,
+            "objectives": [o.to_doc() for o in self.objectives],
+        }
+
+
+def _worst(verdicts: Sequence[str]) -> str:
+    worst = "pass"
+    for verdict in verdicts:
+        if VERDICTS.index(verdict) > VERDICTS.index(worst):
+            worst = verdict
+    return worst
+
+
+def stage_seconds_from_trace(
+    trace: Union[Tracer, Sequence[Dict[str, Any]], None],
+) -> Dict[str, float]:
+    """Total inclusive wall-clock seconds per span name, summed over all
+    occurrences anywhere in the span forest."""
+    if trace is None:
+        return {}
+    roots = trace.to_dicts() if isinstance(trace, Tracer) else list(trace)
+    totals: Dict[str, float] = {}
+
+    def walk(span: Dict[str, Any]) -> None:
+        name = str(span.get("name", "?"))
+        totals[name] = totals.get(name, 0.0) + float(span.get("inclusive_s", 0.0))
+        for child in span.get("children", ()):
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return totals
+
+
+def _counter(snapshot: Mapping[str, Any], name: str) -> float:
+    return float(snapshot.get("counters", {}).get(name, 0) or 0)
+
+
+def _gauge(snapshot: Mapping[str, Any], name: str) -> Optional[float]:
+    value = snapshot.get("gauges", {}).get(name)
+    return None if value is None else float(value)
+
+
+def evaluate_slo(
+    spec: SloSpec,
+    stage_seconds: Optional[Mapping[str, float]] = None,
+    metrics_snapshot: Optional[Mapping[str, Any]] = None,
+    observations: Optional[Mapping[str, Optional[float]]] = None,
+) -> SloReport:
+    """Evaluate ``spec`` against one epoch's evidence.
+
+    Parameters
+    ----------
+    stage_seconds:
+        Wall-clock seconds per stage (see :func:`stage_seconds_from_trace`).
+    metrics_snapshot:
+        A registry snapshot; supplies the standard error fractions —
+        VP-scan failure rate from ``vps_ok``/``vps_failed``/
+        ``vps_salvaged`` counters, quarantine fraction from the
+        ``vps_quarantined`` gauge over ``observations["n_vps"]``.
+    observations:
+        Explicit overrides and extra denominators.  Recognized keys:
+        any objective name (overrides the derived value) and ``n_vps``
+        (quarantine-fraction denominator).  A key set to ``None`` forces
+        "no data".
+    """
+    stage_seconds = dict(stage_seconds or {})
+    snapshot = metrics_snapshot or {}
+    observations = dict(observations or {})
+    objectives: List[Objective] = []
+
+    def add(name: str, budget: Optional[Budget], value: Optional[float]) -> None:
+        if budget is None:
+            return
+        if name in observations:
+            value = observations[name]
+        verdict = budget.verdict(value)
+        objectives.append(
+            Objective(
+                name=name,
+                value=value,
+                warn=budget.warn,
+                breach=budget.breach,
+                verdict=verdict,
+            )
+        )
+
+    for stage in sorted(spec.stage_seconds):
+        add(
+            f"stage_seconds:{stage}",
+            spec.stage_seconds[stage],
+            stage_seconds.get(stage),
+        )
+
+    scans_ok = _counter(snapshot, "vps_ok")
+    scans_failed = _counter(snapshot, "vps_failed")
+    scans_salvaged = _counter(snapshot, "vps_salvaged")
+    scans_total = scans_ok + scans_failed + scans_salvaged
+    failure_rate = scans_failed / scans_total if scans_total else None
+    add("probe_failure_rate", spec.probe_failure_rate, failure_rate)
+
+    quarantined = _gauge(snapshot, "vps_quarantined")
+    n_vps = observations.pop("n_vps", None)
+    if quarantined is not None and n_vps:
+        quarantine_fraction: Optional[float] = quarantined / float(n_vps)
+    else:
+        quarantine_fraction = None
+    add("quarantine_fraction", spec.quarantine_fraction, quarantine_fraction)
+
+    add(
+        "degraded_target_fraction",
+        spec.degraded_target_fraction,
+        None,  # supplied via observations when the caller computed it
+    )
+
+    return SloReport(
+        objectives=tuple(objectives),
+        verdict=_worst([o.verdict for o in objectives]),
+    )
+
+
+def default_service_slo() -> SloSpec:
+    """A permissive default for the longitudinal service: generous
+    wall-clock budgets (simulated censuses run in seconds) and the error
+    fractions the paper's operation would watch."""
+    return SloSpec(
+        stage_seconds={
+            "census": Budget(warn=120.0, breach=600.0),
+            "analysis": Budget(warn=120.0, breach=600.0),
+        },
+        probe_failure_rate=Budget(warn=0.10, breach=0.50),
+        quarantine_fraction=Budget(warn=0.25, breach=0.50),
+        degraded_target_fraction=Budget(warn=0.20, breach=0.50),
+    )
+
+
+def slo_report_problems(doc: Any) -> List[str]:
+    """Schema problems with a serialized SLO report ([] when valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["slo report is not an object"]
+    if doc.get("kind") != SLO_REPORT_KIND:
+        problems.append(f"kind is not {SLO_REPORT_KIND!r}")
+    if doc.get("verdict") not in VERDICTS:
+        problems.append("verdict is not one of pass/warn/breach")
+    objectives = doc.get("objectives")
+    if not isinstance(objectives, list):
+        problems.append("objectives is not a list")
+        return problems
+    worst = "pass"
+    for i, obj in enumerate(objectives):
+        if not isinstance(obj, dict):
+            problems.append(f"objective {i}: not an object")
+            continue
+        if not isinstance(obj.get("name"), str) or not obj.get("name"):
+            problems.append(f"objective {i}: missing name")
+        value = obj.get("value")
+        if value is not None and not isinstance(value, (int, float)):
+            problems.append(f"objective {i}: value is not a number or null")
+        for key in ("warn", "breach"):
+            if not isinstance(obj.get(key), (int, float)):
+                problems.append(f"objective {i}: {key} is not a number")
+        if (
+            isinstance(obj.get("warn"), (int, float))
+            and isinstance(obj.get("breach"), (int, float))
+            and obj["warn"] > obj["breach"]
+        ):
+            problems.append(f"objective {i}: warn exceeds breach")
+        verdict = obj.get("verdict")
+        if verdict not in VERDICTS:
+            problems.append(f"objective {i}: bad verdict {verdict!r}")
+        else:
+            if VERDICTS.index(verdict) > VERDICTS.index(worst):
+                worst = verdict
+    if doc.get("verdict") in VERDICTS and doc.get("verdict") != worst:
+        problems.append(
+            f"overall verdict {doc.get('verdict')!r} is not the worst "
+            f"objective verdict {worst!r}"
+        )
+    return problems
+
+
+def validate_slo_report(doc: Any) -> None:
+    """Raise ``ValueError`` listing every schema problem, if any."""
+    problems = slo_report_problems(doc)
+    if problems:
+        raise ValueError("invalid SLO report: " + "; ".join(problems))

@@ -1,0 +1,275 @@
+"""Longitudinal health engine over an archived census timeline.
+
+The archive (PR 6) stores every epoch's manifest and — when the service
+runs with telemetry — a ``telemetry.json`` sidecar.  This module folds
+those into per-metric time series (:func:`collect_timeline`) and flags
+day-over-day regressions with a rolling median/MAD sentinel
+(:func:`detect_regressions`): a point is flagged when it exceeds the
+rolling median of its recent history by more than ``k`` robust scale
+units.  Median/MAD (rather than mean/stddev) keeps a single historical
+outlier from inflating the baseline — the standard robust detector for
+operational time series.
+
+Regression direction is one-sided: only *increases* are flagged, since
+every tracked metric is a "higher is worse" signal (stage seconds, scan
+hours, churn, failure rates).  Count metrics (``n_anycast`` …) are
+tracked in the timeline for dashboards but not fed to the detector —
+deployment growth is the object of study, not an operational fault.
+
+Runs without telemetry (older epochs, telemetry disabled) simply
+contribute no points to telemetry-derived series; the manifest-derived
+series still cover them, which is the catch-up tolerance the service
+needs when mixing old and new runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Series whose regressions would be meaningless (they measure the
+#: *world*, not the service) — excluded from the detector by default.
+DESCRIPTIVE_SERIES = ("n_targets", "n_anycast", "total_replicas")
+
+#: Series measured in wall-clock time.  Real machines are noisy (CI
+#: runners especially), so these get a much larger relative floor on the
+#: robust scale before a jump counts as a regression.
+WALL_CLOCK_PREFIXES = ("stage_seconds:",)
+
+#: Relative floor on the robust scale for deterministic series...
+DEFAULT_FLOOR_FRAC = 0.05
+#: ...and for wall-clock series.
+WALL_CLOCK_FLOOR_FRAC = 0.5
+#: Absolute floor (seconds) on the robust scale for wall-clock series: a
+#: stage that takes tens of milliseconds can triple on a shared machine
+#: without meaning anything; deltas below ~a second are never actionable.
+WALL_CLOCK_ABS_FLOOR_S = 1.0
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One flagged point: ``value`` jumped ``score`` robust-scale units
+    above the rolling ``median`` of its history."""
+
+    metric: str
+    epoch: int
+    value: float
+    median: float
+    scale: float
+    score: float
+
+    def describe(self) -> str:
+        return (
+            f"epoch {self.epoch}: {self.metric} = {self.value:.4g} "
+            f"(rolling median {self.median:.4g}, {self.score:.1f}x scale)"
+        )
+
+
+@dataclass
+class Timeline:
+    """Per-metric series over the archive's committed epochs."""
+
+    epochs: List[int]
+    #: metric name -> [(epoch, value), ...] sorted by epoch; epochs with
+    #: no data for a metric are simply absent from its series.
+    series: Dict[str, List[Tuple[int, float]]]
+    #: epoch -> SLO verdict, for epochs that archived an SLO report.
+    verdicts: Dict[int, str]
+
+    def metric(self, name: str) -> List[Tuple[int, float]]:
+        return self.series.get(name, [])
+
+
+def _add(
+    series: Dict[str, List[Tuple[int, float]]],
+    name: str,
+    epoch: int,
+    value: Any,
+) -> None:
+    if value is None:
+        return
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return
+    if v != v:
+        return
+    series.setdefault(name, []).append((epoch, v))
+
+
+def _histogram_mean(snapshot: Mapping[str, Any], name: str) -> Optional[float]:
+    snap = snapshot.get("histograms", {}).get(name)
+    if not snap or not snap.get("count"):
+        return None
+    return float(snap["sum"]) / float(snap["count"])
+
+
+def _failure_rate(snapshot: Mapping[str, Any]) -> Optional[float]:
+    counters = snapshot.get("counters", {})
+    ok = float(counters.get("vps_ok", 0) or 0)
+    failed = float(counters.get("vps_failed", 0) or 0)
+    salvaged = float(counters.get("vps_salvaged", 0) or 0)
+    total = ok + failed + salvaged
+    return failed / total if total else None
+
+
+def collect_timeline(archive, epochs: Optional[Sequence[int]] = None) -> Timeline:
+    """Fold archived manifests + telemetry sidecars into a timeline.
+
+    ``archive`` is a :class:`~repro.service.archive.CensusArchive`.
+    Epochs whose manifest or telemetry is unreadable are skipped
+    (fsck's job, not the timeline's); telemetry-less runs contribute
+    only manifest-derived series.
+    """
+    from ..measurement.recordio import CorruptPayloadError
+
+    wanted = sorted(epochs) if epochs is not None else archive.epochs()
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    verdicts: Dict[int, str] = {}
+    seen: List[int] = []
+    for epoch in wanted:
+        try:
+            manifest = archive.read_manifest(epoch)
+        except (CorruptPayloadError, ValueError):
+            continue
+        seen.append(epoch)
+        counts = manifest.get("counts", {})
+        _add(series, "n_targets", epoch, counts.get("n_targets"))
+        _add(series, "n_anycast", epoch, counts.get("n_anycast"))
+        _add(series, "total_replicas", epoch, counts.get("total_replicas"))
+        _add(
+            series,
+            "churn_fraction",
+            epoch,
+            manifest.get("analysis", {}).get("churn_fraction"),
+        )
+        slo_doc = manifest.get("slo")
+        if isinstance(slo_doc, dict) and isinstance(slo_doc.get("verdict"), str):
+            verdicts[epoch] = slo_doc["verdict"]
+
+        try:
+            telemetry = archive.read_telemetry(epoch)
+        except CorruptPayloadError:
+            telemetry = None
+        if telemetry is None:
+            continue
+        for stage, seconds in sorted(telemetry.get("stages", {}).items()):
+            _add(series, f"stage_seconds:{stage}", epoch, seconds)
+        snapshot = telemetry.get("metrics", {})
+        _add(
+            series,
+            "vp_scan_hours_mean",
+            epoch,
+            _histogram_mean(snapshot, "vp_scan_duration_hours"),
+        )
+        _add(series, "probe_failure_rate", epoch, _failure_rate(snapshot))
+        slo_doc = telemetry.get("slo")
+        if isinstance(slo_doc, dict) and isinstance(slo_doc.get("verdict"), str):
+            verdicts[epoch] = slo_doc["verdict"]
+    return Timeline(epochs=seen, series=series, verdicts=verdicts)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def detect_regressions(
+    timeline_or_series,
+    k: float = 4.0,
+    min_history: int = 3,
+    window: int = 8,
+    floor_frac: float = DEFAULT_FLOOR_FRAC,
+    include: Optional[Sequence[str]] = None,
+) -> List[Regression]:
+    """Flag points that jump above their rolling median by > ``k`` robust
+    scale units.
+
+    For each point with at least ``min_history`` earlier points, the
+    history is the up-to-``window`` most recent prior values; the scale
+    is ``max(MAD, floor_frac * |median|, epsilon)`` — the floor keeps a
+    near-constant history (MAD 0) from flagging trivial jitter, and
+    wall-clock series get :data:`WALL_CLOCK_FLOOR_FRAC` plus an absolute
+    :data:`WALL_CLOCK_ABS_FLOOR_S` floor instead, so noisy CI machines
+    and millisecond-scale stages don't fire the sentinel.  Only
+    increases are flagged.
+
+    ``include`` restricts detection to the named series; by default every
+    series except :data:`DESCRIPTIVE_SERIES` is scanned.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if min_history < 1:
+        raise ValueError("min_history must be >= 1")
+    series: Dict[str, List[Tuple[int, float]]]
+    if isinstance(timeline_or_series, Timeline):
+        series = timeline_or_series.series
+    else:
+        series = dict(timeline_or_series)
+
+    regressions: List[Regression] = []
+    for name in sorted(series):
+        if include is not None:
+            if name not in include:
+                continue
+        elif name in DESCRIPTIVE_SERIES:
+            continue
+        frac = floor_frac
+        abs_floor = 1e-9
+        if any(name.startswith(p) for p in WALL_CLOCK_PREFIXES):
+            frac = max(frac, WALL_CLOCK_FLOOR_FRAC)
+            abs_floor = WALL_CLOCK_ABS_FLOOR_S
+        points = sorted(series[name])
+        for i in range(min_history, len(points)):
+            history = [v for _, v in points[max(0, i - window) : i]]
+            epoch, value = points[i]
+            median = _median(history)
+            mad = _median([abs(v - median) for v in history])
+            scale = max(mad, frac * abs(median), abs_floor)
+            deviation = value - median
+            if deviation > k * scale:
+                regressions.append(
+                    Regression(
+                        metric=name,
+                        epoch=epoch,
+                        value=value,
+                        median=median,
+                        scale=scale,
+                        score=deviation / scale,
+                    )
+                )
+    return regressions
+
+
+def render_timeline(
+    timeline: Timeline, regressions: Sequence[Regression] = ()
+) -> List[str]:
+    """Human-readable timeline summary for the CLI."""
+    lines = [f"epochs: {len(timeline.epochs)}"]
+    flagged = {(r.metric, r.epoch) for r in regressions}
+    for name in sorted(timeline.series):
+        points = timeline.series[name]
+        values = [v for _, v in points]
+        lines.append(
+            f"  {name}: n={len(points)} "
+            f"min={min(values):.4g} median={_median(values):.4g} "
+            f"max={max(values):.4g}"
+            + (
+                " [REGRESSION]"
+                if any((name, e) in flagged for e, _ in points)
+                else ""
+            )
+        )
+    if timeline.verdicts:
+        worst = {}
+        for epoch in sorted(timeline.verdicts):
+            worst[timeline.verdicts[epoch]] = worst.get(timeline.verdicts[epoch], 0) + 1
+        verdict_summary = ", ".join(f"{k}={v}" for k, v in sorted(worst.items()))
+        lines.append(f"  slo verdicts: {verdict_summary}")
+    for regression in regressions:
+        lines.append("  ! " + regression.describe())
+    return lines

@@ -62,6 +62,15 @@ RECORDS_FILE = "records.bin"
 RESULTS_FILE = "results.json"
 PAYLOAD_FILES = (RECORDS_FILE, RESULTS_FILE)
 
+#: Optional telemetry sidecars, committed in the same atomic rename but
+#: *not* sealed in the manifest: the census payloads stay byte-identical
+#: whether telemetry is on or off, and fsck treats a rotten sidecar as
+#: repairable (quarantine the sidecar, keep the run).
+TELEMETRY_FILE = "telemetry.json"
+EVENTS_FILE = "events.jsonl"
+TELEMETRY_FILES = (TELEMETRY_FILE, EVENTS_FILE)
+TELEMETRY_KIND = "census-telemetry"
+
 _RUN_DIR_RE = re.compile(r"^day-(\d{6})$")
 _STAGING_PREFIX = "."
 
@@ -162,6 +171,50 @@ def validate_run_manifest(doc: Any) -> None:
         raise ValueError(
             "invalid run manifest:\n" + "\n".join(f"  - {p}" for p in problems)
         )
+
+
+def telemetry_problems(doc: Any) -> List[str]:
+    """All schema violations of a parsed telemetry sidecar (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["telemetry is not a JSON object"]
+    if doc.get("kind") != TELEMETRY_KIND:
+        problems.append(f"kind is {doc.get('kind')!r}, expected {TELEMETRY_KIND!r}")
+    if not (isinstance(doc.get("epoch"), int) and doc["epoch"] >= 0):
+        problems.append("epoch must be an int >= 0")
+    stages = doc.get("stages")
+    if not isinstance(stages, dict) or not all(
+        isinstance(k, str) and isinstance(v, (int, float))
+        for k, v in (stages or {}).items()
+    ):
+        problems.append("stages must map stage names to numbers")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    else:
+        for family in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(family), dict):
+                problems.append(f"metrics.{family} must be an object")
+    trace = doc.get("trace", None)
+    if trace is not None and not isinstance(trace, list):
+        problems.append("trace must be null or a list of spans")
+    slo = doc.get("slo", None)
+    if slo is not None:
+        from ..obs.slo import slo_report_problems
+
+        problems.extend(f"slo: {p}" for p in slo_report_problems(slo))
+    events = doc.get("events", None)
+    if events is not None:
+        if not (
+            isinstance(events, dict)
+            and isinstance(events.get("lines"), int)
+            and events["lines"] >= 0
+            and isinstance(events.get("bytes"), int)
+            and events["bytes"] >= 0
+            and isinstance(events.get("crc32"), int)
+        ):
+            problems.append("events must be null or carry lines/bytes/crc32")
+    return problems
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +334,61 @@ class CensusArchive:
             )
         return json.loads(data.decode("utf-8"))
 
+    def read_telemetry(self, epoch: int) -> Optional[Dict[str, Any]]:
+        """Load one run's telemetry sidecar, or ``None`` when the run has
+        none (telemetry was off, or fsck quarantined a rotten sidecar).
+
+        Raises :class:`CorruptPayloadError` when a sidecar is present but
+        unreadable, schema-invalid, or its events seal does not match the
+        on-disk events file — the condition fsck repairs by quarantining
+        the sidecar while keeping the run.
+        """
+        run = self.run_dir(epoch)
+        path = run / TELEMETRY_FILE
+        if not path.exists():
+            if (run / EVENTS_FILE).exists():
+                raise CorruptPayloadError(
+                    f"epoch {epoch} has an orphan events file without its "
+                    f"telemetry document"
+                )
+            return None
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise CorruptPayloadError(
+                f"unreadable telemetry for epoch {epoch}: {exc}"
+            ) from exc
+        problems = telemetry_problems(doc)
+        if problems:
+            raise CorruptPayloadError(
+                f"invalid telemetry for epoch {epoch}: " + "; ".join(problems)
+            )
+        if doc["epoch"] != epoch:
+            raise CorruptPayloadError(
+                f"telemetry in {run.name} claims epoch {doc['epoch']}"
+            )
+        seal = doc.get("events")
+        events_path = run / EVENTS_FILE
+        if seal is None:
+            if events_path.exists():
+                raise CorruptPayloadError(
+                    f"epoch {epoch} has an events file but no events seal"
+                )
+        else:
+            try:
+                data = events_path.read_bytes()
+            except OSError as exc:
+                raise CorruptPayloadError(
+                    f"unreadable events for epoch {epoch}: {exc}"
+                ) from exc
+            if len(data) != seal["bytes"] or (
+                zlib.crc32(data) & 0xFFFFFFFF
+            ) != seal["crc32"]:
+                raise CorruptPayloadError(
+                    f"events payload for epoch {epoch} does not match its seal"
+                )
+        return doc
+
     # -- committing ----------------------------------------------------
 
     def commit_run(
@@ -289,11 +397,21 @@ class CensusArchive:
         manifest_core: Dict[str, Any],
         records: CensusRecords,
         results_doc: Dict[str, Any],
+        telemetry_doc: Optional[Dict[str, Any]] = None,
+        events_lines: Optional[List[str]] = None,
     ) -> Dict[str, Any]:
         """Atomically commit one epoch's run; return the full manifest.
 
         ``manifest_core`` is everything but ``payloads`` (filled here
         from the serialized bytes) — the caller never has to guess CRCs.
+
+        ``telemetry_doc``/``events_lines`` are the optional telemetry
+        sidecars.  They ride in the same staging directory and atomic
+        rename — a committed run can never hold a torn events file — but
+        are deliberately left out of the manifest's ``payloads`` seals,
+        so the manifest/records/results bytes are identical whether
+        telemetry is on or off.  The events file's own size/CRC seal is
+        embedded in the telemetry document instead.
         """
         if self.has(epoch):
             raise ArchiveError(f"epoch {epoch} is already committed")
@@ -328,6 +446,30 @@ class CensusArchive:
         self._write_file(staging / RECORDS_FILE, records_bytes)
         self._write_file(staging / RESULTS_FILE, results_bytes)
         self._write_file(staging / MANIFEST_FILE, canonical_json_bytes(manifest))
+        if telemetry_doc is not None:
+            telemetry = dict(telemetry_doc)
+            telemetry["kind"] = TELEMETRY_KIND
+            telemetry["epoch"] = epoch
+            events_bytes = "".join(events_lines or []).encode("utf-8")
+            telemetry["events"] = (
+                {
+                    "lines": len(events_lines),
+                    "bytes": len(events_bytes),
+                    "crc32": zlib.crc32(events_bytes) & 0xFFFFFFFF,
+                }
+                if events_lines is not None
+                else None
+            )
+            problems = telemetry_problems(telemetry)
+            if problems:
+                raise ArchiveError(
+                    "invalid telemetry document: " + "; ".join(problems)
+                )
+            if events_lines is not None:
+                self._write_file(staging / EVENTS_FILE, events_bytes)
+            self._write_file(
+                staging / TELEMETRY_FILE, canonical_json_bytes(telemetry)
+            )
         self._fire("commit:staged")
         os.replace(staging, final)
         self._fire("commit:renamed")

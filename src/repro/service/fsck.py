@@ -15,6 +15,10 @@ describes exactly those runs":
   epoch as missing (catch-up will re-run it);
 * **foreign entries** in ``runs/`` (names that are not dated runs) are
   quarantined too;
+* **telemetry sidecars** (``telemetry.json``/``events.jsonl``) failing
+  their schema or events seal are *repairable*: only the sidecar files
+  move to quarantine, the run itself is kept — losing a day's telemetry
+  must never cost the day's census;
 * **stale journals** — checkpoint journals of epochs that did commit —
   are removed (the run is durable; the journal is resume state that no
   longer applies).  Journals of *uncommitted* epochs are kept: they are
@@ -46,6 +50,7 @@ from .archive import (
     MANIFEST_FILE,
     RECORDS_FILE,
     RESULTS_FILE,
+    TELEMETRY_FILES,
     CensusArchive,
     parse_run_dirname,
 )
@@ -61,6 +66,9 @@ class FsckReport:
     ok_epochs: List[int] = field(default_factory=list)
     #: (entry name, reason) for everything moved to quarantine.
     quarantined: List[Tuple[str, str]] = field(default_factory=list)
+    #: (run name, reason) for telemetry sidecars quarantined *without*
+    #: touching their (still valid) run — the repairable case.
+    telemetry_quarantined: List[Tuple[str, str]] = field(default_factory=list)
     #: Torn staging directories that were discarded.
     discarded_staging: List[str] = field(default_factory=list)
     #: Stale/foreign journal files that were removed.
@@ -74,6 +82,7 @@ class FsckReport:
         """Whether the archive needed no intervention at all."""
         return not (
             self.quarantined
+            or self.telemetry_quarantined
             or self.discarded_staging
             or self.removed_journals
             or self.index_rebuilt
@@ -87,6 +96,8 @@ class FsckReport:
         ]
         for name, reason in self.quarantined:
             lines.append(f"  quarantined {name}: {reason}")
+        for name, reason in self.telemetry_quarantined:
+            lines.append(f"  quarantined telemetry of {name} (run kept): {reason}")
         for name in self.discarded_staging:
             lines.append(f"  discarded torn commit {name}")
         for name in self.removed_journals:
@@ -127,6 +138,41 @@ def _verify_run(archive: CensusArchive, epoch: int) -> Optional[str]:
     except (OSError, ValueError) as exc:
         return f"{RESULTS_FILE}: not valid JSON ({exc})"
     return None
+
+
+def _verify_telemetry(archive: CensusArchive, epoch: int) -> Optional[str]:
+    """The reason one run's telemetry sidecar is bad, or ``None``.
+
+    A run with no sidecar at all is fine (telemetry was off for that
+    epoch — the catch-up tolerance for mixing old and new runs).
+    """
+    try:
+        archive.read_telemetry(epoch)
+    except CorruptPayloadError as exc:
+        return str(exc)
+    return None
+
+
+def _quarantine_telemetry(archive: CensusArchive, epoch: int, repair: bool) -> None:
+    """Move one run's telemetry sidecars (only) into quarantine.
+
+    The census payloads and manifest stay exactly where they are: a
+    rotten sidecar costs the epoch its telemetry, never its data.
+    """
+    if not repair:
+        return
+    run_dir = archive.run_dir(epoch)
+    archive.quarantine_dir.mkdir(parents=True, exist_ok=True)
+    for name in TELEMETRY_FILES:
+        source = run_dir / name
+        if not source.exists():
+            continue
+        destination = archive.quarantine_dir / f"{run_dir.name}.{name}"
+        k = 0
+        while destination.exists():
+            k += 1
+            destination = archive.quarantine_dir / f"{run_dir.name}.{name}.{k}"
+        shutil.move(str(source), str(destination))
 
 
 def _quarantine(archive: CensusArchive, name: str, repair: bool) -> None:
@@ -175,6 +221,16 @@ def fsck_archive(archive: CensusArchive, repair: bool = True) -> FsckReport:
             report.quarantined.append((name, reason))
             _quarantine(archive, name, repair)
             metrics.counter("fsck_runs_quarantined").inc()
+
+    # 2b. Telemetry sidecars of surviving runs: missing/corrupt telemetry
+    #     is *repairable* — quarantine the sidecar, keep the run.
+    for epoch in list(report.ok_epochs):
+        reason = _verify_telemetry(archive, epoch)
+        if reason is not None:
+            name = archive.run_dir(epoch).name
+            report.telemetry_quarantined.append((name, reason))
+            _quarantine_telemetry(archive, epoch, repair)
+            metrics.counter("fsck_telemetry_quarantined").inc()
 
     # 3. Journals: stale ones (their epoch committed and survived
     #    verification) no longer apply; foreign files are noise.  Both go.

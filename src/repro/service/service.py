@@ -45,9 +45,30 @@ from ..measurement.campaign import (
     CensusCampaign,
     CensusInterrupted,
 )
+from ..measurement.faults import FaultPlan
 from ..measurement.platform import planetlab_platform
 from ..measurement.recordio import CorruptPayloadError
-from ..obs import current_metrics, current_tracer
+from ..obs import (
+    EventLog,
+    MetricsRegistry,
+    Tracer,
+    activate,
+    current_events,
+    current_metrics,
+    current_tracer,
+)
+from ..obs.slo import (
+    SloSpec,
+    default_service_slo,
+    evaluate_slo,
+    stage_seconds_from_trace,
+)
+from ..obs.timeline import (
+    Regression,
+    Timeline,
+    collect_timeline,
+    detect_regressions,
+)
 from ..resilience import ResiliencePolicy, StageFailed, StageSupervisor
 from .archive import CensusArchive
 from .churn import churn_between
@@ -99,6 +120,16 @@ class ServiceConfig:
     min_ip24_delta: int = 1
     #: Stage supervision; ``None`` runs stages bare.
     resilience: Optional[ResiliencePolicy] = None
+    #: Durable per-epoch telemetry: when on, each committed run carries a
+    #: ``telemetry.json`` + ``events.jsonl`` sidecar (trace, metrics, SLO
+    #: report, event log).  Census/archive bytes are identical either way.
+    telemetry: bool = False
+    #: SLO budgets evaluated per epoch (telemetry mode only); ``None``
+    #: uses :func:`~repro.obs.slo.default_service_slo`.
+    slo: Optional[SloSpec] = None
+    #: Node-fault injection forwarded to each epoch's campaign (chaos /
+    #: seeded-regression testing); ``None`` injects nothing.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.noise not in ("stream", "keyed"):
@@ -234,7 +265,31 @@ class CensusService:
                 journal.unlink()
             return self._outcome_from_manifest(epoch, "already-present")
 
+        if not self.config.telemetry:
+            return self._run_epoch_inner(epoch, abort_after_vps)
+
+        # Telemetry mode: fresh per-epoch collectors, scoped — the trace,
+        # metrics and event log land in the run's archive sidecars.
+        # Everything the census computes is untouched (no RNG, no wall
+        # time in results), so the committed census bytes are identical
+        # to a telemetry-off run.
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        events = EventLog()
+        with activate(tracer=tracer, metrics=metrics, events=events):
+            return self._run_epoch_inner(
+                epoch, abort_after_vps, collectors=(tracer, metrics, events)
+            )
+
+    def _run_epoch_inner(
+        self,
+        epoch: int,
+        abort_after_vps: Optional[int],
+        collectors: Optional[Tuple[Tracer, MetricsRegistry, EventLog]] = None,
+    ) -> EpochOutcome:
+        events = current_events()
         with current_tracer().span("service_epoch", epoch=epoch):
+            events.emit("service", "epoch_start", epoch=epoch)
             self.archive.ensure_layout()
             internet = self.internet_for(epoch)
             campaign = CensusCampaign(
@@ -243,6 +298,7 @@ class CensusService:
                 seed=self.config.campaign_seed,
                 degraded_fraction=self.config.degraded_fraction,
                 noise=self.config.noise,
+                fault_plan=self.config.fault_plan,
                 **(
                     {"rate_pps": self.config.rate_pps}
                     if self.config.rate_pps is not None
@@ -259,7 +315,22 @@ class CensusService:
                     abort_after_vps=abort_after_vps,
                 )
 
+            events.emit("stage", "stage_start", stage="measurement", epoch=epoch)
             census = self._stage("measurement", measure)
+            events.emit(
+                "stage",
+                "stage_end",
+                stage="measurement",
+                epoch=epoch,
+                n_records=len(census.records),
+            )
+            if census.health is not None:
+                for vp_name in census.health.quarantined_vps:
+                    events.emit(
+                        "quarantine", "vp_quarantined", vp=vp_name, epoch=epoch
+                    )
+                for vp_name in census.health.salvaged_vps:
+                    events.emit("lifecycle", "vp_salvaged", vp=vp_name, epoch=epoch)
             matrix = matrix_from_census(census)
             signatures = target_signatures(matrix)
 
@@ -281,11 +352,22 @@ class CensusService:
                 baseline_problem=baseline_problem,
             )
 
-            results_doc, n_recomputed, n_copied = self._stage(
-                "analysis",
-                lambda: self._analyze(
-                    matrix, internet, signatures, plan, baseline_doc, epoch
-                ),
+            events.emit("stage", "stage_start", stage="analysis", epoch=epoch)
+            with current_tracer().span("analysis", epoch=epoch):
+                results_doc, n_recomputed, n_copied = self._stage(
+                    "analysis",
+                    lambda: self._analyze(
+                        matrix, internet, signatures, plan, baseline_doc, epoch
+                    ),
+                )
+            events.emit(
+                "stage",
+                "stage_end",
+                stage="analysis",
+                epoch=epoch,
+                mode=plan.mode,
+                n_recomputed=n_recomputed,
+                n_copied=n_copied,
             )
 
             churn_doc = None
@@ -300,30 +382,93 @@ class CensusService:
             manifest_core = self._manifest_core(
                 census, matrix, results_doc, plan, n_recomputed, n_copied, churn_doc
             )
-            self.archive.commit_run(epoch, manifest_core, census.records, results_doc)
-            if journal.exists():
-                journal.unlink()
 
             metrics = current_metrics()
             if metrics.enabled:
                 metrics.counter("service_epochs_committed").inc()
                 metrics.counter("service_targets_recomputed").inc(n_recomputed)
                 metrics.counter("service_targets_copied").inc(n_copied)
+            events.emit("service", "epoch_end", epoch=epoch, mode=plan.mode)
 
-            summary = results_doc["summary"]
-            return EpochOutcome(
-                epoch=epoch,
-                status="committed",
-                mode=plan.mode,
-                reason=plan.reason,
-                baseline_epoch=plan.baseline_epoch,
-                churn_fraction=plan.churn_fraction,
-                n_recomputed=n_recomputed,
-                n_copied=n_copied,
-                n_targets=summary["n_targets"],
-                n_anycast=summary["n_anycast"],
-                total_replicas=summary["total_replicas"],
+        # The epoch span is closed: stage durations are final, so the
+        # telemetry sidecars can be assembled and committed atomically
+        # alongside the census payloads.
+        telemetry_doc = None
+        events_lines = None
+        if collectors is not None:
+            telemetry_doc, events_lines = self._build_telemetry(
+                epoch, census, results_doc, *collectors
             )
+        self.archive.commit_run(
+            epoch,
+            manifest_core,
+            census.records,
+            results_doc,
+            telemetry_doc=telemetry_doc,
+            events_lines=events_lines,
+        )
+        if journal.exists():
+            journal.unlink()
+
+        summary = results_doc["summary"]
+        return EpochOutcome(
+            epoch=epoch,
+            status="committed",
+            mode=plan.mode,
+            reason=plan.reason,
+            baseline_epoch=plan.baseline_epoch,
+            churn_fraction=plan.churn_fraction,
+            n_recomputed=n_recomputed,
+            n_copied=n_copied,
+            n_targets=summary["n_targets"],
+            n_anycast=summary["n_anycast"],
+            total_replicas=summary["total_replicas"],
+        )
+
+    def _build_telemetry(
+        self,
+        epoch: int,
+        census,
+        results_doc: Dict[str, Any],
+        tracer: Tracer,
+        metrics: MetricsRegistry,
+        events: EventLog,
+    ) -> Tuple[Dict[str, Any], List[str]]:
+        """Assemble the epoch's telemetry sidecar + sealed event lines.
+
+        Wall-clock durations live *only* here — the sidecars are the one
+        sanctioned nondeterministic output, excluded from byte-identity
+        comparisons of the census payloads.
+        """
+        stage_seconds = stage_seconds_from_trace(tracer)
+        snapshot = metrics.snapshot()
+        spec = self.config.slo if self.config.slo is not None else default_service_slo()
+        entries = results_doc["targets"].values()
+        anycast = [e for e in entries if e.get("anycast")]
+        degraded_fraction = (
+            sum(1 for e in anycast if e.get("confidence") == "degraded") / len(anycast)
+            if anycast
+            else None
+        )
+        report = evaluate_slo(
+            spec,
+            stage_seconds=stage_seconds,
+            metrics_snapshot=snapshot,
+            observations={
+                "n_vps": self.config.n_vps,
+                "degraded_target_fraction": degraded_fraction,
+            },
+        )
+        doc = {
+            "stages": {
+                name: round(seconds, 6) for name, seconds in sorted(stage_seconds.items())
+            },
+            "metrics": snapshot,
+            "slo": report.to_doc(),
+            "trace": tracer.to_dicts(),
+            "event_summary": events.snapshot(),
+        }
+        return doc, events.to_lines()
 
     @staticmethod
     def _baseline_signatures(
@@ -543,6 +688,19 @@ class CensusService:
             for epoch in range(through_epoch + 1)
         ]
         return report, outcomes
+
+    def timeline(
+        self, k: float = 4.0
+    ) -> Tuple[Timeline, List[Regression]]:
+        """Longitudinal health: per-metric series + flagged regressions.
+
+        Folds every committed manifest (and, where present, telemetry
+        sidecar) into :class:`~repro.obs.timeline.Timeline` series and
+        flags points sitting more than ``k`` robust deviations above the
+        rolling median (see :func:`~repro.obs.timeline.detect_regressions`).
+        """
+        timeline = collect_timeline(self.archive)
+        return timeline, detect_regressions(timeline, k=k)
 
     def history(self) -> List[Dict[str, Any]]:
         """One summary row per committed epoch, straight off the manifests."""

@@ -32,14 +32,20 @@ from .measurement.httpprobe import SiteCodeBook
 from .measurement.platform import Platform, planetlab_platform
 from .measurement.portscan import PortscanReport, run_portscan
 from .obs import (
+    NULL_EVENTS,
     NULL_METRICS,
     NULL_TRACER,
+    EventLog,
     MetricsRegistry,
+    NullEventLog,
     NullMetricsRegistry,
     NullTracer,
     RunManifest,
+    SloSpec,
     Tracer,
     activate,
+    evaluate_slo,
+    stage_seconds_from_trace,
 )
 from .resilience import (
     DegradationReport,
@@ -99,6 +105,12 @@ class StudyConfig:
     trace: bool = False
     #: Record pipeline metrics (probe counters, iGreedy histograms, ...).
     metrics: bool = False
+    #: Record structured lifecycle events (quarantines, reassignments,
+    #: stage boundaries) into an in-memory :class:`~repro.obs.EventLog`.
+    events: bool = False
+    #: SLO budgets evaluated into the run manifest's ``slo`` section;
+    #: ``None`` leaves the manifest without one (the classic shape).
+    slo: Optional[SloSpec] = None
     #: Default path for :meth:`CensusStudy.write_manifest` (optional).
     manifest_path: Optional[str] = None
     #: Stage supervision + data quarantine.  ``None`` turns the resilience
@@ -131,6 +143,10 @@ class CensusStudy:
         #: Metric store; a shared no-op unless ``config.metrics`` is set.
         self.metrics: Union[MetricsRegistry, NullMetricsRegistry] = (
             MetricsRegistry() if self.config.metrics else NULL_METRICS
+        )
+        #: Event log; a shared no-op unless ``config.events`` is set.
+        self.events: Union[EventLog, NullEventLog] = (
+            EventLog() if self.config.events else NULL_EVENTS
         )
         #: Reason-coded record of everything the sanitizers removed or
         #: repaired.  Always present (and empty) so callers can inspect it
@@ -177,11 +193,15 @@ class CensusStudy:
         (retry / degrade / fail-fast per policy); otherwise ``fn`` runs
         bare and any exception propagates untouched.
         """
-        with activate(self.tracer, self.metrics):
+        with activate(self.tracer, self.metrics, self.events):
             with self.tracer.span(name):
-                if self.supervisor is None:
-                    return fn()
-                return self.supervisor.run(name, fn, fallback=fallback)
+                self.events.emit("stage", "stage_start", stage=name)
+                try:
+                    if self.supervisor is None:
+                        return fn()
+                    return self.supervisor.run(name, fn, fallback=fallback)
+                finally:
+                    self.events.emit("stage", "stage_end", stage=name)
 
     # -- substrate -----------------------------------------------------
 
@@ -417,6 +437,17 @@ class CensusStudy:
         materialized census, and — when resilience is on — the quarantine
         log and degradation report.  Never forces a stage to run.
         """
+        slo_report = None
+        if self.config.slo is not None:
+            slo_report = evaluate_slo(
+                self.config.slo,
+                stage_seconds=stage_seconds_from_trace(
+                    self.tracer.to_dicts() if self.config.trace else None
+                ),
+                metrics_snapshot=(
+                    self.metrics.snapshot() if self.config.metrics else None
+                ),
+            )
         return RunManifest.collect(
             config=self.config,
             tracer=self.tracer,
@@ -424,6 +455,7 @@ class CensusStudy:
             health=self.health_reports,
             quarantine=self.quarantine if self.supervisor is not None else None,
             degradation=self.degradation_report,
+            slo=slo_report,
         )
 
     def write_manifest(self, path: Optional[str] = None) -> pathlib.Path:
@@ -463,6 +495,7 @@ def small_study(
     seed: int = 2015,
     trace: bool = False,
     metrics: bool = False,
+    events: bool = False,
     resilience: Optional[ResiliencePolicy] = None,
     poison: Optional[PoisonPlan] = None,
 ) -> CensusStudy:
@@ -476,6 +509,7 @@ def small_study(
             n_censuses=2,
             trace=trace,
             metrics=metrics,
+            events=events,
             resilience=resilience,
             poison=poison,
         )
@@ -488,6 +522,8 @@ def small_service(
     incremental: bool = True,
     churn_threshold: float = 0.25,
     resilience: Optional[ResiliencePolicy] = None,
+    telemetry: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ):
     """A laptop-scale longitudinal service for examples and tests.
 
@@ -515,5 +551,7 @@ def small_service(
             incremental=incremental,
             churn_threshold=churn_threshold,
             resilience=resilience,
+            telemetry=telemetry,
+            fault_plan=fault_plan,
         )
     )

@@ -1,0 +1,149 @@
+"""Worker metric shipping: merged totals must equal serial totals.
+
+Forked workers install a fresh registry after fork and ship its snapshot
+back on shutdown; the parent merges them.  Because every observation is
+an integer or a deterministic simulated quantity, the merged parent
+registry must equal what an in-process (serial) run of the same work
+records — the satellite contract of the telemetry PR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.census.combine import RttMatrix
+from repro.census.fastpath import analyze_matrix_fast
+from repro.core.igreedy import IGreedyConfig
+from repro.exec import ExecutionPolicy
+from repro.geo.cities import default_city_db
+from repro.geo.coords import GeoPoint
+from repro.internet.topology import InternetConfig, SyntheticInternet
+from repro.measurement.campaign import CensusCampaign
+from repro.measurement.faults import WorkerFaultPlan
+from repro.measurement.platform import planetlab_platform
+from repro.obs import MetricsRegistry, use_metrics
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return SyntheticInternet(
+        InternetConfig(seed=7, n_unicast_slash24=250, tail_deployments=8)
+    )
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return planetlab_platform(count=10, seed=11)
+
+
+def _census_metrics(internet, platform, workers, worker_faults=None):
+    policy = ExecutionPolicy(workers=workers)
+    if worker_faults is not None:
+        policy = ExecutionPolicy(
+            workers=workers,
+            worker_faults=worker_faults,
+            liveness_timeout_s=2.0,
+            poll_interval_s=0.02,
+        )
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        campaign = CensusCampaign(
+            internet, platform, seed=99, executor=policy
+        )
+        campaign.run_precensus()
+        census = campaign.run_census(availability=0.85)
+    return registry.snapshot(), census
+
+
+def _dense_matrix():
+    rng = np.random.default_rng(17)
+    n_targets, n_vps = 40, 10
+    lats = rng.uniform(-60.0, 60.0, size=n_vps)
+    lons = rng.uniform(-170.0, 170.0, size=n_vps)
+    rtt = rng.choice([2.0, 5.0, 12.0, 40.0, 90.0, 220.0], size=(n_targets, n_vps))
+    rtt = np.where(rng.random(rtt.shape) < 0.2, np.nan, rtt).astype(np.float32)
+    return RttMatrix(
+        prefixes=np.arange(100, 100 + n_targets, dtype=np.uint32),
+        vp_names=[f"vp-{i:02d}" for i in range(n_vps)],
+        vp_locations=[GeoPoint(float(a), float(b)) for a, b in zip(lats, lons)],
+        rtt_ms=rtt,
+        sample_count=(~np.isnan(rtt)).astype(np.uint8),
+    )
+
+
+class TestExecPoolMetrics:
+    def test_forked_workers_equal_in_process(self, internet, platform):
+        serial, census_serial = _census_metrics(internet, platform, workers=0)
+        pooled, census_pooled = _census_metrics(internet, platform, workers=3)
+        # Same bytes (the old invariant)...
+        assert census_serial.records.checksum() == census_pooled.records.checksum()
+        # ...and now the same unit-level metric totals: the in-worker
+        # counters came home via shipped snapshots.
+        for name in ("exec_unit_scans", "exec_unit_probes"):
+            assert serial["counters"][name] > 0
+            assert pooled["counters"][name] == serial["counters"][name], name
+        # Parent-side campaign metrics agree too (simulated, deterministic).
+        assert pooled["counters"]["vps_ok"] == serial["counters"]["vps_ok"]
+        assert (
+            pooled["histograms"]["vp_scan_duration_hours"]
+            == serial["histograms"]["vp_scan_duration_hours"]
+        )
+
+    def test_worker_counts_independent_of_pool_size(self, internet, platform):
+        base, _ = _census_metrics(internet, platform, workers=2)
+        for workers in (1, 4):
+            snap, _ = _census_metrics(internet, platform, workers=workers)
+            assert (
+                snap["counters"]["exec_unit_scans"]
+                == base["counters"]["exec_unit_scans"]
+            )
+
+    def test_dead_worker_does_not_hang_the_drain(self, internet, platform):
+        # A killed worker never ships its snapshot; the drain must prune
+        # it instead of blocking, and the census bytes stay identical.
+        serial, census_serial = _census_metrics(internet, platform, workers=0)
+        faulty, census_faulty = _census_metrics(
+            internet,
+            platform,
+            workers=3,
+            worker_faults=WorkerFaultPlan(dead_worker_ids=(0,)),
+        )
+        assert census_serial.records.checksum() == census_faulty.records.checksum()
+        # Units completed by the dead worker were reassigned; the scans
+        # that made it into the census are at least the serial count.
+        assert (
+            faulty["counters"]["exec_unit_scans"]
+            >= serial["counters"]["exec_unit_scans"] - 1
+        )
+
+
+class TestFastpathMetrics:
+    def _analyze_metrics(self, matrix, workers):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            result = analyze_matrix_fast(
+                matrix,
+                city_db=default_city_db(),
+                config=IGreedyConfig(engine="fast"),
+                workers=workers,
+            )
+        snap = registry.snapshot()
+        # Chunk accounting exists only in pool mode; drop it so the
+        # science-metric comparison is exact.
+        snap["counters"] = {
+            k: v
+            for k, v in snap["counters"].items()
+            if not k.startswith("analysis_chunks")
+        }
+        return snap, result
+
+    def test_pool_metrics_equal_serial(self):
+        matrix = _dense_matrix()
+        serial, result_serial = self._analyze_metrics(matrix, workers=0)
+        assert result_serial.results, "fixture must contain detected targets"
+        assert serial["histograms"]["igreedy_iterations"]["count"] > 0
+        for workers in (1, 3):
+            pooled, result_pooled = self._analyze_metrics(matrix, workers=workers)
+            assert list(result_pooled.results) == list(result_serial.results)
+            assert pooled == serial, f"workers={workers} metrics diverge from serial"

@@ -1,0 +1,147 @@
+"""Unit tests for the structured-event log (JSONL, bounded, crash-safe)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_EVENTS,
+    EventLog,
+    NullEventLog,
+    current_events,
+    parse_events,
+    read_events,
+    use_events,
+)
+from repro.obs.events import EVENT_KEYS, event_problems
+
+
+def _fixed_clock():
+    t = [100.0]
+
+    def clock():
+        t[0] += 0.5
+        return t[0]
+
+    return clock
+
+
+class TestEmit:
+    def test_records_in_order_with_seq(self):
+        log = EventLog(clock=_fixed_clock())
+        log.emit("stage", "stage_start", stage="census")
+        log.emit("quarantine", "vp_quarantined", vp="pl-3")
+        lines = log.to_lines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["seq"] == 1 and second["seq"] == 2
+        assert first["kind"] == "stage"
+        assert second["attrs"] == {"vp": "pl-3"}
+        assert second["ts"] > first["ts"]
+
+    def test_lines_are_canonical_jsonl(self):
+        log = EventLog(clock=_fixed_clock())
+        log.emit("service", "epoch_start", epoch=3)
+        (line,) = log.to_lines()
+        assert line.endswith("\n")
+        event = json.loads(line)
+        assert sorted(event) == sorted(EVENT_KEYS)
+        # Canonical form: sorted keys, no whitespace.
+        assert line == json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+
+    def test_attrs_coerced_to_json_types(self):
+        import numpy as np
+
+        log = EventLog(clock=_fixed_clock())
+        log.emit("x", "y", n=np.int64(4), xs=(1, 2), obj=object())
+        event = json.loads(log.to_lines()[0])
+        assert event["attrs"]["n"] == 4
+        assert event["attrs"]["xs"] == [1, 2]
+        assert isinstance(event["attrs"]["obj"], str)
+
+
+class TestBoundedBuffer:
+    def test_overflow_drops_and_counts(self):
+        log = EventLog(capacity=2, clock=_fixed_clock())
+        for i in range(5):
+            log.emit("k", "n", i=i)
+        assert len(log) == 2
+        assert log.dropped == 3
+        assert log.snapshot()["dropped"] == 3
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestFlush:
+    def test_flush_appends_and_is_incremental(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path, clock=_fixed_clock())
+        log.emit("a", "one")
+        assert log.flush() == 1
+        log.emit("a", "two")
+        assert log.flush() == 1  # only the pending event
+        assert log.flush() == 0
+        events, problems = read_events(path)
+        assert problems == []
+        assert [e["name"] for e in events] == ["one", "two"]
+
+    def test_flush_without_path_is_noop(self):
+        log = EventLog(clock=_fixed_clock())
+        log.emit("a", "b")
+        assert log.flush() == 0
+
+
+class TestParse:
+    def _payload(self, n=3):
+        log = EventLog(clock=_fixed_clock())
+        for i in range(n):
+            log.emit("k", f"e{i}")
+        return "".join(log.to_lines())
+
+    def test_roundtrip(self):
+        events, problems = parse_events(self._payload())
+        assert problems == []
+        assert [e["seq"] for e in events] == [1, 2, 3]
+
+    def test_torn_final_line_strict_vs_lenient(self):
+        payload = self._payload() + '{"seq":4,"ts":1,"kind"'  # crash mid-append
+        events, problems = parse_events(payload, strict=True)
+        assert len(events) == 3 and problems
+        events, problems = parse_events(payload, strict=False)
+        assert len(events) == 3 and problems == []
+
+    def test_torn_middle_line_is_a_problem_even_lenient(self):
+        lines = self._payload().splitlines(keepends=True)
+        payload = lines[0] + '{"garbage"\n' + lines[2]
+        _, problems = parse_events(payload, strict=False)
+        assert problems
+
+    def test_schema_violations_reported(self):
+        payload = '{"seq":"x","ts":1,"kind":"k","name":"n","attrs":{}}\n'
+        events, problems = parse_events(payload)
+        assert events == [] and "seq" in problems[0]
+
+    def test_event_problems_on_non_dict(self):
+        assert event_problems([1]) == ["event is not an object"]
+
+
+class TestNullAndCurrent:
+    def test_default_is_null(self):
+        assert current_events() is NULL_EVENTS
+        assert not NULL_EVENTS.enabled
+
+    def test_null_is_inert(self):
+        log = NullEventLog()
+        log.emit("k", "n", x=1)
+        assert len(log) == 0 and log.to_lines() == [] and log.flush() == 0
+
+    def test_use_events_restores(self):
+        log = EventLog(clock=_fixed_clock())
+        before = current_events()
+        with use_events(log):
+            assert current_events() is log
+            current_events().emit("k", "seen")
+        assert current_events() is before
+        assert len(log) == 1

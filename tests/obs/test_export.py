@@ -1,0 +1,127 @@
+"""Unit tests for the Prometheus and Chrome-trace exporters."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace_problems,
+    prometheus_problems,
+    to_chrome_trace,
+    to_prometheus,
+)
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("probes_sent").inc(42)
+    registry.gauge("vps_quarantined").set(3)
+    h = registry.histogram("scan_hours", buckets=(1, 5, 10))
+    for v in (0.5, 2, 7, 100):
+        h.observe(v)
+    return registry
+
+
+def _tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("service_epoch", epoch=2):
+        with tracer.span("census"):
+            with tracer.span("vp_scan"):
+                pass
+        with tracer.span("analysis"):
+            pass
+    return tracer
+
+
+class TestPrometheus:
+    def test_output_validates(self):
+        text = to_prometheus(_registry().snapshot())
+        assert prometheus_problems(text) == []
+
+    def test_families_and_conventions(self):
+        text = to_prometheus(_registry().snapshot())
+        assert "# TYPE repro_probes_sent_total counter" in text
+        assert "repro_probes_sent_total 42" in text
+        assert "# TYPE repro_vps_quarantined gauge" in text
+        assert "# TYPE repro_scan_hours histogram" in text
+        assert 'repro_scan_hours_bucket{le="+Inf"} 4' in text
+        assert "repro_scan_hours_count 4" in text
+
+    def test_buckets_are_cumulative(self):
+        text = to_prometheus(_registry().snapshot())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_scan_hours_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_empty_snapshot_is_empty_text(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""
+        assert prometheus_problems("") == []
+
+    def test_weird_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("stage seconds:vp-scan").inc()
+        text = to_prometheus(registry.snapshot())
+        assert prometheus_problems(text) == []
+
+    def test_validator_catches_breakage(self):
+        assert prometheus_problems("not a metric line at all!") != []
+        assert prometheus_problems("m_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3\n")
+        # Bucket series without +Inf is flagged.
+        assert any(
+            "+Inf" in p for p in prometheus_problems('m_bucket{le="1"} 5\n')
+        )
+
+
+class TestChromeTrace:
+    def test_output_validates_and_nests(self):
+        doc = to_chrome_trace(_tracer())
+        assert chrome_trace_problems(doc) == []
+        assert chrome_trace_problems(json.dumps(doc)) == []
+
+    def test_structure(self):
+        doc = to_chrome_trace(_tracer(), process_name="census")
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "census"
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert names == ["service_epoch", "census", "vp_scan", "analysis"]
+        epoch_span = events[1]
+        assert epoch_span["args"]["epoch"] == 2
+
+    def test_accepts_span_dicts(self):
+        dicts = _tracer().to_dicts()
+        doc = to_chrome_trace(dicts)
+        assert chrome_trace_problems(doc) == []
+        assert sum(e["ph"] == "X" for e in doc["traceEvents"]) == 4
+
+    def test_children_fit_inside_parent(self):
+        doc = to_chrome_trace(_tracer())
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        parent = spans["service_epoch"]
+        for child in ("census", "analysis"):
+            assert spans[child]["ts"] >= parent["ts"] - 1e-6
+            assert (
+                spans[child]["ts"] + spans[child]["dur"]
+                <= parent["ts"] + parent["dur"] + 1e-6
+            )
+
+    def test_validator_catches_breakage(self):
+        assert chrome_trace_problems("{broken json") != []
+        assert chrome_trace_problems({"nope": []}) != []
+        overlapping = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": 1},
+            ]
+        }
+        assert any("overlap" in p for p in chrome_trace_problems(overlapping))
+        negative = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0, "dur": -1, "pid": 1, "tid": 1}
+            ]
+        }
+        assert any("negative" in p for p in chrome_trace_problems(negative))

@@ -124,3 +124,63 @@ class TestValidation:
         doc["metrics"] = {"counters": {}}
         with pytest.raises(ValueError, match="gauges"):
             validate_manifest(doc)
+
+
+class TestSloSection:
+    def _report(self):
+        from repro.obs import Budget, SloSpec, evaluate_slo
+
+        return evaluate_slo(
+            SloSpec(stage_seconds={"census": Budget(1, 10)}),
+            stage_seconds={"census": 0.5},
+        )
+
+    def test_absent_by_default(self):
+        doc = RunManifest.collect(tracer=_traced_tracer()).to_dict()
+        assert "slo" not in doc
+        validate_manifest(doc)
+
+    def test_collected_and_validated(self):
+        manifest = RunManifest.collect(tracer=_traced_tracer(), slo=self._report())
+        doc = manifest.to_dict()
+        assert doc["slo"]["kind"] == "slo-report"
+        assert doc["slo"]["verdict"] == "pass"
+        validate_manifest(doc)
+        json.dumps(doc)  # fully serializable
+
+    def test_accepts_plain_dict(self):
+        manifest = RunManifest.collect(slo=self._report().to_doc())
+        validate_manifest(manifest.to_dict())
+
+    def test_corrupt_slo_rejected(self):
+        doc = RunManifest.collect(slo=self._report()).to_dict()
+        doc["slo"]["verdict"] = "astrology"
+        with pytest.raises(ValueError, match="slo"):
+            validate_manifest(doc)
+
+    def test_study_manifest_evaluates_slo(self):
+        from repro.obs import Budget, SloSpec
+        from repro.workflow import CensusStudy, StudyConfig
+        from repro.internet.topology import InternetConfig
+
+        study = CensusStudy(
+            StudyConfig(
+                internet=InternetConfig(
+                    seed=3, n_unicast_slash24=200, tail_deployments=5
+                ),
+                n_vantage_points=20,
+                n_censuses=1,
+                trace=True,
+                metrics=True,
+                slo=SloSpec(
+                    stage_seconds={"measurement": Budget(warn=120, breach=600)},
+                    probe_failure_rate=Budget(warn=0.1, breach=0.5),
+                ),
+            )
+        )
+        study.analysis
+        doc = study.manifest.to_dict()
+        validate_manifest(doc)
+        names = [o["name"] for o in doc["slo"]["objectives"]]
+        assert "stage_seconds:measurement" in names
+        assert doc["slo"]["verdict"] in ("pass", "warn", "breach")

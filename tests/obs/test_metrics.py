@@ -66,6 +66,114 @@ class TestHistogram:
         assert snap["count"] == 1
 
 
+class TestPercentiles:
+    def test_interpolated_quantiles(self):
+        h = Histogram(buckets=(10, 20, 30, 40, 50, 60, 70, 80, 90, 100))
+        for v in range(1, 101):
+            h.observe(v)
+        # Uniform 1..100: bucket interpolation lands within one bucket
+        # width of the exact quantile.
+        assert h.percentile(0.50) == pytest.approx(50, abs=10)
+        assert h.percentile(0.90) == pytest.approx(90, abs=10)
+        assert h.percentile(0.99) == pytest.approx(99, abs=10)
+
+    def test_monotone_in_q(self):
+        h = Histogram(buckets=(1, 5, 10, 50))
+        for v in (0.1, 2, 3, 7, 20, 90, 200):
+            h.observe(v)
+        qs = [h.percentile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_degenerate_distribution_is_exact(self):
+        h = Histogram(buckets=(1, 10))
+        for _ in range(5):
+            h.observe(3.0)
+        assert h.percentile(0.5) == 3.0
+        assert h.percentile(0.99) == 3.0
+
+    def test_overflow_rank_reports_max(self):
+        h = Histogram(buckets=(1,))
+        h.observe(500)
+        assert h.percentile(0.99) == 500
+
+    def test_empty_is_none_and_bad_q_raises(self):
+        h = Histogram(buckets=(1,))
+        assert h.percentile(0.5) is None
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_snapshot_carries_percentiles(self):
+        h = Histogram(buckets=(1, 2))
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap["p50"] == 1.5
+        assert snap["p99"] == 1.5
+
+
+class TestMerge:
+    def test_counter_and_gauge_merge(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1)
+        registry.merge({"counters": {"c": 4, "new": 2}, "gauges": {"g": 9}})
+        assert registry.counter("c").value == 7
+        assert registry.counter("new").value == 2
+        assert registry.gauge("g").value == 9
+
+    def test_gauge_none_does_not_clobber(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(5)
+        registry.merge({"gauges": {"g": None}})
+        assert registry.gauge("g").value == 5
+
+    def test_histogram_merge_equals_serial(self):
+        serial = Histogram(buckets=(1, 5, 10))
+        a = Histogram(buckets=(1, 5, 10))
+        b = Histogram(buckets=(1, 5, 10))
+        for v in (0.5, 2, 7):
+            serial.observe(v)
+            a.observe(v)
+        for v in (3, 100):
+            serial.observe(v)
+            b.observe(v)
+        a.merge(b.snapshot())
+        assert a.snapshot() == serial.snapshot()
+
+    def test_merge_is_order_free(self):
+        snaps = []
+        for chunk in ((1, 2), (7, 50), (0.5,)):
+            h = Histogram(buckets=(1, 5, 10))
+            for v in chunk:
+                h.observe(v)
+            snaps.append(h.snapshot())
+        fwd = Histogram(buckets=(1, 5, 10))
+        rev = Histogram(buckets=(1, 5, 10))
+        for snap in snaps:
+            fwd.merge(snap)
+        for snap in reversed(snaps):
+            rev.merge(snap)
+        assert fwd.snapshot() == rev.snapshot()
+
+    def test_bounds_mismatch_raises(self):
+        h = Histogram(buckets=(1, 5))
+        other = Histogram(buckets=(1, 10))
+        with pytest.raises(ValueError):
+            h.merge(other.snapshot())
+
+    def test_registry_merge_creates_instruments(self):
+        worker = MetricsRegistry()
+        worker.counter("exec_unit_scans").inc(4)
+        worker.histogram("h", buckets=(1, 2)).observe(1.5)
+        parent = MetricsRegistry()
+        parent.merge(worker.snapshot())
+        assert parent.snapshot() == worker.snapshot()
+
+    def test_null_registry_merge_is_noop(self):
+        NULL_METRICS.merge({"counters": {"c": 1}})
+        assert NULL_METRICS.snapshot()["counters"] == {}
+
+
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
         registry = MetricsRegistry()

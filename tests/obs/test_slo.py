@@ -1,0 +1,146 @@
+"""Unit tests for declarative SLO budgets and per-epoch reports."""
+
+import pytest
+
+from repro.obs import (
+    Budget,
+    MetricsRegistry,
+    SloSpec,
+    Tracer,
+    default_service_slo,
+    evaluate_slo,
+    slo_report_problems,
+    stage_seconds_from_trace,
+    validate_slo_report,
+)
+
+
+class TestBudget:
+    def test_verdict_ladder(self):
+        budget = Budget(warn=1.0, breach=5.0)
+        assert budget.verdict(0.5) == "pass"
+        assert budget.verdict(1.0) == "pass"  # inclusive upper bound
+        assert budget.verdict(3.0) == "warn"
+        assert budget.verdict(5.0) == "warn"
+        assert budget.verdict(5.1) == "breach"
+
+    def test_no_data_passes(self):
+        assert Budget(warn=1, breach=2).verdict(None) == "pass"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(warn=5, breach=1)
+        with pytest.raises(ValueError):
+            Budget(warn=-1, breach=1)
+
+
+class TestStageSeconds:
+    def test_sums_over_forest(self):
+        tracer = Tracer()
+        with tracer.span("epoch"):
+            with tracer.span("census"):
+                pass
+            with tracer.span("census"):
+                pass
+        totals = stage_seconds_from_trace(tracer)
+        assert set(totals) == {"epoch", "census"}
+        assert totals["census"] >= 0.0
+
+    def test_none_and_dicts(self):
+        assert stage_seconds_from_trace(None) == {}
+        roots = [
+            {
+                "name": "a",
+                "inclusive_s": 2.0,
+                "children": [{"name": "b", "inclusive_s": 0.5, "children": []}],
+            }
+        ]
+        assert stage_seconds_from_trace(roots) == {"a": 2.0, "b": 0.5}
+
+
+class TestEvaluate:
+    def _spec(self) -> SloSpec:
+        return SloSpec(
+            stage_seconds={"census": Budget(1.0, 10.0)},
+            probe_failure_rate=Budget(0.1, 0.5),
+            quarantine_fraction=Budget(0.25, 0.5),
+            degraded_target_fraction=Budget(0.2, 0.5),
+        )
+
+    def test_all_pass_on_good_epoch(self):
+        registry = MetricsRegistry()
+        registry.counter("vps_ok").inc(20)
+        report = evaluate_slo(
+            self._spec(),
+            stage_seconds={"census": 0.5},
+            metrics_snapshot=registry.snapshot(),
+            observations={"n_vps": 20, "degraded_target_fraction": 0.0},
+        )
+        assert report.verdict == "pass"
+        assert {o.name for o in report.objectives} == {
+            "stage_seconds:census",
+            "probe_failure_rate",
+            "quarantine_fraction",
+            "degraded_target_fraction",
+        }
+
+    def test_overall_is_worst_objective(self):
+        registry = MetricsRegistry()
+        registry.counter("vps_ok").inc(1)
+        registry.counter("vps_failed").inc(9)  # 90% failure: breach
+        report = evaluate_slo(
+            self._spec(),
+            stage_seconds={"census": 2.0},  # warn
+            metrics_snapshot=registry.snapshot(),
+        )
+        by_name = {o.name: o.verdict for o in report.objectives}
+        assert by_name["stage_seconds:census"] == "warn"
+        assert by_name["probe_failure_rate"] == "breach"
+        assert report.verdict == "breach"
+
+    def test_quarantine_fraction_uses_n_vps(self):
+        registry = MetricsRegistry()
+        registry.gauge("vps_quarantined").set(10)
+        report = evaluate_slo(
+            self._spec(), metrics_snapshot=registry.snapshot(), observations={"n_vps": 20}
+        )
+        (obj,) = [o for o in report.objectives if o.name == "quarantine_fraction"]
+        assert obj.value == pytest.approx(0.5)
+        assert obj.verdict == "warn"
+
+    def test_observation_override_wins(self):
+        report = evaluate_slo(
+            self._spec(),
+            stage_seconds={"census": 0.1},
+            observations={"stage_seconds:census": 99.0},
+        )
+        (obj,) = [o for o in report.objectives if o.name == "stage_seconds:census"]
+        assert obj.verdict == "breach"
+
+    def test_missing_data_passes(self):
+        report = evaluate_slo(self._spec())
+        assert report.verdict == "pass"
+        assert all(o.value is None for o in report.objectives)
+
+
+class TestReportSchema:
+    def test_roundtrip_validates(self):
+        report = evaluate_slo(default_service_slo(), stage_seconds={"census": 1.0})
+        doc = report.to_doc()
+        assert slo_report_problems(doc) == []
+        validate_slo_report(doc)
+
+    def test_problems_detected(self):
+        doc = evaluate_slo(default_service_slo()).to_doc()
+        doc["verdict"] = "breach"  # inconsistent with all-pass objectives
+        assert any("worst" in p for p in slo_report_problems(doc))
+        assert slo_report_problems("nope") != []
+        bad = {"kind": "slo-report", "verdict": "pass", "objectives": [{"name": ""}]}
+        assert slo_report_problems(bad) != []
+        with pytest.raises(ValueError):
+            validate_slo_report(bad)
+
+    def test_default_spec_shape(self):
+        spec = default_service_slo()
+        assert set(spec.stage_seconds) == {"census", "analysis"}
+        assert spec.probe_failure_rate is not None

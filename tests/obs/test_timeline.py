@@ -1,0 +1,117 @@
+"""Unit tests for the longitudinal timeline and regression sentinel."""
+
+import pytest
+
+from repro.obs import Timeline, detect_regressions, render_timeline
+from repro.obs.timeline import DESCRIPTIVE_SERIES, Regression
+
+
+def _series(values, name="m"):
+    return {name: [(i, float(v)) for i, v in enumerate(values)]}
+
+
+class TestDetect:
+    def test_flat_series_is_quiet(self):
+        assert detect_regressions(_series([1.0] * 10)) == []
+
+    def test_spike_is_flagged(self):
+        regs = detect_regressions(_series([1.0, 1.01, 0.99, 1.0, 100.0]))
+        assert len(regs) == 1
+        reg = regs[0]
+        assert reg.metric == "m" and reg.epoch == 4
+        assert reg.score > 4.0
+        assert "epoch 4" in reg.describe()
+
+    def test_needs_min_history(self):
+        # A spike with only two prior points is not judged.
+        assert detect_regressions(_series([1.0, 1.0, 100.0])) == []
+        assert detect_regressions(_series([1.0, 1.0, 1.0, 100.0])) != []
+
+    def test_decreases_never_flagged(self):
+        assert detect_regressions(_series([100.0, 101.0, 99.0, 100.0, 0.001])) == []
+
+    def test_small_jitter_below_floor_is_quiet(self):
+        # MAD is 0 on a constant history; the relative floor must absorb
+        # a 2% wiggle.
+        assert detect_regressions(_series([1.0, 1.0, 1.0, 1.0, 1.02])) == []
+
+    def test_wall_clock_series_get_larger_floor(self):
+        # A 2x jump on deterministic series is a regression...
+        assert detect_regressions(_series([1, 1, 1, 1, 2.0], name="churn")) != []
+        # ...but the same jump on a stage-seconds series is tolerated
+        # (noisy CI machines).
+        assert (
+            detect_regressions(_series([1, 1, 1, 1, 2.0], name="stage_seconds:census"))
+            == []
+        )
+        # An order-of-magnitude wall-clock jump still fires.
+        assert (
+            detect_regressions(_series([1, 1, 1, 1, 20.0], name="stage_seconds:census"))
+            != []
+        )
+
+    def test_descriptive_series_excluded_by_default(self):
+        for name in DESCRIPTIVE_SERIES:
+            assert detect_regressions(_series([1, 1, 1, 1, 100.0], name=name)) == []
+        # ...unless explicitly included.
+        assert (
+            detect_regressions(
+                _series([1, 1, 1, 1, 100.0], name="n_anycast"), include=["n_anycast"]
+            )
+            != []
+        )
+
+    def test_window_bounds_history(self):
+        # Early huge values roll out of an 8-point window: the detector
+        # judges against recent history only.
+        values = [1000.0] * 3 + [1.0] * 9 + [5.0]
+        regs = detect_regressions(_series(values))
+        assert any(r.epoch == len(values) - 1 for r in regs)
+
+    def test_outlier_history_does_not_inflate_baseline(self):
+        # One historical spike must not mask a new one (median, not mean).
+        values = [1.0, 1.0, 50.0, 1.0, 1.0, 1.0, 60.0]
+        regs = detect_regressions(_series(values))
+        assert any(r.epoch == 6 for r in regs)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            detect_regressions(_series([1.0]), k=0)
+        with pytest.raises(ValueError):
+            detect_regressions(_series([1.0]), min_history=0)
+
+    def test_accepts_timeline_object(self):
+        timeline = Timeline(
+            epochs=[0, 1, 2, 3, 4],
+            series=_series([1.0, 1.0, 1.0, 1.0, 10.0]),
+            verdicts={},
+        )
+        assert detect_regressions(timeline) != []
+
+
+class TestRender:
+    def test_render_lines(self):
+        timeline = Timeline(
+            epochs=[0, 1, 2, 3, 4],
+            series=_series([1.0, 1.0, 1.0, 1.0, 10.0]),
+            verdicts={0: "pass", 4: "warn"},
+        )
+        regs = detect_regressions(timeline)
+        lines = render_timeline(timeline, regs)
+        assert lines[0] == "epochs: 5"
+        assert any("[REGRESSION]" in line for line in lines)
+        assert any("slo verdicts" in line for line in lines)
+        assert any(line.strip().startswith("!") for line in lines)
+
+    def test_render_quiet_timeline(self):
+        timeline = Timeline(epochs=[0], series=_series([1.0]), verdicts={})
+        lines = render_timeline(timeline, [])
+        assert not any("[REGRESSION]" in line for line in lines)
+
+
+class TestRegressionDataclass:
+    def test_describe(self):
+        reg = Regression(
+            metric="x", epoch=3, value=10.0, median=1.0, scale=0.1, score=90.0
+        )
+        assert "x" in reg.describe() and "epoch 3" in reg.describe()

@@ -333,3 +333,95 @@ class TestParallelOptions:
         validate_manifest(json.loads(manifest.read_text()))
         # The drain left a resumable journal behind.
         assert list(tmp_path.glob("census-*.journal"))
+
+
+class TestServiceTelemetryCli:
+    """`repro service timeline` and `repro obs export` end to end."""
+
+    @pytest.fixture(scope="class")
+    def telemetry_archive(self, tmp_path_factory):
+        from repro.workflow import small_service
+
+        root = tmp_path_factory.mktemp("cli-telemetry") / "archive"
+        service = small_service(root, telemetry=True)
+        for epoch in range(4):
+            service.run_epoch(epoch)
+        return root
+
+    def test_parser_accepts_new_flags(self):
+        args = build_parser().parse_args(
+            ["service", "timeline", "--archive", "a", "--telemetry",
+             "--mad-k", "6"]
+        )
+        assert args.verb == "timeline" and args.mad_k == 6.0
+        args = build_parser().parse_args(
+            ["obs", "export", "--archive", "a", "--epoch", "2"]
+        )
+        assert args.command == "obs" and args.epoch == 2
+
+    def test_timeline_clean_exits_0(self, telemetry_archive, capsys):
+        code = main(["service", "timeline", "--archive", str(telemetry_archive)])
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert out.startswith("epochs: 4")
+        assert "[REGRESSION]" not in out
+        assert "slo verdicts" in out
+
+    def test_timeline_seeded_regression_exits_6(self, tmp_path, capsys):
+        from repro.cli import EXIT_REGRESSION
+        from repro.measurement.faults import FaultPlan
+        from repro.workflow import small_service
+
+        root = tmp_path / "archive"
+        clean = small_service(root, telemetry=True)
+        for epoch in range(4):
+            clean.run_epoch(epoch)
+        slow = small_service(
+            root, telemetry=True, fault_plan=FaultPlan(hang_prob=1.0)
+        )
+        slow.run_epoch(4)
+        code = main(["service", "timeline", "--archive", str(root)])
+        out = capsys.readouterr().out
+        assert code == EXIT_REGRESSION
+        assert "[REGRESSION]" in out
+        assert "vp_scan_hours_mean" in out
+
+    def test_obs_export_writes_valid_artifacts(
+        self, telemetry_archive, tmp_path, capsys
+    ):
+        import json
+
+        from repro.obs import chrome_trace_problems, prometheus_problems
+
+        prom = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["obs", "export", "--archive", str(telemetry_archive),
+             "--epoch", "1", "--prometheus", str(prom),
+             "--chrome-trace", str(trace)]
+        )
+        assert code == EXIT_OK
+        assert prometheus_problems(prom.read_text()) == []
+        doc = json.loads(trace.read_text())
+        assert chrome_trace_problems(doc) == []
+        assert any(
+            e.get("name") == "service_epoch" for e in doc["traceEvents"]
+        )
+        out = capsys.readouterr().out
+        assert "metrics.prom" in out and "trace.json" in out
+
+    def test_obs_export_to_stdout_by_default(self, telemetry_archive, capsys):
+        code = main(["obs", "export", "--archive", str(telemetry_archive)])
+        out = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "repro_service_epochs_committed_total 1" in out
+
+    def test_obs_export_without_telemetry_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import EXIT_USAGE
+        from repro.workflow import small_service
+
+        root = tmp_path / "archive"
+        small_service(root).run_epoch(0)
+        code = main(["obs", "export", "--archive", str(root)])
+        assert code == EXIT_USAGE
+        assert "no telemetry sidecar" in capsys.readouterr().err

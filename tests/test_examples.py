@@ -24,11 +24,12 @@ ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
 
 class TestExamples:
-    def test_nine_examples_present(self):
-        assert len(ALL_EXAMPLES) == 9
+    def test_ten_examples_present(self):
+        assert len(ALL_EXAMPLES) == 10
         assert "quickstart.py" in ALL_EXAMPLES
         assert "trace_study.py" in ALL_EXAMPLES
         assert "daily_census.py" in ALL_EXAMPLES
+        assert "epoch_timeline.py" in ALL_EXAMPLES
 
     @pytest.mark.parametrize("name", ALL_EXAMPLES)
     def test_imports_cleanly(self, name):

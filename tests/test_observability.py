@@ -19,6 +19,7 @@ def _config(trace: bool) -> StudyConfig:
         n_censuses=2,
         trace=trace,
         metrics=trace,
+        events=trace,
     )
 
 
@@ -63,6 +64,7 @@ class TestNeutrality:
             "gauges": {},
             "histograms": {},
         }
+        assert plain_study.events.snapshot()["n_events"] == 0
 
     def test_observability_does_not_leak_between_studies(
         self, plain_study, traced_study
@@ -99,6 +101,18 @@ class TestCoverage:
         assert snap["histograms"]["mis_size"]["count"] > 0
         assert snap["histograms"]["igreedy_iterations"]["count"] > 0
         assert snap["gauges"]["rtt_matrix_cells"] > 0
+
+    def test_event_log_brackets_every_stage(self, traced_study):
+        from repro.obs import parse_events
+
+        events, problems = parse_events(
+            "".join(traced_study.events.to_lines()), strict=True
+        )
+        assert problems == []
+        started = [e["attrs"]["stage"] for e in events if e["name"] == "stage_start"]
+        ended = [e["attrs"]["stage"] for e in events if e["name"] == "stage_end"]
+        assert sorted(started) == sorted(ended)  # every stage closed
+        assert {"measurement", "analysis", "characterization"} <= set(started)
 
     def test_manifest_roundtrip(self, traced_study, tmp_path):
         import json
