@@ -95,12 +95,12 @@ def test_incremental_census_ratio(tmp_path, results_dir):
     cold_times, incremental_times = [], []
     for _ in range(ROUNDS):  # interleaved so drift hits both arms equally
         with Stopwatch() as sw:
-            cold_doc, n_cold, _ = service._analyze(
+            cold_doc, n_cold, _, _ = service._analyze(
                 matrix, internet, signatures, plan_cold, None, 1
             )
         cold_times.append(sw.elapsed_s)
         with Stopwatch() as sw:
-            incremental_doc, n_inc, n_copied = service._analyze(
+            incremental_doc, n_inc, n_copied, _ = service._analyze(
                 matrix, internet, signatures, plan_incremental, baseline_doc, 1
             )
         incremental_times.append(sw.elapsed_s)

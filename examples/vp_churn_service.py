@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""A longitudinal census service under daily probe churn.
+
+"Day in the Life of RIPE Atlas": a real measurement platform never has
+the same roster two days running — probes disconnect, drift, rejoin.
+This example runs a 5-epoch census service whose 20-VP roster churns
+daily (keyed 5% per-VP dropout), with the VP trust engine on, and shows
+what the roster-free delta signatures buy: epochs whose roster moved
+still run incrementally, recomputing only the rows the moving VPs
+actually measured and recovering rejoin targets from older baselines —
+instead of the all-or-nothing cold fallback a roster digest would force.
+
+Run time: ~30 s.
+
+    python examples/vp_churn_service.py
+"""
+
+import tempfile
+
+from repro.census.longitudinal import EvolutionConfig
+from repro.service import CensusService, ServiceConfig
+
+EPOCHS = 5
+
+#: Gentle landscape drift (a percent or two of targets move per day) so
+#: the roster motion, not deployment churn, is the story on display.
+GENTLE = EvolutionConfig(
+    growth_prob=0.02, max_new_sites=1, shrink_prob=0.01, new_adopters=1
+)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        service = CensusService(
+            ServiceConfig(
+                archive_root=f"{tmp}/archive",
+                n_unicast=150,
+                tail_deployments=4,
+                evolution=GENTLE,
+                n_vps=20,
+                roster_churn_prob=0.05,   # keyed per-(epoch, VP) dropout
+                roster_seed=11,
+                baseline_depth=4,         # rejoin recovery looks this far back
+                trust=True,               # score every epoch's roster
+            )
+        )
+
+        print(f"Running {EPOCHS} epochs with daily probe churn...\n")
+        outcomes = [service.run_epoch(epoch) for epoch in range(EPOCHS)]
+
+        print("epoch  roster  mode         recomputed  copied  recovered")
+        for outcome in outcomes:
+            manifest = service.archive.read_manifest(outcome.epoch)
+            roster = len(manifest["vantage_points"])
+            print(
+                f"  {outcome.epoch}    {roster:3d}    "
+                f"{outcome.mode or 'cold':11s}  "
+                f"{outcome.n_recomputed:6d}    {outcome.n_copied:6d}  "
+                f"{outcome.n_recovered:6d}"
+            )
+
+        print("\nRoster motion recorded in the manifests:")
+        for epoch in range(1, EPOCHS):
+            block = (service.archive.read_manifest(epoch).get("churn") or {}).get(
+                "roster"
+            )
+            if block is None:
+                print(f"  epoch {epoch}: roster unchanged")
+            else:
+                print(
+                    f"  epoch {epoch}: joined={block['joined']} "
+                    f"left={block['left']} "
+                    f"({block['n_surviving']} survived)"
+                )
+
+        convicted = sorted({vp for o in outcomes for vp in o.untrusted_vps})
+        print(
+            "\nTrust engine: "
+            + (f"convicted {convicted}" if convicted else "clean roster, "
+               "nobody convicted — output byte-identical to a trust-off run")
+        )
+
+        recovered = sum(o.n_recovered for o in outcomes)
+        incremental = [o for o in outcomes[1:] if o.mode == "incremental"]
+        print(
+            f"\n{len(incremental)}/{EPOCHS - 1} epochs stayed incremental, "
+            f"{recovered} targets recovered from pre-disconnect baselines — "
+            "under an all-or-nothing roster digest every epoch after a "
+            "roster move would have gone cold, and a rejoining VP could "
+            "never have been recovered.  Every committed epoch is "
+            "byte-equal to a cold recompute."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -30,7 +30,14 @@ from typing import List, Optional
 from .census.report import format_table
 from .internet.topology import InternetConfig
 from .measurement.campaign import CensusAborted, CensusInterrupted
-from .measurement.faults import FaultPlan, PoisonKind, PoisonPlan, RetryPolicy
+from .measurement.faults import (
+    DistortionKind,
+    FaultPlan,
+    PoisonKind,
+    PoisonPlan,
+    RetryPolicy,
+    VpDistortionPlan,
+)
 from .obs import render_trace
 from .resilience import ResiliencePolicy, StageFailed
 from .workflow import CensusStudy, StudyConfig
@@ -77,6 +84,21 @@ def _parse_workers(value: Optional[str]) -> Optional[int]:
     return workers
 
 
+def _distortion_from_args(args: argparse.Namespace) -> Optional[VpDistortionPlan]:
+    """The ``--vp-distortion*`` flags as a plan (``None`` when off)."""
+    if args.vp_distortion <= 0.0:
+        return None
+    if args.vp_distortion_kind is not None:
+        return VpDistortionPlan.single(
+            args.vp_distortion_kind,
+            fraction=args.vp_distortion,
+            seed=args.vp_distortion_seed,
+        )
+    return VpDistortionPlan(
+        fraction=args.vp_distortion, seed=args.vp_distortion_seed
+    )
+
+
 def _build_study(args: argparse.Namespace) -> CensusStudy:
     fault_plan = FaultPlan.uniform(
         args.fault_rate, seed=args.fault_seed, flap_prob=args.flap_prob
@@ -112,6 +134,8 @@ def _build_study(args: argparse.Namespace) -> CensusStudy:
             manifest_path=args.manifest,
             resilience=policy_factory() if policy_factory is not None else None,
             poison=poison,
+            vp_distortion=_distortion_from_args(args),
+            trust=args.trust,
         )
     )
 
@@ -222,6 +246,10 @@ def _cmd_stats(study: CensusStudy, args: argparse.Namespace) -> int:
 
 def _cmd_health(study: CensusStudy, args: argparse.Namespace) -> int:
     study.censuses  # health_reports is lazy: materialize the campaign first
+    if study.config.trust:
+        # The trust stage runs on the combined matrix; its verdicts are
+        # absorbed into the per-census health reports printed below.
+        study.matrix
     for report in study.health_reports:
         for line in report.summary_lines():
             print(line)
@@ -230,6 +258,9 @@ def _cmd_health(study: CensusStudy, args: argparse.Namespace) -> int:
     print(f"quarantined VPs: {len(quarantined)}")
     for name in quarantined:
         print(f"  {name}")
+    if study.trust_report is not None:
+        for line in study.trust_report.summary_lines():
+            print(line)
     if study.supervisor is not None:
         # With the resilience layer on, surface the data quarantine and
         # the per-stage degradation picture too.  Force the analysis so
@@ -261,6 +292,11 @@ def _service_from_args(args: argparse.Namespace):
             churn_threshold=args.churn_threshold,
             resilience=policy_factory() if policy_factory is not None else None,
             telemetry=getattr(args, "telemetry", False),
+            roster_churn_prob=args.roster_churn,
+            roster_seed=args.roster_seed,
+            baseline_depth=args.baseline_depth,
+            trust=args.trust,
+            vp_distortion=_distortion_from_args(args),
         )
     )
 
@@ -429,6 +465,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of items the poison mode hits")
     parser.add_argument("--poison-seed", type=int, default=0,
                         help="seed of the data poisoner")
+    parser.add_argument("--vp-distortion", type=float, default=0.0,
+                        metavar="FRACTION",
+                        help="chaos harness: miscalibrate this keyed "
+                             "fraction of vantage points for the whole "
+                             "campaign (clock skew, bufferbloat, stale "
+                             "geolocation, stuck RTTs; combine with "
+                             "--trust to exercise the detector)")
+    parser.add_argument("--vp-distortion-seed", type=int, default=0,
+                        help="seed of the VP distortion plan")
+    parser.add_argument("--vp-distortion-kind",
+                        choices=[k.value for k in DistortionKind],
+                        default=None, metavar="KIND",
+                        help="restrict distortion to one kind "
+                             "(default: all four)")
+    parser.add_argument("--trust", action="store_true",
+                        help="cross-VP trust scoring: excise vantage "
+                             "points whose columns are self-inconsistent "
+                             "before analysis; clean rosters are "
+                             "byte-identical with or without this flag")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("glance", help="Fig. 10 summary table").set_defaults(func=_cmd_glance)
@@ -488,6 +543,18 @@ def build_parser() -> argparse.ArgumentParser:
     svc.add_argument("--churn-threshold", type=float, default=0.25,
                      help="churn fraction above which incremental mode "
                           "falls back to a cold census (default: 0.25)")
+    svc.add_argument("--roster-churn", type=float, default=0.0,
+                     metavar="PROB",
+                     help="per-epoch keyed probability each VP sits the "
+                          "day out; an epoch whose roster matches an "
+                          "archived one recovers that day's analysis "
+                          "instead of going cold (default: 0.0)")
+    svc.add_argument("--roster-seed", type=int, default=23,
+                     help="seed of the roster-churn draws")
+    svc.add_argument("--baseline-depth", type=int, default=3, metavar="N",
+                     help="how many archived epochs the delta planner "
+                          "may recover unchanged targets from "
+                          "(default: 3)")
     svc.add_argument("--dry-run", action="store_true",
                      help="fsck only: report problems without touching "
                           "the archive")

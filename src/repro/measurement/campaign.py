@@ -40,7 +40,7 @@ implementation.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -51,7 +51,15 @@ if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
 
 from ..internet.topology import SyntheticInternet
 from ..obs import current_metrics, current_tracer
-from .faults import FaultInjector, FaultKind, FaultPlan, RetryPolicy, VpHealthTracker
+from .faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+    VpDistorter,
+    VpDistortionPlan,
+    VpHealthTracker,
+)
 from .greylist import Blacklist, Greylist
 from .lfsr import lfsr_permutation
 from .platform import Platform, VantagePoint
@@ -142,6 +150,16 @@ class CampaignHealthReport:
     quarantined_vps: List[str] = field(default_factory=list)
     failed_vps: List[str] = field(default_factory=list)
     salvaged_vps: List[str] = field(default_factory=list)
+    #: VPs under measurement distortion this census (name -> kind), from
+    #: the campaign's :class:`VpDistortionPlan` — chaos ground truth, for
+    #: operators comparing what was injected against what trust caught.
+    distorted_vps: Dict[str, str] = field(default_factory=dict)
+    #: VPs the trust engine excised from analysis input (downstream fills
+    #: this via :meth:`absorb_trust`; empty when trust is off or clean).
+    untrusted_vps: List[str] = field(default_factory=list)
+    #: Per-VP exclusion reasons — quarantine ("quarantined (N consecutive
+    #: failures)") and trust verdict reason codes, keyed by VP name.
+    vp_reasons: Dict[str, List[str]] = field(default_factory=dict)
     degraded: bool = False
     #: Pool-supervision dump (``ExecutionReport.to_dict``) when the
     #: census ran on the parallel execution engine; None on the classic
@@ -181,7 +199,32 @@ class CampaignHealthReport:
                 f"{ex.get('workers_lost', 0)} lost, "
                 f"{ex.get('workers_wedged', 0)} wedged"
             )
+        if self.distorted_vps:
+            kinds = ", ".join(
+                f"{name}={kind}" for name, kind in sorted(self.distorted_vps.items())
+            )
+            lines.append(f"  distorted (chaos):  {kinds}")
+        if self.untrusted_vps:
+            lines.append(f"  untrusted:          {len(self.untrusted_vps)} VP(s)")
+        for name in sorted(self.vp_reasons):
+            lines.append(f"    {name}: {', '.join(self.vp_reasons[name])}")
         return lines
+
+    def absorb_trust(self, untrusted_names, reasons_by_vp) -> None:
+        """Fold a trust report's verdicts into this census's health view.
+
+        Called by downstream consumers (service epochs, the study
+        workflow) after scoring the combined matrix — the campaign itself
+        cannot judge trust, only a cross-VP view can.
+        """
+        for name in untrusted_names:
+            if name not in self.untrusted_vps:
+                self.untrusted_vps.append(name)
+        for name, reasons in reasons_by_vp.items():
+            merged = self.vp_reasons.setdefault(name, [])
+            for reason in reasons:
+                if reason not in merged:
+                    merged.append(reason)
 
 
 @dataclass
@@ -283,6 +326,7 @@ class CensusCampaign:
         quarantine_threshold: int = 2,
         executor: Optional["ExecutionPolicy"] = None,
         noise: str = "stream",
+        distortion: Optional[VpDistortionPlan] = None,
     ) -> None:
         if not 0.0 <= degraded_fraction <= 1.0:
             raise ValueError("degraded_fraction must be in [0, 1]")
@@ -319,6 +363,14 @@ class CensusCampaign:
         self.health = VpHealthTracker(quarantine_threshold=quarantine_threshold)
         self._injector = (
             FaultInjector(self.fault_plan) if self.fault_plan.enabled else None
+        )
+        #: Measurement distortion (miscalibrated nodes).  Applied to each
+        #: scan result at the top of the fault policy — parent-side and
+        #: pre-journal, so serial, pooled, and resumed censuses all see
+        #: the same distorted bytes.
+        self.distortion = distortion or VpDistortionPlan()
+        self._distorter = (
+            VpDistorter(self.distortion) if self.distortion.enabled else None
         )
         self.blacklist = Blacklist()
         self._rng = np.random.default_rng(seed)
@@ -465,11 +517,50 @@ class CensusCampaign:
         else:
             planned = available
 
+        # Distorted metadata: a mis-geolocated VP *measures* from its true
+        # position (catchments and base RTTs use ``self.platform``) but
+        # *reports* displaced coordinates — the census platform, and hence
+        # every downstream matrix, carries the lie.
+        distorted: Dict[str, str] = {}
+        if self._distorter is not None:
+            afflicted = self._distorter.distorted_names(
+                [vp.name for vp in planned.vantage_points]
+            )
+            distorted = {name: kind.value for name, kind in sorted(afflicted.items())}
+            lied = {
+                vp.name: self._distorter.distort_location(vp.name, vp.location)
+                for vp in planned.vantage_points
+                if vp.name in afflicted
+            }
+            if any(
+                lied[vp.name] != vp.location
+                for vp in planned.vantage_points
+                if vp.name in lied
+            ):
+                planned = Platform(
+                    name=planned.name,
+                    vantage_points=[
+                        replace(vp, location=lied[vp.name])
+                        if vp.name in lied and lied[vp.name] != vp.location
+                        else vp
+                        for vp in planned.vantage_points
+                    ],
+                )
+
         report = CampaignHealthReport(
             census_id=census_id,
             n_vps_available=len(available),
             n_vps_planned=len(planned),
             quarantined_vps=sorted(quarantined),
+            distorted_vps=distorted,
+            vp_reasons={
+                name: [
+                    "quarantined "
+                    f"({self.health.health_of(name).consecutive_failures}"
+                    " consecutive failures)"
+                ]
+                for name in sorted(quarantined)
+            },
         )
         if len(planned) < self.min_vp_quorum:
             raise CensusAborted(census_id, len(planned), self.min_vp_quorum, report)
@@ -877,7 +968,16 @@ class CensusCampaign:
         calls it in the parent on each merged per-VP result): what the
         supervisor "observed" depends only on the keyed injector, never
         on which process computed the scan.
+
+        Measurement distortion applies first — before checksums, before
+        any fault verdict — so every consumer (journal, salvage, corrupt
+        check) sees the distorted record batch, exactly as a real
+        miscalibrated node would have handed it over.
         """
+        if self._distorter is not None:
+            result = self._distorter.distort_result(
+                self.platform.vantage_points[platform_index].name, result
+            )
         injector = self._injector
         if injector is None:
             return _VpOutcome(

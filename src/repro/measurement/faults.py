@@ -29,6 +29,7 @@ is byte-identical to a campaign without the fault layer.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -544,6 +545,231 @@ class WorkerFaultInjector:
         if u < edge:
             return WorkerFaultKind.SLOW_WORKER
         return None
+
+
+# ----------------------------------------------------------------------
+# Vantage-point distortion: miscalibrated nodes, not crashed ones
+# ----------------------------------------------------------------------
+
+
+class DistortionKind(enum.Enum):
+    """How a vantage point's *measurements* can be silently wrong.
+
+    Where :class:`FaultKind` models a node failing loudly (crash, hang,
+    corrupt batch), these model a node that keeps answering with data
+    that is subtly untrustworthy — the failure modes that can fabricate
+    speed-of-light violations and flip a unicast prefix to anycast, or
+    hide real violations.  All four are well-documented on shared
+    measurement platforms.
+    """
+
+    #: A constant offset on every RTT the VP reports (bad clock
+    #: discipline / user-space timestamping skew).  Negative offsets
+    #: produce physically impossible round trips.
+    CLOCK_SKEW = "clock_skew"
+    #: Heavy-tailed per-probe inflation (a congested uplink queue): the
+    #: VP's RTTs are systematically fatter than propagation allows.
+    BUFFERBLOAT = "bufferbloat"
+    #: The VP's *reported* coordinates are wrong (stale geolocation
+    #: feed); its measurements are physical but its metadata is not.
+    GEO_ERROR = "geo_error"
+    #: The VP reports one constant RTT for every target (wedged
+    #: timestamping path returning a cached value).
+    STUCK_RTT = "stuck_rtt"
+
+
+@dataclass(frozen=True)
+class VpDistortionPlan:
+    """Keyed per-VP measurement distortion for a whole campaign.
+
+    ``fraction`` of vantage points are distorted; each distorted VP is
+    assigned one :class:`DistortionKind` (drawn uniformly from
+    ``kinds``) and keeps it for every census — miscalibration is a
+    property of the node, not of one scan.  All draws are keyed on
+    ``(seed, VP name)``, so the distorted set is independent of census
+    order, roster composition, and evaluation order, and identical
+    across the epochs of a longitudinal service.
+
+    The default plan distorts nothing, and consumers skip the
+    distortion path entirely in that case — clean output is
+    byte-identical to a campaign without the distortion layer.
+    """
+
+    fraction: float = 0.0
+    #: Seed of the distortion RNG — independent of every other seed.
+    seed: int = 0
+    #: Kinds eligible for assignment (all four by default).
+    kinds: Tuple[DistortionKind, ...] = (
+        DistortionKind.CLOCK_SKEW,
+        DistortionKind.BUFFERBLOAT,
+        DistortionKind.GEO_ERROR,
+        DistortionKind.STUCK_RTT,
+    )
+    #: Clock-skew offset magnitude range (ms); the sign is a fair coin.
+    #: Sized well above the honest straggler cohort's exponential
+    #: inflation (scale ``DEGRADED_SPIKE_MS``): a broken clock discipline
+    #: drifts by hundreds of ms, an overloaded host by tens.
+    skew_ms: Tuple[float, float] = (200.0, 500.0)
+    #: Exponential scale (ms) of per-probe bufferbloat inflation (severe
+    #: queueing routinely reaches hundreds of ms to seconds).
+    bufferbloat_ms: float = 300.0
+    #: Great-circle displacement range (km) of a mis-geolocated VP.
+    #: Sized at wrong-continent scale (the classic stale-GeoIP failure):
+    #: honest path overhead already pads speed-of-light disks by
+    #: ~2000 km of slack, so a sub-continental displacement is largely
+    #: absorbed by that padding and neither corrupts the census much nor
+    #: leaves a cross-VP signature to detect.
+    geo_error_km: Tuple[float, float] = (5000.0, 12000.0)
+    #: Constant-RTT range (ms) a stuck VP reports for every target.
+    stuck_ms: Tuple[float, float] = (3.0, 40.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction!r}")
+        if self.seed < 0:
+            raise ValueError("distortion seed must be non-negative")
+        if not self.kinds:
+            raise ValueError("kinds must not be empty")
+        # Accept bare strings ("geo_error") anywhere a kind is listed.
+        object.__setattr__(
+            self, "kinds", tuple(DistortionKind(k) for k in self.kinds)
+        )
+        for name in ("skew_ms", "geo_error_km", "stuck_ms"):
+            lo, hi = getattr(self, name)
+            if not 0.0 < lo <= hi:
+                raise ValueError(f"{name} must be an increasing positive range")
+        if self.bufferbloat_ms <= 0.0:
+            raise ValueError("bufferbloat_ms must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.fraction > 0.0
+
+    @classmethod
+    def single(
+        cls, kind: "DistortionKind | str", fraction: float, seed: int = 0, **kwargs
+    ) -> "VpDistortionPlan":
+        """A plan applying exactly one kind — the chaos-matrix building
+        block (``VpDistortionPlan.single(DistortionKind.STUCK_RTT, 0.1)``)."""
+        member = kind if isinstance(kind, DistortionKind) else DistortionKind(kind)
+        return cls(fraction=fraction, seed=seed, kinds=(member,), **kwargs)
+
+
+#: Domain separation for VP-distortion draws (vs faults/poison/workers).
+_DISTORT_SALT = 0xD15708
+
+
+class VpDistorter:
+    """Applies a :class:`VpDistortionPlan` to scan results and rosters.
+
+    Like every injector in this module the randomness is keyed, never
+    streamed: a VP's assignment (and its distortion parameters) is a
+    pure function of ``(plan seed, VP name)``.
+    """
+
+    def __init__(self, plan: VpDistortionPlan) -> None:
+        self.plan = plan
+
+    def _rng(self, vp_name: str, *keys: int) -> np.random.Generator:
+        return np.random.default_rng(
+            [_DISTORT_SALT, self.plan.seed, zlib.crc32(vp_name.encode()), *keys]
+        )
+
+    def kind_for(self, vp_name: str) -> Optional[DistortionKind]:
+        """The distortion (if any) afflicting one vantage point."""
+        if not self.plan.enabled:
+            return None
+        rng = self._rng(vp_name, 0xA551)
+        if float(rng.random()) >= self.plan.fraction:
+            return None
+        return self.plan.kinds[int(rng.integers(len(self.plan.kinds)))]
+
+    def distorted_names(self, vp_names: Sequence[str]) -> Dict[str, DistortionKind]:
+        """The afflicted subset of a roster, with each VP's kind."""
+        out: Dict[str, DistortionKind] = {}
+        for name in vp_names:
+            kind = self.kind_for(name)
+            if kind is not None:
+                out[name] = kind
+        return out
+
+    def distort_result(self, vp_name: str, result: VpScanResult) -> VpScanResult:
+        """Distort one VP scan's reply RTTs (geo error leaves them alone).
+
+        Per-probe draws (bufferbloat) are keyed per target prefix, so
+        sharded, resumed, and re-run scans distort identically.
+        """
+        kind = self.kind_for(vp_name)
+        if kind is None or kind is DistortionKind.GEO_ERROR:
+            return result
+        records = result.records
+        replies = records.flag == 0
+        if not bool(replies.any()):
+            return result
+        rng = self._rng(vp_name, 0x9A6A)
+        rtt = records.rtt_ms.copy()
+        if kind is DistortionKind.CLOCK_SKEW:
+            lo, hi = self.plan.skew_ms
+            offset = float(rng.uniform(lo, hi))
+            if bool(rng.random() < 0.5):
+                offset = -offset
+            rtt[replies] = rtt[replies] + np.float32(offset)
+        elif kind is DistortionKind.STUCK_RTT:
+            lo, hi = self.plan.stuck_ms
+            rtt[replies] = np.float32(rng.uniform(lo, hi))
+        else:  # BUFFERBLOAT: keyed heavy-tailed inflation per target
+            from .prober import keyed_uniform
+
+            key = (self.plan.seed * 0x9E3779B1 + zlib.crc32(vp_name.encode())) & (
+                2**63 - 1
+            )
+            u = keyed_uniform(key, "bufferbloat", records.prefix[replies])
+            rtt[replies] = rtt[replies] - np.float32(self.plan.bufferbloat_ms) * np.log1p(
+                -u
+            ).astype(np.float32)
+        records = CensusRecords(
+            census_id=records.census_id,
+            vp_index=records.vp_index.copy(),
+            prefix=records.prefix.copy(),
+            timestamp_ms=records.timestamp_ms.copy(),
+            rtt_ms=rtt,
+            flag=records.flag.copy(),
+        )
+        return VpScanResult(
+            records=records,
+            duration_hours=result.duration_hours,
+            drop_rate=result.drop_rate,
+            probes_sent=result.probes_sent,
+            replies_expected=result.replies_expected,
+            replies_dropped=result.replies_dropped,
+        )
+
+    def distort_location(self, vp_name: str, location: GeoPoint) -> GeoPoint:
+        """A mis-geolocated VP's *reported* coordinates.
+
+        The displacement (keyed distance + bearing) lands the claimed
+        position far from where the measurements were really taken —
+        the metadata lie the trust engine has to catch.
+        """
+        if self.kind_for(vp_name) is not DistortionKind.GEO_ERROR:
+            return location
+        rng = self._rng(vp_name, 0x6E0)
+        lo, hi = self.plan.geo_error_km
+        distance_km = float(rng.uniform(lo, hi))
+        bearing = float(rng.uniform(0.0, 2.0 * np.pi))
+        angular = distance_km / 6371.0
+        lat1 = np.radians(location.lat)
+        lon1 = np.radians(location.lon)
+        lat2 = np.arcsin(
+            np.sin(lat1) * np.cos(angular)
+            + np.cos(lat1) * np.sin(angular) * np.cos(bearing)
+        )
+        lon2 = lon1 + np.arctan2(
+            np.sin(bearing) * np.sin(angular) * np.cos(lat1),
+            np.cos(angular) - np.sin(lat1) * np.sin(lat2),
+        )
+        lon2 = (lon2 + np.pi) % (2.0 * np.pi) - np.pi
+        return GeoPoint(lat=float(np.degrees(lat2)), lon=float(np.degrees(lon2)))
 
 
 def _impossible_point(lat: float, lon: float) -> GeoPoint:

@@ -69,6 +69,9 @@ class SloSpec:
     probe_failure_rate: Optional[Budget] = None
     quarantine_fraction: Optional[Budget] = None
     degraded_target_fraction: Optional[Budget] = None
+    #: Fraction of the scored roster the trust engine excised.  Breach
+    #: means the roster can no longer out-vote its liars.
+    untrusted_vp_fraction: Optional[Budget] = None
 
 
 @dataclass(frozen=True)
@@ -216,6 +219,14 @@ def evaluate_slo(
         None,  # supplied via observations when the caller computed it
     )
 
+    untrusted = _gauge(snapshot, "vps_untrusted")
+    scored = _gauge(snapshot, "vps_scored")
+    if untrusted is not None and scored:
+        untrusted_fraction: Optional[float] = untrusted / float(scored)
+    else:
+        untrusted_fraction = None
+    add("untrusted_vp_fraction", spec.untrusted_vp_fraction, untrusted_fraction)
+
     return SloReport(
         objectives=tuple(objectives),
         verdict=_worst([o.verdict for o in objectives]),
@@ -234,6 +245,9 @@ def default_service_slo() -> SloSpec:
         probe_failure_rate=Budget(warn=0.10, breach=0.50),
         quarantine_fraction=Budget(warn=0.25, breach=0.50),
         degraded_target_fraction=Budget(warn=0.20, breach=0.50),
+        # Past ~a third of the roster excised, majority voting (and the
+        # census built on it) is no longer meaningful.
+        untrusted_vp_fraction=Budget(warn=0.10, breach=0.34),
     )
 
 

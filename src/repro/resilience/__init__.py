@@ -54,6 +54,17 @@ from .supervisor import (
     StagePolicy,
     StageSupervisor,
 )
+from .vptrust import (
+    TRUST_REASON_NEGATIVE_RTT,
+    TRUST_REASON_RTT_INFLATION,
+    TRUST_REASON_SOL_VIOLATION,
+    TRUST_REASON_STUCK_RTT,
+    TrustPolicy,
+    VpTrustReport,
+    VpTrustVerdict,
+    apply_trust,
+    score_vps,
+)
 
 __all__ = [
     "CONFIDENCE_DEGRADED",
@@ -84,4 +95,13 @@ __all__ = [
     "StageOutcome",
     "StagePolicy",
     "StageSupervisor",
+    "TRUST_REASON_NEGATIVE_RTT",
+    "TRUST_REASON_RTT_INFLATION",
+    "TRUST_REASON_SOL_VIOLATION",
+    "TRUST_REASON_STUCK_RTT",
+    "TrustPolicy",
+    "VpTrustReport",
+    "VpTrustVerdict",
+    "apply_trust",
+    "score_vps",
 ]

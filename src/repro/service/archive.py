@@ -71,6 +71,13 @@ EVENTS_FILE = "events.jsonl"
 TELEMETRY_FILES = (TELEMETRY_FILE, EVENTS_FILE)
 TELEMETRY_KIND = "census-telemetry"
 
+#: VP trust sidecar (the serialized :class:`~repro.resilience.vptrust.
+#: VpTrustReport`), committed with the run when trust scoring ran.
+#: Same contract as telemetry: atomic with the run, outside the payload
+#: seals, and repairable by fsck (quarantine the sidecar, keep the run).
+TRUST_FILE = "trust.json"
+TRUST_KIND = "vp-trust"
+
 _RUN_DIR_RE = re.compile(r"^day-(\d{6})$")
 _STAGING_PREFIX = "."
 
@@ -214,6 +221,38 @@ def telemetry_problems(doc: Any) -> List[str]:
             and isinstance(events.get("crc32"), int)
         ):
             problems.append("events must be null or carry lines/bytes/crc32")
+    return problems
+
+
+def trust_problems(doc: Any) -> List[str]:
+    """All schema violations of a parsed trust sidecar (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["trust sidecar is not a JSON object"]
+    if doc.get("kind") != TRUST_KIND:
+        problems.append(f"kind is {doc.get('kind')!r}, expected {TRUST_KIND!r}")
+    if not (isinstance(doc.get("epoch"), int) and doc["epoch"] >= 0):
+        problems.append("epoch must be an int >= 0")
+    verdicts = doc.get("verdicts")
+    if not isinstance(verdicts, list):
+        problems.append("verdicts must be a list")
+    else:
+        for i, verdict in enumerate(verdicts):
+            if not (
+                isinstance(verdict, dict)
+                and isinstance(verdict.get("name"), str)
+                and isinstance(verdict.get("trusted"), bool)
+                and isinstance(verdict.get("reasons"), list)
+            ):
+                problems.append(f"verdicts[{i}] must carry name/trusted/reasons")
+                break
+        if isinstance(doc.get("n_untrusted"), int) and isinstance(verdicts, list):
+            actual = sum(1 for v in verdicts if not v.get("trusted", True))
+            if actual != doc["n_untrusted"]:
+                problems.append(
+                    f"n_untrusted says {doc['n_untrusted']}, "
+                    f"verdicts contain {actual}"
+                )
     return problems
 
 
@@ -389,6 +428,35 @@ class CensusArchive:
                 )
         return doc
 
+    def read_trust(self, epoch: int) -> Optional[Dict[str, Any]]:
+        """Load one run's VP trust sidecar, or ``None`` when the run has
+        none (trust scoring was off, or fsck quarantined a rotten one).
+
+        Raises :class:`CorruptPayloadError` when a sidecar is present
+        but unreadable or schema-invalid — the condition fsck repairs by
+        quarantining the sidecar while keeping the run.
+        """
+        run = self.run_dir(epoch)
+        path = run / TRUST_FILE
+        if not path.exists():
+            return None
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise CorruptPayloadError(
+                f"unreadable trust sidecar for epoch {epoch}: {exc}"
+            ) from exc
+        problems = trust_problems(doc)
+        if problems:
+            raise CorruptPayloadError(
+                f"invalid trust sidecar for epoch {epoch}: " + "; ".join(problems)
+            )
+        if doc["epoch"] != epoch:
+            raise CorruptPayloadError(
+                f"trust sidecar in {run.name} claims epoch {doc['epoch']}"
+            )
+        return doc
+
     # -- committing ----------------------------------------------------
 
     def commit_run(
@@ -399,6 +467,7 @@ class CensusArchive:
         results_doc: Dict[str, Any],
         telemetry_doc: Optional[Dict[str, Any]] = None,
         events_lines: Optional[List[str]] = None,
+        trust_doc: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Atomically commit one epoch's run; return the full manifest.
 
@@ -412,6 +481,10 @@ class CensusArchive:
         so the manifest/records/results bytes are identical whether
         telemetry is on or off.  The events file's own size/CRC seal is
         embedded in the telemetry document instead.
+
+        ``trust_doc`` is the optional VP trust sidecar (a serialized
+        :class:`~repro.resilience.vptrust.VpTrustReport`), committed
+        under the same atomic-rename / outside-the-seals contract.
         """
         if self.has(epoch):
             raise ArchiveError(f"epoch {epoch} is already committed")
@@ -470,6 +543,16 @@ class CensusArchive:
             self._write_file(
                 staging / TELEMETRY_FILE, canonical_json_bytes(telemetry)
             )
+        if trust_doc is not None:
+            trust = dict(trust_doc)
+            trust["kind"] = TRUST_KIND
+            trust["epoch"] = epoch
+            problems = trust_problems(trust)
+            if problems:
+                raise ArchiveError(
+                    "invalid trust document: " + "; ".join(problems)
+                )
+            self._write_file(staging / TRUST_FILE, canonical_json_bytes(trust))
         self._fire("commit:staged")
         os.replace(staging, final)
         self._fire("commit:renamed")

@@ -11,12 +11,17 @@ the manifest's ``churn`` block work straight off the archive):
   :func:`repro.census.longitudinal.compare_epochs` (grown / shrunk /
   footprint-only motion / appeared / disappeared), fed with lightweight
   shims rebuilt from each document's per-AS section.
+
+A third, orthogonal axis is the *measuring* side:
+:func:`roster_churn` diffs the analyzed vantage-point rosters of two
+runs (join / leave / survive) — the denominator of the service's
+roster-churn-tolerant incremental recompute.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Iterable
 
 from ..census.longitudinal import LongitudinalReport, compare_epochs
 
@@ -106,6 +111,27 @@ class ChurnSummary:
             "  ASes: "
             + ", ".join(f"{k}={v}" for k, v in sorted(self.ases.items())),
         ]
+
+
+def roster_churn(
+    before_names: Iterable[str], after_names: Iterable[str]
+) -> Dict[str, Any]:
+    """Diff two analyzed VP rosters (e.g. from two run manifests).
+
+    The ``roster`` block of the manifest's churn section: which vantage
+    points joined, left, or survived between the epochs.  Surviving VPs
+    are what keeps the incremental recompute warm — a target measured
+    only by survivors keeps its signature across the roster change.
+    """
+    before = set(before_names)
+    after = set(after_names)
+    return {
+        "joined": sorted(after - before),
+        "left": sorted(before - after),
+        "n_before": len(before),
+        "n_after": len(after),
+        "n_surviving": len(before & after),
+    }
 
 
 def _replicas_of(entry: Dict[str, Any]) -> int:

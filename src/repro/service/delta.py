@@ -1,34 +1,44 @@
 """Per-target RTT signatures and the incremental-vs-cold decision.
 
 The service's incremental recompute stands on one fact about the
-analysis pipeline: a target's verdict is a pure function of its own RTT
-row plus run-wide context that is identical for every row (the VP
-roster, the gazetteer, the iGreedy config).  Detection
-(:func:`repro.core.detection.detection_mask`) is computed row by row,
-and enumeration/geolocation (:meth:`FastAnalysisEngine.analyze_row`)
-reads only the target's row and the shared geometry — nothing couples
-two targets.
+analysis pipeline: a target's verdict is a pure function of the set of
+``(VP name, VP coordinates, RTT)`` samples that actually measured it,
+plus run-wide context that is identical for every row (the gazetteer,
+the iGreedy config).  Detection
+(:func:`repro.core.detection.detection_mask`) ignores NaN cells by
+construction, enumeration/geolocation
+(:meth:`FastAnalysisEngine.analyze_row`) reads only the non-NaN samples
+of the row (its witness indices live in RTT-sorted sample order, not
+raw column order), and nothing couples two targets.
 
-So a *signature* — a keyed hash over (VP-roster digest, the row's raw
-float32 bytes) — certifies: equal signature ⟹ byte-equal analysis
-input ⟹ identical analysis output.  The roster digest folds the VP
-names *and coordinates* into every signature, which makes the scheme
-conservative under platform drift: change one VP and every signature
-changes, forcing a cold census rather than silently comparing rows
-measured from different places.
+So a *signature* — a hash over the target's non-NaN cells, each cell
+prefixed by a digest of the measuring VP's name and exact coordinates —
+certifies: equal signature ⟹ identical analysis-relevant input ⟹
+identical analysis output.  Crucially the signature never mentions the
+roster as a whole: a vantage point joining or leaving the platform only
+perturbs the signatures of targets that VP actually measured.  Under
+the old scheme (a whole-roster digest folded into every row hash) one
+VP joining forced a full cold census; under this scheme the surviving
+targets' entries are copied and provably byte-equal to a cold recompute
+on the same roster.
 
-:func:`plan_delta` turns two epochs' signature maps into the recompute
-plan, falling back to a full cold census whenever incremental mode is
-disabled, has no baseline, cannot read it, or the churn fraction
-exceeds the configured threshold (at which point recomputing everything
-is both cheaper to reason about and barely slower).
+:func:`plan_delta` turns the signature maps into the recompute plan.
+Besides the primary baseline (the latest committed epoch) it can
+consult a short *history* of older epochs: a probe that disconnects for
+a day and returns — the dominant churn mode of a real measurement
+platform — produces rows identical to its pre-disconnect epoch (keyed
+noise), so the plan copies those targets from the older baseline
+instead of re-analyzing them.  The plan falls back to a full cold
+census whenever incremental mode is disabled, has no baseline, cannot
+read it, or the residual churn fraction exceeds the configured
+threshold.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,35 +53,74 @@ REASON_CHURN = "churn-exceeds-threshold"
 REASON_DELTA = "delta"
 
 
-def vp_context_digest(vp_names: Sequence[str], vp_locations: Sequence[GeoPoint]) -> str:
-    """Digest of the VP roster (names + exact coordinates), hex.
+def vp_column_digest(name: str, location: GeoPoint) -> bytes:
+    """8-byte digest of one vantage point's identity (name + coordinates).
 
-    Folded into every target signature: two rows are only comparable
-    when they were measured by the same vantage points from the same
-    places.
+    The per-cell prefix of every target signature: a row cell is only
+    comparable across epochs when it was measured by the same VP from
+    the same place.
     """
     h = hashlib.blake2b(digest_size=8)
+    h.update(name.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(np.float64(location.lat).tobytes())
+    h.update(np.float64(location.lon).tobytes())
+    return h.digest()
+
+
+def vp_context_digest(vp_names: Sequence[str], vp_locations: Sequence[GeoPoint]) -> str:
+    """Digest of a whole VP roster (names + exact coordinates), hex.
+
+    No longer part of any target signature (see
+    :func:`vp_column_digest`); kept as the results document's roster
+    fingerprint so two epochs' analyzed rosters can be compared at a
+    glance.
+    """
+    if len(vp_names) != len(vp_locations):
+        raise ValueError(
+            "vp_names/vp_locations length mismatch: "
+            f"{len(vp_names)} names vs {len(vp_locations)} locations"
+        )
+    h = hashlib.blake2b(digest_size=8)
     for name, location in zip(vp_names, vp_locations):
-        h.update(name.encode("utf-8"))
-        h.update(b"\x00")
-        h.update(np.float64(location.lat).tobytes())
-        h.update(np.float64(location.lon).tobytes())
+        h.update(vp_column_digest(name, location))
     return h.hexdigest()
 
 
-def target_signatures(matrix: RttMatrix) -> Dict[int, str]:
-    """Per-target signature over (VP roster, raw float32 RTT row).
+def target_signatures(
+    matrix: RttMatrix, excised: Optional[np.ndarray] = None
+) -> Dict[int, str]:
+    """Per-target signatures over the non-NaN ``(VP digest, RTT)`` cells.
 
-    Hashing the row *bytes* (NaNs included) rather than any derived
-    quantity means the certificate covers everything the analysis can
-    possibly read from the row.
+    Cells are hashed in VP-*name* order (not column order), so the
+    signature is invariant to how the roster happens to be arranged —
+    and, because NaN cells contribute nothing, invariant to VPs that
+    never measured the target at all.
+
+    ``excised`` is the trust layer's per-target count of samples it
+    removed from the row (see :func:`repro.resilience.vptrust.apply_trust`);
+    a non-zero count is folded into the hash because it changes the
+    entry's confidence marker.  Rows with a zero count hash exactly as
+    if the argument was never given, preserving byte-identity of
+    trust-on runs over clean data.
     """
-    context = vp_context_digest(matrix.vp_names, matrix.vp_locations).encode("ascii")
-    rows = np.ascontiguousarray(matrix.rtt_ms, dtype="<f4")
+    n_vps = matrix.n_vps
+    order = np.argsort(np.array(matrix.vp_names))
+    digests = [
+        vp_column_digest(matrix.vp_names[int(j)], matrix.vp_locations[int(j)])
+        for j in order
+    ]
+    cells = np.zeros(n_vps, dtype=[("vp", "S8"), ("rtt", "<f4")])
+    cells["vp"] = digests
+    rtt = np.ascontiguousarray(matrix.rtt_ms, dtype="<f4")[:, order]
+    present = ~np.isnan(rtt)
     signatures: Dict[int, str] = {}
     for i, prefix in enumerate(matrix.prefixes):
-        h = hashlib.blake2b(context, digest_size=8)
-        h.update(rows[i].tobytes())
+        cells["rtt"] = rtt[i]
+        h = hashlib.blake2b(digest_size=8)
+        h.update(cells[present[i]].tobytes())
+        if excised is not None and excised[i]:
+            h.update(b"\x01" + int(excised[i]).to_bytes(4, "little"))
         signatures[int(prefix)] = h.hexdigest()
     return signatures
 
@@ -85,21 +134,30 @@ class DeltaPlan:
     #: Why (one of the ``REASON_*`` constants).
     reason: str
     baseline_epoch: Optional[int]
-    #: Fraction of current targets whose signature is new or changed.
+    #: Fraction of current targets that must actually be re-analyzed
+    #: (signature new or changed, and not recoverable from history).
     churn_fraction: float
-    #: Common targets whose signature changed.
+    #: Common targets whose signature changed vs the primary baseline.
     changed: List[int] = field(default_factory=list)
     #: Common targets whose signature is identical — copy from baseline.
     unchanged: List[int] = field(default_factory=list)
-    #: Targets present now but not in the baseline.
+    #: Targets present now but not in the primary baseline.
     appeared: List[int] = field(default_factory=list)
     #: Baseline targets that no longer reply.
     disappeared: List[int] = field(default_factory=list)
+    #: Targets whose signature misses the primary baseline but matches an
+    #: older epoch's (prefix -> that epoch) — copy from there instead of
+    #: recomputing.  The roster-rejoin fast path: a VP returning after an
+    #: absence reproduces its keyed rows, so its targets match the epoch
+    #: before the disconnect.
+    recovered: Dict[int, int] = field(default_factory=dict)
 
     @property
     def recompute(self) -> List[int]:
         """Targets the engine must actually analyze this epoch."""
-        return sorted(self.changed + self.appeared)
+        return sorted(
+            p for p in self.changed + self.appeared if p not in self.recovered
+        )
 
 
 def plan_delta(
@@ -109,12 +167,19 @@ def plan_delta(
     churn_threshold: float = 0.25,
     enabled: bool = True,
     baseline_problem: Optional[str] = None,
+    history: Sequence[Tuple[int, Dict[int, str]]] = (),
 ) -> DeltaPlan:
     """Decide incremental vs cold and partition the target set.
 
     ``baseline_problem`` is set by the caller when the baseline run
     exists but could not be read (corrupt/quarantined) — always a cold
     census, with the manifest recording why.
+
+    ``history`` is a sequence of ``(epoch, signatures)`` pairs for older
+    committed epochs; targets missing the primary baseline are matched
+    against them (most recent epoch first) and copied when a signature
+    agrees — equal signature certifies identical analysis input no
+    matter which epoch produced it.
     """
     if not 0.0 <= churn_threshold <= 1.0:
         raise ValueError("churn_threshold must be in [0, 1]")
@@ -135,19 +200,27 @@ def plan_delta(
     if baseline is None:
         return cold(REASON_NO_BASELINE)
 
+    ordered_history = sorted(history, key=lambda pair: pair[0], reverse=True)
+
     changed: List[int] = []
     unchanged: List[int] = []
     appeared: List[int] = []
+    recovered: Dict[int, int] = {}
     for prefix, signature in current.items():
         previous = baseline.get(prefix)
+        if previous == signature:
+            unchanged.append(prefix)
+            continue
         if previous is None:
             appeared.append(prefix)
-        elif previous == signature:
-            unchanged.append(prefix)
         else:
             changed.append(prefix)
+        for epoch, signatures in ordered_history:
+            if signatures.get(prefix) == signature:
+                recovered[prefix] = epoch
+                break
     disappeared = sorted(set(baseline) - set(current))
-    churn = (len(changed) + len(appeared)) / max(len(current), 1)
+    churn = (len(changed) + len(appeared) - len(recovered)) / max(len(current), 1)
 
     plan = DeltaPlan(
         mode="incremental",
@@ -158,8 +231,10 @@ def plan_delta(
         unchanged=sorted(unchanged),
         appeared=sorted(appeared),
         disappeared=disappeared,
+        recovered=recovered,
     )
     if churn > churn_threshold:
         plan.mode = "cold"
         plan.reason = REASON_CHURN
+        plan.recovered = {}
     return plan

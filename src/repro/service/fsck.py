@@ -51,6 +51,7 @@ from .archive import (
     RECORDS_FILE,
     RESULTS_FILE,
     TELEMETRY_FILES,
+    TRUST_FILE,
     CensusArchive,
     parse_run_dirname,
 )
@@ -69,6 +70,9 @@ class FsckReport:
     #: (run name, reason) for telemetry sidecars quarantined *without*
     #: touching their (still valid) run — the repairable case.
     telemetry_quarantined: List[Tuple[str, str]] = field(default_factory=list)
+    #: (run name, reason) for VP trust sidecars quarantined the same
+    #: repairable way: losing a day's trust verdicts never costs the day.
+    trust_quarantined: List[Tuple[str, str]] = field(default_factory=list)
     #: Torn staging directories that were discarded.
     discarded_staging: List[str] = field(default_factory=list)
     #: Stale/foreign journal files that were removed.
@@ -83,6 +87,7 @@ class FsckReport:
         return not (
             self.quarantined
             or self.telemetry_quarantined
+            or self.trust_quarantined
             or self.discarded_staging
             or self.removed_journals
             or self.index_rebuilt
@@ -98,6 +103,8 @@ class FsckReport:
             lines.append(f"  quarantined {name}: {reason}")
         for name, reason in self.telemetry_quarantined:
             lines.append(f"  quarantined telemetry of {name} (run kept): {reason}")
+        for name, reason in self.trust_quarantined:
+            lines.append(f"  quarantined trust sidecar of {name} (run kept): {reason}")
         for name in self.discarded_staging:
             lines.append(f"  discarded torn commit {name}")
         for name in self.removed_journals:
@@ -153,17 +160,33 @@ def _verify_telemetry(archive: CensusArchive, epoch: int) -> Optional[str]:
     return None
 
 
-def _quarantine_telemetry(archive: CensusArchive, epoch: int, repair: bool) -> None:
-    """Move one run's telemetry sidecars (only) into quarantine.
+def _verify_trust(archive: CensusArchive, epoch: int) -> Optional[str]:
+    """The reason one run's trust sidecar is bad, or ``None``.
+
+    A run with no sidecar at all is fine (trust scoring was off for
+    that epoch).
+    """
+    try:
+        archive.read_trust(epoch)
+    except CorruptPayloadError as exc:
+        return str(exc)
+    return None
+
+
+def _quarantine_sidecars(
+    archive: CensusArchive, epoch: int, files: Tuple[str, ...], repair: bool
+) -> None:
+    """Move some of one run's sidecar files (only) into quarantine.
 
     The census payloads and manifest stay exactly where they are: a
-    rotten sidecar costs the epoch its telemetry, never its data.
+    rotten sidecar costs the epoch its telemetry or trust verdicts,
+    never its data.
     """
     if not repair:
         return
     run_dir = archive.run_dir(epoch)
     archive.quarantine_dir.mkdir(parents=True, exist_ok=True)
-    for name in TELEMETRY_FILES:
+    for name in files:
         source = run_dir / name
         if not source.exists():
             continue
@@ -229,8 +252,17 @@ def fsck_archive(archive: CensusArchive, repair: bool = True) -> FsckReport:
         if reason is not None:
             name = archive.run_dir(epoch).name
             report.telemetry_quarantined.append((name, reason))
-            _quarantine_telemetry(archive, epoch, repair)
+            _quarantine_sidecars(archive, epoch, TELEMETRY_FILES, repair)
             metrics.counter("fsck_telemetry_quarantined").inc()
+
+    # 2c. VP trust sidecars: same repairable contract as telemetry.
+    for epoch in list(report.ok_epochs):
+        reason = _verify_trust(archive, epoch)
+        if reason is not None:
+            name = archive.run_dir(epoch).name
+            report.trust_quarantined.append((name, reason))
+            _quarantine_sidecars(archive, epoch, (TRUST_FILE,), repair)
+            metrics.counter("fsck_trust_quarantined").inc()
 
     # 3. Journals: stale ones (their epoch committed and survived
     #    verification) no longer apply; foreign files are noise.  Both go.

@@ -27,6 +27,7 @@ every robustness property testable as byte equality:
 from __future__ import annotations
 
 import pathlib
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -45,8 +46,8 @@ from ..measurement.campaign import (
     CensusCampaign,
     CensusInterrupted,
 )
-from ..measurement.faults import FaultPlan
-from ..measurement.platform import planetlab_platform
+from ..measurement.faults import FaultPlan, VpDistortionPlan
+from ..measurement.platform import Platform, planetlab_platform
 from ..measurement.recordio import CorruptPayloadError
 from ..obs import (
     EventLog,
@@ -69,13 +70,26 @@ from ..obs.timeline import (
     collect_timeline,
     detect_regressions,
 )
-from ..resilience import ResiliencePolicy, StageFailed, StageSupervisor
+from ..resilience import (
+    CONFIDENCE_DEGRADED,
+    CONFIDENCE_INSUFFICIENT,
+    ResiliencePolicy,
+    StageFailed,
+    StageSupervisor,
+    TrustPolicy,
+    VpTrustReport,
+    apply_trust,
+    score_vps,
+)
 from .archive import CensusArchive
-from .churn import churn_between
+from .churn import churn_between, roster_churn
 from .delta import DeltaPlan, plan_delta, target_signatures, vp_context_digest
 from .fsck import FsckReport, fsck_archive
 
 RESULTS_KIND = "census-results"
+
+#: Domain separation for the roster-churn coin flips.
+_ROSTER_SALT = 0x4057E4
 
 
 @dataclass
@@ -130,12 +144,37 @@ class ServiceConfig:
     #: Node-fault injection forwarded to each epoch's campaign (chaos /
     #: seeded-regression testing); ``None`` injects nothing.
     fault_plan: Optional[FaultPlan] = None
+    #: Per-epoch, per-VP probability that a vantage point sits this
+    #: epoch out (probe disconnects — the dominant churn mode of a real
+    #: platform).  Keyed on ``(roster_seed, epoch, VP name)``, so a VP's
+    #: absences are a pure function of the config and a returning VP
+    #: reproduces its pre-disconnect rows exactly.
+    roster_churn_prob: float = 0.0
+    roster_seed: int = 23
+    #: Score every epoch's roster with the VP trust engine and excise
+    #: untrusted columns before signatures/analysis.  Output-neutral on
+    #: clean data (byte-identical archive).
+    trust: bool = False
+    #: Thresholds of the trust engine; ``None`` uses the defaults.
+    trust_policy: Optional[TrustPolicy] = None
+    #: Keyed VP measurement distortion forwarded to each epoch's
+    #: campaign (chaos testing of the trust layer); ``None`` distorts
+    #: nothing.
+    vp_distortion: Optional[VpDistortionPlan] = None
+    #: How many committed epochs *before* the primary baseline are
+    #: consulted when matching changed signatures (the roster-rejoin
+    #: recovery path of :func:`~repro.service.delta.plan_delta`).
+    baseline_depth: int = 3
 
     def __post_init__(self) -> None:
         if self.noise not in ("stream", "keyed"):
             raise ValueError(f"unknown noise mode {self.noise!r}")
         if not 0.0 <= self.churn_threshold <= 1.0:
             raise ValueError("churn_threshold must be in [0, 1]")
+        if not 0.0 <= self.roster_churn_prob < 1.0:
+            raise ValueError("roster_churn_prob must be in [0, 1)")
+        if self.baseline_depth < 0:
+            raise ValueError("baseline_depth must be >= 0")
 
 
 @dataclass
@@ -154,9 +193,14 @@ class EpochOutcome:
     n_targets: int
     n_anycast: int
     total_replicas: int
+    #: Changed/appeared targets copied from an *older* epoch instead of
+    #: recomputed (the roster-rejoin recovery path).
+    n_recovered: int = 0
+    #: Vantage points the trust engine excised this epoch.
+    untrusted_vps: List[str] = field(default_factory=list)
 
     def summary_lines(self) -> List[str]:
-        return [
+        lines = [
             f"epoch {self.epoch}: {self.status} "
             f"[{self.mode}: {self.reason}]",
             f"  targets: {self.n_targets} "
@@ -165,6 +209,15 @@ class EpochOutcome:
             f"(churn {self.churn_fraction:.3f}, "
             f"baseline {self.baseline_epoch})",
         ]
+        if self.n_recovered:
+            lines.append(
+                f"  recovered from history: {self.n_recovered} target(s)"
+            )
+        if self.untrusted_vps:
+            lines.append(
+                "  untrusted VPs excised: " + ", ".join(self.untrusted_vps)
+            )
+        return lines
 
 
 class CensusService:
@@ -221,6 +274,45 @@ class CensusService:
             catalog=self.catalog_for(epoch),
             city_db=self.city_db,
         )
+
+    def platform_for(self, epoch: int) -> Platform:
+        """Epoch *k*'s active roster: the full platform minus the VPs
+        sitting this epoch out.
+
+        Each VP's absence is an independent keyed coin flip on
+        ``(roster_seed, epoch, VP name)`` — deterministic, so re-running
+        (or resuming) an epoch sees the identical roster, and a VP that
+        returns after an absence measures exactly as it did before
+        (keyed campaign noise), which is what lets ``plan_delta``
+        recover its targets from an older baseline instead of going
+        cold.  At least two VPs always survive (the minimum roster that
+        can measure anything cross-VP).
+        """
+        full = self.platform.vantage_points
+        if self.config.roster_churn_prob <= 0.0:
+            return self.platform
+        scores = {
+            vp.name: float(
+                np.random.default_rng(
+                    [
+                        _ROSTER_SALT,
+                        self.config.roster_seed,
+                        epoch,
+                        zlib.crc32(vp.name.encode()),
+                    ]
+                ).random()
+            )
+            for vp in full
+        }
+        keep = [
+            vp for vp in full if scores[vp.name] >= self.config.roster_churn_prob
+        ]
+        if len(keep) < 2:
+            survivors = set(
+                sorted(scores, key=lambda name: scores[name], reverse=True)[:2]
+            )
+            keep = [vp for vp in full if vp.name in survivors]
+        return Platform(self.platform.name, keep)
 
     # ------------------------------------------------------------------
     # Supervision plumbing
@@ -292,13 +384,15 @@ class CensusService:
             events.emit("service", "epoch_start", epoch=epoch)
             self.archive.ensure_layout()
             internet = self.internet_for(epoch)
+            platform = self.platform_for(epoch)
             campaign = CensusCampaign(
                 internet,
-                self.platform,
+                platform,
                 seed=self.config.campaign_seed,
                 degraded_fraction=self.config.degraded_fraction,
                 noise=self.config.noise,
                 fault_plan=self.config.fault_plan,
+                distortion=self.config.vp_distortion,
                 **(
                     {"rate_pps": self.config.rate_pps}
                     if self.config.rate_pps is not None
@@ -332,7 +426,35 @@ class CensusService:
                 for vp_name in census.health.salvaged_vps:
                     events.emit("lifecycle", "vp_salvaged", vp=vp_name, epoch=epoch)
             matrix = matrix_from_census(census)
-            signatures = target_signatures(matrix)
+
+            # Trust gate: score the roster, excise what cannot be
+            # physically consistent with it.  On a clean roster
+            # apply_trust returns the matrix object unchanged and an
+            # all-zero excision count, so signatures — and the whole
+            # committed archive — are byte-identical to a trust-off run.
+            trust_report: Optional[VpTrustReport] = None
+            excised: Optional[np.ndarray] = None
+            if self.config.trust:
+                events.emit("stage", "stage_start", stage="trust", epoch=epoch)
+                with current_tracer().span("trust", epoch=epoch):
+                    trust_report = self._stage(
+                        "trust",
+                        lambda: score_vps(matrix, self.config.trust_policy),
+                    )
+                matrix, excised = apply_trust(matrix, trust_report)
+                if census.health is not None and trust_report.untrusted_names:
+                    census.health.absorb_trust(
+                        trust_report.untrusted_names,
+                        trust_report.reasons_by_vp(),
+                    )
+                events.emit(
+                    "stage",
+                    "stage_end",
+                    stage="trust",
+                    epoch=epoch,
+                    n_untrusted=len(trust_report.untrusted_names),
+                )
+            signatures = target_signatures(matrix, excised)
 
             baseline_epoch = self.archive.latest_epoch_before(epoch)
             baseline_doc: Optional[Dict[str, Any]] = None
@@ -343,6 +465,23 @@ class CensusService:
                 except CorruptPayloadError as exc:
                     baseline_problem = str(exc)
 
+            # Older epochs back the roster-rejoin recovery: a target
+            # whose signature misses the primary baseline but matches a
+            # pre-disconnect epoch is copied from there.
+            history_docs: Dict[int, Dict[str, Any]] = {}
+            history: List[Tuple[int, Dict[int, str]]] = []
+            if baseline_epoch is not None and self.config.baseline_depth > 0:
+                older = [e for e in self.archive.epochs() if e < baseline_epoch]
+                for old_epoch in older[-self.config.baseline_depth :]:
+                    try:
+                        old_doc = self.archive.read_results(old_epoch)
+                    except CorruptPayloadError:
+                        continue  # rotten history is merely unavailable
+                    history_docs[old_epoch] = old_doc
+                    history.append(
+                        (old_epoch, self._baseline_signatures(old_doc))
+                    )
+
             plan = plan_delta(
                 signatures,
                 self._baseline_signatures(baseline_doc),
@@ -350,14 +489,22 @@ class CensusService:
                 churn_threshold=self.config.churn_threshold,
                 enabled=self.config.incremental,
                 baseline_problem=baseline_problem,
+                history=history,
             )
 
             events.emit("stage", "stage_start", stage="analysis", epoch=epoch)
             with current_tracer().span("analysis", epoch=epoch):
-                results_doc, n_recomputed, n_copied = self._stage(
+                results_doc, n_recomputed, n_copied, n_recovered = self._stage(
                     "analysis",
                     lambda: self._analyze(
-                        matrix, internet, signatures, plan, baseline_doc, epoch
+                        matrix,
+                        internet,
+                        signatures,
+                        plan,
+                        baseline_doc,
+                        epoch,
+                        excised=excised,
+                        history_docs=history_docs,
                     ),
                 )
             events.emit(
@@ -368,6 +515,7 @@ class CensusService:
                 mode=plan.mode,
                 n_recomputed=n_recomputed,
                 n_copied=n_copied,
+                n_recovered=n_recovered,
             )
 
             churn_doc = None
@@ -378,9 +526,20 @@ class CensusService:
                     min_delta=self.config.min_delta,
                     min_ip24_delta=self.config.min_ip24_delta,
                 ).to_doc()
+                roster_doc = self._roster_doc(baseline_epoch, matrix)
+                if roster_doc is not None:
+                    churn_doc["roster"] = roster_doc
 
             manifest_core = self._manifest_core(
-                census, matrix, results_doc, plan, n_recomputed, n_copied, churn_doc
+                census,
+                matrix,
+                results_doc,
+                plan,
+                n_recomputed,
+                n_copied,
+                n_recovered,
+                churn_doc,
+                trust_report,
             )
 
             metrics = current_metrics()
@@ -397,7 +556,7 @@ class CensusService:
         events_lines = None
         if collectors is not None:
             telemetry_doc, events_lines = self._build_telemetry(
-                epoch, census, results_doc, *collectors
+                epoch, census, results_doc, *collectors, trust_report=trust_report
             )
         self.archive.commit_run(
             epoch,
@@ -406,6 +565,7 @@ class CensusService:
             results_doc,
             telemetry_doc=telemetry_doc,
             events_lines=events_lines,
+            trust_doc=trust_report.to_doc() if trust_report is not None else None,
         )
         if journal.exists():
             journal.unlink()
@@ -420,10 +580,34 @@ class CensusService:
             churn_fraction=plan.churn_fraction,
             n_recomputed=n_recomputed,
             n_copied=n_copied,
+            n_recovered=n_recovered,
             n_targets=summary["n_targets"],
             n_anycast=summary["n_anycast"],
             total_replicas=summary["total_replicas"],
+            untrusted_vps=(
+                list(trust_report.untrusted_names)
+                if trust_report is not None
+                else []
+            ),
         )
+
+    def _roster_doc(
+        self, baseline_epoch: Optional[int], matrix: RttMatrix
+    ) -> Optional[Dict[str, Any]]:
+        """The churn block's ``roster`` section, or ``None`` when the
+        analyzed roster matches the baseline's (keeping static-roster
+        manifests byte-identical to pre-roster-churn builds)."""
+        if baseline_epoch is None:
+            return None
+        try:
+            baseline_manifest = self.archive.read_manifest(baseline_epoch)
+        except (CorruptPayloadError, ValueError):
+            return None
+        before = [vp["name"] for vp in baseline_manifest.get("vantage_points", [])]
+        after = list(matrix.vp_names)
+        if self.config.roster_churn_prob <= 0.0 and set(before) == set(after):
+            return None
+        return roster_churn(before, after)
 
     def _build_telemetry(
         self,
@@ -433,6 +617,7 @@ class CensusService:
         tracer: Tracer,
         metrics: MetricsRegistry,
         events: EventLog,
+        trust_report: Optional[VpTrustReport] = None,
     ) -> Tuple[Dict[str, Any], List[str]]:
         """Assemble the epoch's telemetry sidecar + sealed event lines.
 
@@ -450,14 +635,17 @@ class CensusService:
             if anycast
             else None
         )
+        observations: Dict[str, Optional[float]] = {
+            "n_vps": self.config.n_vps,
+            "degraded_target_fraction": degraded_fraction,
+        }
+        if trust_report is not None:
+            observations["untrusted_vp_fraction"] = trust_report.untrusted_fraction
         report = evaluate_slo(
             spec,
             stage_seconds=stage_seconds,
             metrics_snapshot=snapshot,
-            observations={
-                "n_vps": self.config.n_vps,
-                "degraded_target_fraction": degraded_fraction,
-            },
+            observations=observations,
         )
         doc = {
             "stages": {
@@ -493,7 +681,9 @@ class CensusService:
         plan: DeltaPlan,
         baseline_doc: Optional[Dict[str, Any]],
         epoch: int,
-    ) -> Tuple[Dict[str, Any], int, int]:
+        excised: Optional[np.ndarray] = None,
+        history_docs: Optional[Dict[int, Dict[str, Any]]] = None,
+    ) -> Tuple[Dict[str, Any], int, int, int]:
         """Build the epoch's results document.
 
         Cold and incremental modes share one per-row code path; the only
@@ -503,6 +693,18 @@ class CensusService:
         independent context, and an unchanged signature certifies an
         identical row — so the copied entry is exactly what recomputing
         would produce, and the serialized documents are byte-equal.
+
+        ``plan.recovered`` entries are the same copy, sourced from an
+        older epoch in ``history_docs`` instead of the primary baseline
+        (the roster-rejoin case: a VP left and came back, so the row
+        matches the pre-disconnect epoch, not yesterday's).
+
+        ``excised`` (per-target count of samples the trust gate removed)
+        drives the confidence downgrade: a target judged on a thinner
+        row than was measured is labelled ``degraded`` — or
+        ``insufficient`` when what is left falls below ``min_samples``.
+        The key is absent on untouched targets, so clean-roster runs
+        serialize byte-identically to trust-off runs.
         """
         cfg = self.config.igreedy
         vp_dist = matrix.vp_distance_matrix()
@@ -511,16 +713,20 @@ class CensusService:
         mask = detection_mask(vp_dist, radii) & (filled >= self.config.min_samples)
         engine = FastAnalysisEngine(matrix, city_db=self.city_db, config=cfg)
 
+        incremental = plan.mode == "incremental"
         copy_from = (
             baseline_doc["targets"]
-            if (plan.mode == "incremental" and baseline_doc is not None)
+            if (incremental and baseline_doc is not None)
             else {}
         )
         skip = set(plan.unchanged) if copy_from else set()
+        recovered_from = plan.recovered if incremental else {}
+        history_docs = history_docs or {}
 
         targets: Dict[str, Any] = {}
         n_recomputed = 0
         n_copied = 0
+        n_recovered = 0
         for row, raw_prefix in enumerate(matrix.prefixes):
             prefix = int(raw_prefix)
             key = str(prefix)
@@ -528,10 +734,21 @@ class CensusService:
                 targets[key] = copy_from[key]
                 n_copied += 1
                 continue
+            if prefix in recovered_from:
+                targets[key] = history_docs[recovered_from[prefix]]["targets"][key]
+                n_copied += 1
+                n_recovered += 1
+                continue
             entry: Dict[str, Any] = {
                 "signature": signatures[prefix],
                 "anycast": bool(mask[row]),
             }
+            if excised is not None and excised[row] > 0:
+                entry["confidence"] = (
+                    CONFIDENCE_INSUFFICIENT
+                    if filled[row] < self.config.min_samples
+                    else CONFIDENCE_DEGRADED
+                )
             if mask[row]:
                 result = engine.analyze_row(row)
                 entry["replicas"] = [
@@ -571,7 +788,7 @@ class CensusService:
                 ),
             },
         }
-        return doc, n_recomputed, n_copied
+        return doc, n_recomputed, n_copied, n_recovered
 
     @staticmethod
     def _aggregate_ases(
@@ -615,10 +832,12 @@ class CensusService:
         plan: DeltaPlan,
         n_recomputed: int,
         n_copied: int,
+        n_recovered: int,
         churn_doc: Optional[Dict[str, Any]],
+        trust_report: Optional[VpTrustReport] = None,
     ) -> Dict[str, Any]:
         summary = results_doc["summary"]
-        return {
+        core = {
             "census": {
                 "census_id": census.census_id,
                 "campaign_seed": self.config.campaign_seed,
@@ -642,9 +861,21 @@ class CensusService:
                 "churn_fraction": plan.churn_fraction,
                 "n_recomputed": n_recomputed,
                 "n_copied": n_copied,
+                "n_recovered": n_recovered,
             },
             "churn": churn_doc,
         }
+        # Only when the gate actually fired: a clean-roster trust-on
+        # manifest stays byte-identical to a trust-off one (the full
+        # verdict set, clean or not, lives in the trust sidecar).
+        if trust_report is not None and trust_report.untrusted_names:
+            core["trust"] = {
+                "enabled": True,
+                "n_untrusted": len(trust_report.untrusted_names),
+                "untrusted": list(trust_report.untrusted_names),
+                "reasons": trust_report.reasons_by_vp(),
+            }
+        return core
 
     def _outcome_from_manifest(self, epoch: int, status: str) -> EpochOutcome:
         manifest = self.archive.read_manifest(epoch)
@@ -659,9 +890,11 @@ class CensusService:
             churn_fraction=analysis["churn_fraction"],
             n_recomputed=analysis["n_recomputed"],
             n_copied=analysis["n_copied"],
+            n_recovered=analysis.get("n_recovered", 0),
             n_targets=counts["n_targets"],
             n_anycast=counts["n_anycast"],
             total_replicas=counts["total_replicas"],
+            untrusted_vps=list(manifest.get("trust", {}).get("untrusted", [])),
         )
 
     # ------------------------------------------------------------------

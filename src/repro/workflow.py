@@ -27,7 +27,13 @@ from .geo.cities import CityDB, default_city_db
 from .internet.hitlist import Hitlist, generate_hitlist
 from .internet.topology import InternetConfig, SyntheticInternet
 from .measurement.campaign import CampaignHealthReport, Census, CensusCampaign
-from .measurement.faults import DataPoisoner, FaultPlan, PoisonPlan, RetryPolicy
+from .measurement.faults import (
+    DataPoisoner,
+    FaultPlan,
+    PoisonPlan,
+    RetryPolicy,
+    VpDistortionPlan,
+)
 from .measurement.httpprobe import SiteCodeBook
 from .measurement.platform import Platform, planetlab_platform
 from .measurement.portscan import PortscanReport, run_portscan
@@ -53,12 +59,16 @@ from .resilience import (
     QuarantineLog,
     ResiliencePolicy,
     StageSupervisor,
+    TrustPolicy,
+    VpTrustReport,
+    apply_trust,
     confidence_counts,
     confidence_verdicts,
     empty_analysis,
     sanitize_hitlist,
     sanitize_matrix,
     sanitize_records,
+    score_vps,
 )
 
 
@@ -121,6 +131,18 @@ class StudyConfig:
     #: Chaos harness: poison data *between* stages (NaN RTTs, impossible
     #: VP coordinates, malformed hitlist rows, ...).  Test-only knob.
     poison: Optional[PoisonPlan] = None
+    #: Chaos harness for the *measurement* side: a keyed fraction of
+    #: vantage points is miscalibrated (clock skew, bufferbloat, stale
+    #: geolocation, stuck RTTs) for the whole campaign.  The default
+    #: plan distorts nothing and leaves output byte-identical.
+    vp_distortion: Optional[VpDistortionPlan] = None
+    #: Cross-VP trust scoring on the combined matrix: convicted columns
+    #: are excised before analysis and their targets marked with
+    #: degraded confidence.  On clean data no VP is convicted and the
+    #: results stay byte-identical to a run without the trust layer.
+    trust: bool = False
+    #: Detector thresholds; ``None`` uses :class:`TrustPolicy` defaults.
+    trust_policy: Optional[TrustPolicy] = None
 
 
 class CensusStudy:
@@ -164,6 +186,10 @@ class CensusStudy:
             else None
         )
         self._removed_per_target = None
+        #: VP trust verdicts of the combined matrix; ``None`` until the
+        #: matrix stage runs (or when ``config.trust`` is off).
+        self.trust_report: Optional[VpTrustReport] = None
+        self._trust_excised = None
         self._internet: Optional[SyntheticInternet] = None
         self._platform: Optional[Platform] = None
         self._campaign: Optional[CensusCampaign] = None
@@ -274,6 +300,7 @@ class CensusStudy:
                 retry=self.config.retry,
                 min_vp_quorum=self.config.min_vp_quorum,
                 executor=self._execution_policy(),
+                distortion=self.config.vp_distortion,
             )
         return self._campaign
 
@@ -345,16 +372,35 @@ class CensusStudy:
             raise FatalStageError("no census survived salvage")
         return self._combine_censuses(usable)
 
+    def _score_trust(self, matrix: RttMatrix) -> RttMatrix:
+        """trust stage body: score every VP column, excise the convicted.
+
+        On a clean roster nothing is convicted and the very same matrix
+        object comes back — the neutrality invariant of the trust layer.
+        """
+        report = score_vps(matrix, self.config.trust_policy)
+        self.trust_report = report
+        matrix, self._trust_excised = apply_trust(matrix, report)
+        if report.untrusted_names and self._censuses is not None:
+            reasons = report.reasons_by_vp()
+            for census in self._censuses:
+                census.health.absorb_trust(report.untrusted_names, reasons)
+        return matrix
+
     @property
     def matrix(self) -> RttMatrix:
-        """Minimum-RTT combination of all censuses."""
+        """Minimum-RTT combination of all censuses (trust-filtered when
+        ``config.trust`` is on)."""
         if self._matrix is None:
             censuses = self.censuses
-            self._matrix = self._run_stage(
+            matrix = self._run_stage(
                 "combine",
                 lambda: self._combine_censuses(censuses),
                 fallback=lambda: self._combine_salvage(censuses),
             )
+            if self.config.trust:
+                matrix = self._run_stage("trust", lambda: self._score_trust(matrix))
+            self._matrix = matrix
         return self._matrix
 
     @property
@@ -369,10 +415,18 @@ class CensusStudy:
                     config=self.config.igreedy,
                     workers=self.config.analysis_workers,
                 )
-                if self.supervisor is not None:
-                    result.confidence = confidence_verdicts(
-                        matrix, self._removed_per_target
+                removed = self._removed_per_target
+                trust_hit = (
+                    self._trust_excised is not None and self._trust_excised.any()
+                )
+                if trust_hit:
+                    removed = (
+                        self._trust_excised
+                        if removed is None
+                        else removed + self._trust_excised
                     )
+                if self.supervisor is not None or trust_hit:
+                    result.confidence = confidence_verdicts(matrix, removed)
                 return result
 
             self._analysis = self._run_stage(
@@ -524,13 +578,16 @@ def small_service(
     resilience: Optional[ResiliencePolicy] = None,
     telemetry: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    **overrides,
 ):
     """A laptop-scale longitudinal service for examples and tests.
 
     A dozen catalog deployments over a small unicast haystack, gentle
     day-over-day drift (about 1-2% of targets move per day), 20 vantage
     points — each epoch takes a fraction of a second, and consecutive
-    days mostly reuse the previous day's archived analysis.
+    days mostly reuse the previous day's archived analysis.  Extra
+    keyword arguments override any other ``ServiceConfig`` field
+    (``roster_churn_prob=0.05``, ``trust=True``, ...).
     """
     from .census.longitudinal import EvolutionConfig
     from .internet.catalog import full_catalog
@@ -553,5 +610,6 @@ def small_service(
             resilience=resilience,
             telemetry=telemetry,
             fault_plan=fault_plan,
+            **overrides,
         )
     )

@@ -11,10 +11,13 @@ from repro.measurement.campaign import (
     CensusInterrupted,
 )
 from repro.measurement.faults import (
+    DistortionKind,
     FaultInjector,
     FaultKind,
     FaultPlan,
     RetryPolicy,
+    VpDistortionPlan,
+    VpDistorter,
     VpHealthTracker,
 )
 from repro.measurement.recordio import CensusJournal
@@ -442,3 +445,172 @@ class TestCheckpointResume:
         for original, again in zip(censuses, replayed):
             assert again.health.n_vps_resumed == again.health.n_vps_planned
             assert_same_census(original, again)
+
+
+class TestVpDistortion:
+    """The keyed VP-distortion model: validation, determinism, effects."""
+
+    def test_default_plan_disabled(self):
+        plan = VpDistortionPlan()
+        assert not plan.enabled
+        assert VpDistorter(plan).distorted_names(["vp-a", "vp-b"]) == {}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fraction": -0.1},
+            {"fraction": 1.5},
+            {"seed": -1},
+            {"kinds": ()},
+            {"skew_ms": (500.0, 200.0)},
+            {"skew_ms": (0.0, 200.0)},
+            {"geo_error_km": (-1.0, 100.0)},
+            {"stuck_ms": (40.0, 3.0)},
+            {"bufferbloat_ms": 0.0},
+        ],
+    )
+    def test_plan_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            VpDistortionPlan(**kwargs)
+
+    def test_string_kinds_normalize_to_enum(self):
+        plan = VpDistortionPlan(fraction=0.1, kinds=("geo_error",))
+        assert plan.kinds == (DistortionKind.GEO_ERROR,)
+        with pytest.raises(ValueError):
+            VpDistortionPlan(fraction=0.1, kinds=("not_a_kind",))
+
+    def test_single_constructor(self):
+        plan = VpDistortionPlan.single("stuck_rtt", fraction=0.2, seed=7)
+        assert plan.kinds == (DistortionKind.STUCK_RTT,)
+        assert plan.fraction == 0.2
+        assert plan.seed == 7
+        assert plan.enabled
+
+    def test_assignment_is_keyed_on_name_not_order(self):
+        """A VP's affliction is a pure function of (seed, name): the
+        same names give the same verdicts whatever the roster order or
+        composition."""
+        distorter = VpDistorter(VpDistortionPlan(fraction=0.4, seed=5))
+        names = [f"vp-{i:02d}" for i in range(40)]
+        forward = distorter.distorted_names(names)
+        assert forward  # 40 draws at 40%: somebody is hit
+        assert distorter.distorted_names(list(reversed(names))) == forward
+        subset = names[::3]
+        expected = {n: k for n, k in forward.items() if n in subset}
+        assert distorter.distorted_names(subset) == expected
+
+    def test_different_seed_different_set(self):
+        names = [f"vp-{i:02d}" for i in range(40)]
+        a = VpDistorter(VpDistortionPlan(fraction=0.4, seed=5)).distorted_names(names)
+        b = VpDistorter(VpDistortionPlan(fraction=0.4, seed=6)).distorted_names(names)
+        assert a != b
+
+    def test_disabled_plan_is_byte_neutral(self, tiny_internet, tiny_platform):
+        """distortion=VpDistortionPlan() (fraction 0) must leave the
+        campaign bit-for-bit identical to one without the layer."""
+        bare = make_campaign(tiny_internet, tiny_platform).run_census()
+        gated = make_campaign(
+            tiny_internet, tiny_platform, distortion=VpDistortionPlan()
+        ).run_census()
+        assert_same_census(bare, gated)
+        assert gated.health.distorted_vps == {}
+
+    def test_distorted_census_reports_afflicted_vps(
+        self, tiny_internet, tiny_platform
+    ):
+        plan = VpDistortionPlan(fraction=0.2, seed=99)
+        census = make_campaign(
+            tiny_internet, tiny_platform, distortion=plan
+        ).run_census(availability=1.0)
+        expected = VpDistorter(plan).distorted_names(
+            [vp.name for vp in tiny_platform.vantage_points]
+        )
+        assert census.health.distorted_vps == {
+            name: kind.value for name, kind in expected.items()
+        }
+        assert any(
+            "distorted (chaos):" in line for line in census.health.summary_lines()
+        )
+
+    def test_stuck_vp_reports_one_constant_rtt(self, tiny_internet, tiny_platform):
+        plan = VpDistortionPlan.single("stuck_rtt", fraction=0.2, seed=3)
+        census = make_campaign(
+            tiny_internet, tiny_platform, distortion=plan
+        ).run_census()
+        names = [vp.name for vp in census.platform.vantage_points]
+        stuck = set(census.health.distorted_vps)
+        assert stuck
+        records = census.records
+        for name in stuck:
+            col = records.rtt_ms[
+                (records.vp_index == names.index(name)) & (records.flag == 0)
+            ]
+            assert len(np.unique(col)) == 1
+            lo, hi = plan.stuck_ms
+            assert lo <= float(col[0]) <= hi
+
+    def test_clock_skew_is_a_constant_offset(self, tiny_internet, tiny_platform):
+        plan = VpDistortionPlan.single("clock_skew", fraction=0.2, seed=3)
+        clean = make_campaign(tiny_internet, tiny_platform).run_census()
+        skewed = make_campaign(
+            tiny_internet, tiny_platform, distortion=plan
+        ).run_census()
+        names = [vp.name for vp in clean.platform.vantage_points]
+        afflicted = set(skewed.health.distorted_vps)
+        assert afflicted
+        for name in afflicted:
+            idx = names.index(name)
+            mask = (clean.records.vp_index == idx) & (clean.records.flag == 0)
+            offsets = skewed.records.rtt_ms[mask] - clean.records.rtt_ms[mask]
+            lo, hi = plan.skew_ms
+            assert np.allclose(offsets, offsets[0], atol=1e-3)
+            assert lo <= abs(float(offsets[0])) <= hi
+        # Honest columns are untouched.
+        honest = ~np.isin(
+            clean.records.vp_index, [names.index(n) for n in afflicted]
+        )
+        assert np.array_equal(
+            skewed.records.rtt_ms[honest], clean.records.rtt_ms[honest],
+            equal_nan=True,
+        )
+
+    def test_geo_error_moves_reported_location_only(
+        self, tiny_internet, tiny_platform
+    ):
+        """A mis-geolocated VP lies about *where* it is, never about
+        what it measured."""
+        plan = VpDistortionPlan.single("geo_error", fraction=0.2, seed=3)
+        clean = make_campaign(tiny_internet, tiny_platform).run_census(
+            availability=1.0
+        )
+        lying = make_campaign(
+            tiny_internet, tiny_platform, distortion=plan
+        ).run_census(availability=1.0)
+        assert records_bytes(clean) == records_bytes(lying)  # data untouched
+        distorter = VpDistorter(plan)
+        afflicted = set(lying.health.distorted_vps)
+        assert afflicted
+        for true_vp, claimed_vp in zip(
+            tiny_platform.vantage_points, lying.platform.vantage_points
+        ):
+            assert true_vp.name == claimed_vp.name
+            displaced = true_vp.location.distance_km(claimed_vp.location)
+            if true_vp.name in afflicted:
+                lo, hi = plan.geo_error_km
+                assert lo * 0.99 <= displaced <= hi * 1.01
+                assert distorter.distort_location(
+                    true_vp.name, true_vp.location
+                ) == claimed_vp.location
+            else:
+                assert displaced == 0.0
+
+    def test_distortion_is_stable_across_runs(self, tiny_internet, tiny_platform):
+        plan = VpDistortionPlan(fraction=0.25, seed=42)
+        first = make_campaign(
+            tiny_internet, tiny_platform, distortion=plan
+        ).run_census()
+        again = make_campaign(
+            tiny_internet, tiny_platform, distortion=plan
+        ).run_census()
+        assert_same_census(first, again)
+        assert first.health.distorted_vps == again.health.distorted_vps

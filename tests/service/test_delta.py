@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.census.combine import RttMatrix
 from repro.geo.coords import GeoPoint
@@ -124,3 +126,144 @@ class TestPlanDelta:
     def test_threshold_validated(self):
         with pytest.raises(ValueError):
             plan_delta(self.CURRENT, None, churn_threshold=1.5)
+
+
+class TestRosterFreeSignatures:
+    """A VP joining or leaving only perturbs the targets it measured."""
+
+    def test_all_nan_column_join_changes_nothing(self):
+        base = target_signatures(make_matrix())
+        joined = make_matrix(vp_names=("vp-a", "vp-b", "vp-c", "vp-new"))
+        joined.rtt_ms[:, :3] = make_matrix().rtt_ms
+        joined.rtt_ms[:, 3] = np.nan
+        assert target_signatures(joined) == base
+
+    def test_partial_coverage_join_only_touches_measured_rows(self):
+        base = target_signatures(make_matrix())
+        joined = make_matrix(vp_names=("vp-a", "vp-b", "vp-c", "vp-new"))
+        joined.rtt_ms[:, :3] = make_matrix().rtt_ms
+        joined.rtt_ms[:, 3] = np.nan
+        joined.rtt_ms[2, 3] = np.float32(42.0)  # measures one target only
+        after = target_signatures(joined)
+        assert after[30] != base[30]
+        assert {p: s for p, s in after.items() if p != 30} == {
+            p: s for p, s in base.items() if p != 30
+        }
+
+    def test_leave_only_touches_measured_rows(self):
+        """Dropping a VP that measured a strict subset of targets keeps
+        every unmeasured target's signature."""
+        matrix = make_matrix()
+        matrix.rtt_ms[[0, 2, 3], 1] = np.nan  # vp-b only measured row 1
+        base = target_signatures(matrix)
+        left = make_matrix(vp_names=("vp-a", "vp-c"))
+        left.vp_locations = [matrix.vp_locations[0], matrix.vp_locations[2]]
+        left.rtt_ms = np.ascontiguousarray(matrix.rtt_ms[:, [0, 2]])
+        after = target_signatures(left)
+        assert after[20] != base[20]
+        assert {p: s for p, s in after.items() if p != 20} == {
+            p: s for p, s in base.items() if p != 20
+        }
+
+    def test_excised_counts_are_part_of_the_signature(self):
+        matrix = make_matrix()
+        none = target_signatures(matrix)
+        zeros = target_signatures(matrix, excised=np.zeros(4, dtype=np.int64))
+        assert zeros == none  # clean trust pass leaves signatures alone
+        hit = target_signatures(matrix, excised=np.array([0, 0, 2, 0]))
+        assert hit[30] != none[30]
+        assert {p: s for p, s in hit.items() if p != 30} == {
+            p: s for p, s in none.items() if p != 30
+        }
+
+    def test_context_digest_mismatch_reports_both_lengths(self):
+        with pytest.raises(ValueError) as exc:
+            vp_context_digest(["a", "b", "c"], [GeoPoint(0.0, 0.0)])
+        assert "3" in str(exc.value) and "1" in str(exc.value)
+
+    def test_column_digest_distinguishes_name_and_location(self):
+        from repro.service.delta import vp_column_digest
+
+        here = GeoPoint(10.0, 20.0)
+        assert vp_column_digest("a", here) == vp_column_digest("a", here)
+        assert vp_column_digest("a", here) != vp_column_digest("b", here)
+        assert vp_column_digest("a", here) != vp_column_digest(
+            "a", GeoPoint(10.0, 20.0001)
+        )
+
+    @given(
+        joined_rows=st.sets(st.integers(min_value=0, max_value=3)),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pure_vp_join_recomputes_only_measured_targets(
+        self, joined_rows, seed
+    ):
+        """Property: under pure VP-join churn the delta plan recomputes
+        exactly the targets the new VP measured — zero unchanged ones."""
+        before = make_matrix(seed=seed)
+        baseline = target_signatures(before)
+        after = make_matrix(seed=seed, vp_names=("vp-a", "vp-b", "vp-c", "vp-new"))
+        after.rtt_ms[:, :3] = before.rtt_ms
+        after.rtt_ms[:, 3] = np.nan
+        for row in joined_rows:
+            after.rtt_ms[row, 3] = np.float32(33.0 + row)
+        plan = plan_delta(
+            target_signatures(after), baseline, baseline_epoch=1,
+            churn_threshold=1.0,
+        )
+        assert plan.mode == "incremental"
+        measured = sorted(int(before.prefixes[r]) for r in joined_rows)
+        assert plan.recompute == measured
+        assert plan.unchanged == [
+            int(p) for p in before.prefixes if int(p) not in measured
+        ]
+
+
+class TestPlanDeltaHistory:
+    CURRENT = {10: "aa", 20: "bb", 30: "cc", 40: "dd"}
+
+    def test_changed_targets_recover_from_matching_history(self):
+        baseline = {10: "aa", 20: "OLD", 30: "OLD", 40: "dd"}
+        history = [(3, {20: "bb", 30: "x"}), (2, {30: "cc", 40: "y"})]
+        plan = plan_delta(
+            self.CURRENT, baseline, baseline_epoch=5,
+            churn_threshold=1.0, history=history,
+        )
+        assert plan.mode == "incremental"
+        assert plan.recovered == {20: 3, 30: 2}
+        assert plan.recompute == []  # everything changed was recovered
+        assert plan.changed == [20, 30]
+
+    def test_newest_history_epoch_wins(self):
+        baseline = {10: "aa", 20: "OLD", 30: "cc", 40: "dd"}
+        history = [(1, {20: "bb"}), (4, {20: "bb"})]
+        plan = plan_delta(
+            self.CURRENT, baseline, baseline_epoch=5,
+            churn_threshold=1.0, history=history,
+        )
+        assert plan.recovered == {20: 4}
+
+    def test_recovery_discounts_churn(self):
+        """Recovered targets do not count toward the cold-fallback churn."""
+        baseline = {10: "aa", 20: "OLD", 30: "OLD", 40: "dd"}
+        history = [(3, {20: "bb", 30: "cc"})]
+        cold = plan_delta(self.CURRENT, baseline, churn_threshold=0.25)
+        assert (cold.mode, cold.reason) == ("cold", REASON_CHURN)
+        warm = plan_delta(
+            self.CURRENT, baseline, churn_threshold=0.25, history=history
+        )
+        assert warm.mode == "incremental"
+        assert warm.churn_fraction == pytest.approx(0.0)
+
+    def test_cold_plan_clears_recovered(self):
+        baseline = {10: "OLD", 20: "OLD", 30: "OLD", 40: "dd"}
+        history = [(3, {10: "aa"})]
+        plan = plan_delta(
+            self.CURRENT, baseline, churn_threshold=0.25, history=history
+        )
+        assert plan.mode == "cold"
+        assert plan.recovered == {}
+        # The true partition survives for analytics; the recompute list
+        # reverts to the full changed set (recovery is forfeited).
+        assert plan.recompute == [10, 20, 30]
