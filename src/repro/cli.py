@@ -60,6 +60,10 @@ EXIT_REPAIRED = 5
 #: metric sitting more than k robust deviations above its rolling
 #: median).  Distinct from 0 so CI and cron can alert on drift.
 EXIT_REGRESSION = 6
+#: ``service alarms`` found at least one alarming routing verdict
+#: (hijack or route leak) recorded in the archive's manifests.
+#: Distinct from 0 so cron can page on routing incidents.
+EXIT_ALARMS = 7
 EXIT_INTERRUPTED = 130
 
 _POLICIES = {
@@ -297,6 +301,8 @@ def _service_from_args(args: argparse.Namespace):
             baseline_depth=args.baseline_depth,
             trust=args.trust,
             vp_distortion=_distortion_from_args(args),
+            routing=getattr(args, "routing", "geo"),
+            alarms=getattr(args, "alarms", False),
         )
     )
 
@@ -333,6 +339,23 @@ def _cmd_service(study: CensusStudy, args: argparse.Namespace) -> int:
         for line in render_timeline(timeline, regressions):
             print(line)
         return EXIT_REGRESSION if regressions else EXIT_OK
+    if args.verb == "alarms":
+        alarm_rows = service.alarm_history()
+        if not alarm_rows:
+            print("no routing alarms on record")
+            return EXIT_OK
+        rows = [
+            (
+                row["epoch"],
+                row["prefix"],
+                row["verdict"],
+                f"{row['confidence']:.2f}",
+                row["detail"],
+            )
+            for row in alarm_rows
+        ]
+        print(format_table(rows, ["day", "prefix", "verdict", "conf", "detail"]))
+        return EXIT_ALARMS
     # history
     rows = [
         (
@@ -520,11 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
              "tolerant archive",
     )
     svc.add_argument(
-        "verb", choices=["run", "catch-up", "fsck", "history", "timeline"],
+        "verb",
+        choices=["run", "catch-up", "fsck", "history", "timeline", "alarms"],
         help="run one day; fsck + run every missing day; verify/repair "
              "the archive; print the per-day summary table; scan the "
              "archive's health series for regressions (exit 6 when one "
-             "is flagged)",
+             "is flagged); print every recorded routing alarm (exit 7 "
+             "when any exist)",
     )
     svc.add_argument("--archive", required=True, metavar="DIR",
                      help="archive root directory")
@@ -562,6 +587,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="archive a telemetry sidecar (trace, metrics, "
                           "SLO report, event log) with each committed "
                           "run; census bytes are identical either way")
+    svc.add_argument("--routing", choices=["geo", "bgp"], default="geo",
+                     help="latency model: 'geo' is the classic great-"
+                          "circle model; 'bgp' routes every probe over a "
+                          "synthetic AS graph with Gao-Rexford policies "
+                          "(default: geo)")
+    svc.add_argument("--alarms", action="store_true",
+                     help="after each committed run, diff this epoch's "
+                          "routing story against the previous committed "
+                          "epoch and record typed hijack/leak verdicts "
+                          "in the manifest's routing block")
     svc.add_argument("--mad-k", type=float, default=4.0, metavar="K",
                      help="timeline only: flag points more than K robust "
                           "(median/MAD) scale units above the rolling "

@@ -16,9 +16,13 @@ which we report in proportion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..bgp.graph import BgpConfig
+    from ..bgp.plane import BgpRoutingPlane
 
 from ..geo.cities import City, CityDB, default_city_db
 from ..geo.coords import GeoPoint, destination_point
@@ -76,6 +80,14 @@ class InternetConfig:
     site_scatter_km: float = 15.0
     host_scatter_km: float = 40.0
     latency: LatencyModel = DEFAULT_MODEL
+    #: Catchment substrate: ``"geo"`` (default) keeps the lognormal
+    #: policy-penalty heuristic and is byte-identical to historic output;
+    #: ``"bgp"`` routes every deployment over a synthetic AS-relationship
+    #: graph with Gao-Rexford propagation (see :mod:`repro.bgp`).
+    routing: str = "geo"
+    #: Shape of the AS graph in BGP mode; ``None`` uses defaults keyed on
+    #: :attr:`seed`.  Ignored (and rejected) in geo mode.
+    bgp: Optional["BgpConfig"] = None
 
     def __post_init__(self) -> None:
         if self.n_unicast_slash24 < 0:
@@ -86,6 +98,10 @@ class InternetConfig:
             raise ValueError("error_fraction incompatible with reply_fraction")
         if abs(sum(self.error_split) - 1.0) > 1e-9:
             raise ValueError("error_split must sum to 1")
+        if self.routing not in ("geo", "bgp"):
+            raise ValueError(f"routing must be 'geo' or 'bgp', got {self.routing!r}")
+        if self.bgp is not None and self.routing != "bgp":
+            raise ValueError("bgp config requires routing='bgp'")
 
 
 #: Anycast prefixes are allocated from 1.0.0.0 upward; unicast hosts from
@@ -131,6 +147,15 @@ class SyntheticInternet:
         self._build_deployments(catalog)
         self._build_unicast()
         self._freeze_arrays()
+
+        # The BGP routing plane exists only in bgp mode and draws from its
+        # own keyed generator — geo-mode construction consumes exactly the
+        # streams it always has, keeping historic output byte-identical.
+        self.bgp_plane: Optional["BgpRoutingPlane"] = None
+        if self.config.routing == "bgp":
+            from ..bgp.plane import BgpRoutingPlane
+
+            self.bgp_plane = BgpRoutingPlane.for_internet(self)
 
     # ------------------------------------------------------------------
     # Construction

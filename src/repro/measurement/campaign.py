@@ -383,8 +383,15 @@ class CensusCampaign:
     # ------------------------------------------------------------------
 
     def _precompute_catchments(self) -> None:
-        """Resolve every deployment's serving site for every platform VP."""
+        """Resolve every deployment's serving site for every platform VP.
+
+        In geo mode (the default) the deployment's own lognormal-penalty
+        catchment decides; in BGP mode the internet's routing plane does —
+        each VP attaches to its nearest stub AS and the deployment's
+        propagated best routes name the serving site.
+        """
         lats, lons = self.platform.lats, self.platform.lons
+        bgp_plane = getattr(self.internet, "bgp_plane", None)
         self._dep_positions: List[np.ndarray] = []
         self._dep_site_lats: List[np.ndarray] = []
         self._dep_site_lons: List[np.ndarray] = []
@@ -396,7 +403,10 @@ class CensusCampaign:
             self._dep_positions.append(positions)
             self._dep_site_lats.append(np.array([r.location.lat for r in dep.replicas]))
             self._dep_site_lons.append(np.array([r.location.lon for r in dep.replicas]))
-            self._dep_catchment.append(dep.catchment(lats, lons))
+            if bgp_plane is not None:
+                self._dep_catchment.append(bgp_plane.catchment(dep, lats, lons))
+            else:
+                self._dep_catchment.append(dep.catchment(lats, lons))
 
     def effective_coords(self, vp_platform_index: int) -> np.ndarray:
         """Per-target (lat, lon) as seen from one platform VP.

@@ -72,6 +72,10 @@ class SloSpec:
     #: Fraction of the scored roster the trust engine excised.  Breach
     #: means the roster can no longer out-vote its liars.
     untrusted_vp_fraction: Optional[Budget] = None
+    #: Fraction of classified prefixes raising an alarming routing
+    #: verdict (hijack/leak).  On a clean timeline this must be ~zero;
+    #: a noisy detector that cries wolf is as useless as a blind one.
+    false_alarm_rate: Optional[Budget] = None
 
 
 @dataclass(frozen=True)
@@ -227,6 +231,12 @@ def evaluate_slo(
         untrusted_fraction = None
     add("untrusted_vp_fraction", spec.untrusted_vp_fraction, untrusted_fraction)
 
+    add(
+        "false_alarm_rate",
+        spec.false_alarm_rate,
+        None,  # supplied via observations when the alarm pass ran
+    )
+
     return SloReport(
         objectives=tuple(objectives),
         verdict=_worst([o.verdict for o in objectives]),
@@ -248,6 +258,9 @@ def default_service_slo() -> SloSpec:
         # Past ~a third of the roster excised, majority voting (and the
         # census built on it) is no longer meaningful.
         untrusted_vp_fraction=Budget(warn=0.10, breach=0.34),
+        # Routing alarms per classified prefix: any alarm is worth a
+        # look (warn); past 2% the detector itself is the incident.
+        false_alarm_rate=Budget(warn=0.001, breach=0.02),
     )
 
 

@@ -33,10 +33,18 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..census.combine import RttMatrix, matrix_from_census
+from ..bgp import BgpConfig, RouteEventInjector, RouteEventPlan
+from ..census.combine import RttMatrix, matrix_from_census, matrix_from_records
 from ..census.fastpath import FastAnalysisEngine
+from ..census.hijack import (
+    AlarmPolicy,
+    DocAnalysisView,
+    RoutingAlarm,
+    classify_routing_changes,
+)
 from ..census.longitudinal import EvolutionConfig, evolve_catalog
 from ..core.detection import detection_mask, radius_matrix
+from ..geo.coords import GeoPoint
 from ..core.igreedy import IGreedyConfig
 from ..geo.cities import CityDB, default_city_db
 from ..internet.catalog import CatalogEntry, full_catalog
@@ -165,6 +173,22 @@ class ServiceConfig:
     #: consulted when matching changed signatures (the roster-rejoin
     #: recovery path of :func:`~repro.service.delta.plan_delta`).
     baseline_depth: int = 3
+    #: Routing plane of each epoch's internet: ``"geo"`` (the default —
+    #: nearest-site catchments, byte-identical to historic archives) or
+    #: ``"bgp"`` (Gao-Rexford propagation over a synthetic AS graph).
+    routing: str = "geo"
+    #: AS-graph shape for BGP mode; ``None`` uses the defaults.
+    bgp: Optional[BgpConfig] = None
+    #: Routing-chaos schedule applied to each epoch's matrix (hijacks,
+    #: leaks, flaps...); requires ``routing="bgp"``.  ``None`` (and the
+    #: empty plan) are inert.
+    route_events: Optional[RouteEventPlan] = None
+    #: Classify census-over-routing diffs against the previous committed
+    #: epoch and record typed verdicts in the manifest's ``routing``
+    #: block.
+    alarms: bool = False
+    #: Thresholds of the routing classifier; ``None`` uses the defaults.
+    alarm_policy: Optional[AlarmPolicy] = None
 
     def __post_init__(self) -> None:
         if self.noise not in ("stream", "keyed"):
@@ -175,6 +199,16 @@ class ServiceConfig:
             raise ValueError("roster_churn_prob must be in [0, 1)")
         if self.baseline_depth < 0:
             raise ValueError("baseline_depth must be >= 0")
+        if self.routing not in ("geo", "bgp"):
+            raise ValueError(f"routing must be 'geo' or 'bgp', got {self.routing!r}")
+        if self.bgp is not None and self.routing != "bgp":
+            raise ValueError("bgp config requires routing='bgp'")
+        if (
+            self.route_events is not None
+            and self.route_events.enabled
+            and self.routing != "bgp"
+        ):
+            raise ValueError("route_events require routing='bgp'")
 
 
 @dataclass
@@ -198,6 +232,15 @@ class EpochOutcome:
     n_recovered: int = 0
     #: Vantage points the trust engine excised this epoch.
     untrusted_vps: List[str] = field(default_factory=list)
+    #: Typed routing verdicts of the alarm pass (all of them, benign
+    #: included); empty when alarms are off or no baseline exists.
+    alarms: List[RoutingAlarm] = field(default_factory=list)
+    #: Route-event records the injector applied this epoch.
+    route_events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def alarming(self) -> List[RoutingAlarm]:
+        return [a for a in self.alarms if a.is_alarm]
 
     def summary_lines(self) -> List[str]:
         lines = [
@@ -216,6 +259,21 @@ class EpochOutcome:
         if self.untrusted_vps:
             lines.append(
                 "  untrusted VPs excised: " + ", ".join(self.untrusted_vps)
+            )
+        for event in self.route_events:
+            if event.get("applied"):
+                lines.append(
+                    f"  route event: {event.get('kind')} on prefix "
+                    f"{event.get('prefix')}"
+                )
+        for alarm in self.alarming:
+            lines.append(
+                f"  ALARM {alarm.verdict.value} prefix {alarm.prefix} "
+                f"(confidence {alarm.confidence:.2f}): {alarm.detail}"
+            )
+        if self.alarms and not self.alarming:
+            lines.append(
+                f"  routing verdicts: {len(self.alarms)} classified, none alarming"
             )
         return lines
 
@@ -270,6 +328,8 @@ class CensusService:
                 seed=self.config.internet_seed,
                 n_unicast_slash24=self.config.n_unicast,
                 tail_deployments=self.config.tail_deployments,
+                routing=self.config.routing,
+                bgp=self.config.bgp,
             ),
             catalog=self.catalog_for(epoch),
             city_db=self.city_db,
@@ -427,6 +487,32 @@ class CensusService:
                     events.emit("lifecycle", "vp_salvaged", vp=vp_name, epoch=epoch)
             matrix = matrix_from_census(census)
 
+            # Routing chaos: the plan's active events perturb this
+            # epoch's matrix exactly the way real routing incidents are
+            # visible to a census — through the measurements.  An inert
+            # plan returns the same matrix object, so chaos-free configs
+            # stay byte-identical.
+            route_records: List[Dict[str, Any]] = []
+            if (
+                self.config.route_events is not None
+                and self.config.route_events.enabled
+            ):
+                events.emit("stage", "stage_start", stage="routing", epoch=epoch)
+                with current_tracer().span("routing", epoch=epoch):
+                    injector = RouteEventInjector(
+                        self.config.route_events, internet
+                    )
+                    matrix, route_records = self._stage(
+                        "routing", lambda: injector.perturb(matrix, epoch)
+                    )
+                events.emit(
+                    "stage",
+                    "stage_end",
+                    stage="routing",
+                    epoch=epoch,
+                    n_events=len(route_records),
+                )
+
             # Trust gate: score the roster, excise what cannot be
             # physically consistent with it.  On a clean roster
             # apply_trust returns the matrix object unchanged and an
@@ -530,6 +616,35 @@ class CensusService:
                 if roster_doc is not None:
                     churn_doc["roster"] = roster_doc
 
+            # Alarm pass: classify this epoch's routing story against the
+            # previous committed epoch.  Runs after the analysis so the
+            # verdicts see exactly what was archived.
+            alarm_list: List[RoutingAlarm] = []
+            if self.config.alarms and baseline_doc is not None:
+                events.emit("stage", "stage_start", stage="alarms", epoch=epoch)
+                with current_tracer().span("alarms", epoch=epoch):
+                    alarm_list = self._stage(
+                        "alarms",
+                        lambda: self._classify_alarms(
+                            baseline_epoch, baseline_doc, results_doc, matrix,
+                            internet,
+                        ),
+                    )
+                n_alarming = sum(1 for a in alarm_list if a.is_alarm)
+                events.emit(
+                    "stage",
+                    "stage_end",
+                    stage="alarms",
+                    epoch=epoch,
+                    n_verdicts=len(alarm_list),
+                    n_alarming=n_alarming,
+                )
+                metrics_reg = current_metrics()
+                if metrics_reg.enabled:
+                    metrics_reg.counter("routing_alarms").inc(n_alarming)
+
+            routing_doc = self._routing_doc(route_records, alarm_list)
+
             manifest_core = self._manifest_core(
                 census,
                 matrix,
@@ -540,6 +655,7 @@ class CensusService:
                 n_recovered,
                 churn_doc,
                 trust_report,
+                routing_doc,
             )
 
             metrics = current_metrics()
@@ -556,7 +672,12 @@ class CensusService:
         events_lines = None
         if collectors is not None:
             telemetry_doc, events_lines = self._build_telemetry(
-                epoch, census, results_doc, *collectors, trust_report=trust_report
+                epoch,
+                census,
+                results_doc,
+                *collectors,
+                trust_report=trust_report,
+                alarms=alarm_list if self.config.alarms else None,
             )
         self.archive.commit_run(
             epoch,
@@ -589,7 +710,99 @@ class CensusService:
                 if trust_report is not None
                 else []
             ),
+            alarms=alarm_list,
+            route_events=route_records,
         )
+
+    def _classify_alarms(
+        self,
+        baseline_epoch: Optional[int],
+        baseline_doc: Dict[str, Any],
+        results_doc: Dict[str, Any],
+        matrix: RttMatrix,
+        internet: SyntheticInternet,
+    ) -> List[RoutingAlarm]:
+        """Typed routing verdicts for this epoch vs the committed baseline.
+
+        The baseline matrix is rebuilt from the archived raw records,
+        with the baseline epoch's route events re-applied (the injector
+        is keyed on epoch, so the replay is exact) — leak calibration
+        diffs then compare what the baseline analysis actually saw.  A
+        rotten baseline merely downgrades the classifier to analysis-
+        level evidence; it never fails the epoch.
+
+        The catalog's deployment prefixes act as the operator registry
+        the paper proposes: a registered-anycast prefix flipping from
+        apparently-unicast to anycast is landscape evolution (or a
+        borderline signature stabilising), never a hijack.  Registered-
+        unicast prefixes — the unicast hosts — carry the hijack and leak
+        checks at full strength.  Subprefix collapse stays alarming for
+        registered prefixes too: the registry vouches for *who may
+        announce*, not for every site vanishing at once.
+        """
+        baseline_matrix: Optional[RttMatrix] = None
+        baseline_names: Optional[List[str]] = None
+        if baseline_epoch is not None:
+            try:
+                manifest = self.archive.read_manifest(baseline_epoch)
+                records = self.archive.read_records(baseline_epoch)
+                vps = manifest.get("vantage_points", [])
+                names = [vp["name"] for vp in vps]
+                locations = [GeoPoint(vp["lat"], vp["lon"]) for vp in vps]
+                baseline_matrix = matrix_from_records(records, names, locations)
+                baseline_names = names
+                if (
+                    self.config.route_events is not None
+                    and self.config.route_events.enabled
+                ):
+                    injector = RouteEventInjector(
+                        self.config.route_events,
+                        self.internet_for(baseline_epoch),
+                    )
+                    baseline_matrix, _ = injector.perturb(
+                        baseline_matrix, baseline_epoch
+                    )
+            except (CorruptPayloadError, ValueError, KeyError):
+                baseline_matrix = None
+        registered_anycast = {
+            int(p) for dep in internet.deployments for p in dep.prefixes
+        }
+        return classify_routing_changes(
+            DocAnalysisView(baseline_doc),
+            DocAnalysisView(results_doc),
+            baseline_matrix=baseline_matrix,
+            current_matrix=matrix,
+            known_anycast=registered_anycast,
+            baseline_vp_names=baseline_names,
+            policy=self.config.alarm_policy,
+        )
+
+    def _routing_doc(
+        self,
+        route_records: List[Dict[str, Any]],
+        alarm_list: List[RoutingAlarm],
+    ) -> Optional[Dict[str, Any]]:
+        """The manifest's ``routing`` block, or ``None`` for plain geo
+        runs (keeping geo-default manifests byte-identical to builds
+        that predate the routing plane)."""
+        if (
+            self.config.routing == "geo"
+            and not route_records
+            and not self.config.alarms
+        ):
+            return None
+        verdict_counts: Dict[str, int] = {}
+        for alarm in alarm_list:
+            verdict_counts[alarm.verdict.value] = (
+                verdict_counts.get(alarm.verdict.value, 0) + 1
+            )
+        return {
+            "mode": self.config.routing,
+            "events": route_records,
+            "alarms_enabled": bool(self.config.alarms),
+            "verdicts": dict(sorted(verdict_counts.items())),
+            "alarms": [a.to_doc() for a in alarm_list if a.is_alarm],
+        }
 
     def _roster_doc(
         self, baseline_epoch: Optional[int], matrix: RttMatrix
@@ -618,6 +831,7 @@ class CensusService:
         metrics: MetricsRegistry,
         events: EventLog,
         trust_report: Optional[VpTrustReport] = None,
+        alarms: Optional[List[RoutingAlarm]] = None,
     ) -> Tuple[Dict[str, Any], List[str]]:
         """Assemble the epoch's telemetry sidecar + sealed event lines.
 
@@ -641,6 +855,12 @@ class CensusService:
         }
         if trust_report is not None:
             observations["untrusted_vp_fraction"] = trust_report.untrusted_fraction
+        if alarms is not None:
+            observations["false_alarm_rate"] = (
+                sum(1 for a in alarms if a.is_alarm) / len(alarms)
+                if alarms
+                else 0.0
+            )
         report = evaluate_slo(
             spec,
             stage_seconds=stage_seconds,
@@ -835,6 +1055,7 @@ class CensusService:
         n_recovered: int,
         churn_doc: Optional[Dict[str, Any]],
         trust_report: Optional[VpTrustReport] = None,
+        routing_doc: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         summary = results_doc["summary"]
         core = {
@@ -875,6 +1096,10 @@ class CensusService:
                 "untrusted": list(trust_report.untrusted_names),
                 "reasons": trust_report.reasons_by_vp(),
             }
+        # Only in BGP/chaos/alarm configurations: plain geo manifests
+        # stay byte-identical to builds that predate the routing plane.
+        if routing_doc is not None:
+            core["routing"] = routing_doc
         return core
 
     def _outcome_from_manifest(self, epoch: int, status: str) -> EpochOutcome:
@@ -934,6 +1159,18 @@ class CensusService:
         """
         timeline = collect_timeline(self.archive)
         return timeline, detect_regressions(timeline, k=k)
+
+    def alarm_history(self) -> List[Dict[str, Any]]:
+        """Every alarming routing verdict across the archive, in epoch
+        order — one row per alarm, straight off the manifests' ``routing``
+        blocks."""
+        rows: List[Dict[str, Any]] = []
+        for epoch in self.archive.epochs():
+            manifest = self.archive.read_manifest(epoch)
+            routing = manifest.get("routing") or {}
+            for doc in routing.get("alarms", []):
+                rows.append({"epoch": epoch, **doc})
+        return rows
 
     def history(self) -> List[Dict[str, Any]]:
         """One summary row per committed epoch, straight off the manifests."""

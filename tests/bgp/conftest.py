@@ -1,0 +1,71 @@
+"""Fixtures for the BGP routing plane and routing-chaos suites.
+
+Everything here is keyed and session-cached: one small BGP-routed
+internet (16 VPs so propagation and analysis run in milliseconds), one
+baseline census matrix, and a cloner so chaos tests can perturb private
+byte-identical copies.  The longitudinal service redraws nothing between
+epochs in keyed mode; cloning the baseline matrix reproduces that regime
+for direct-API tests (re-running the campaign would redraw per-cell
+noise and drown the injected signal in background churn).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.census.analysis import analyze_matrix
+from repro.census.combine import RttMatrix, matrix_from_census
+from repro.internet.topology import InternetConfig, SyntheticInternet
+from repro.measurement.campaign import CensusCampaign
+from repro.measurement.platform import planetlab_platform
+
+
+@pytest.fixture(scope="session")
+def bgp_internet() -> SyntheticInternet:
+    """A small internet routed by the real BGP plane."""
+    return SyntheticInternet(
+        InternetConfig(
+            seed=11,
+            n_unicast_slash24=120,
+            tail_deployments=6,
+            routing="bgp",
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def bgp_platform(bgp_internet):
+    return planetlab_platform(
+        count=16, seed=41, city_db=bgp_internet.city_db
+    )
+
+
+@pytest.fixture(scope="session")
+def bgp_matrix(bgp_internet, bgp_platform) -> RttMatrix:
+    """The keyed baseline census matrix over the BGP internet."""
+    campaign = CensusCampaign(
+        bgp_internet, bgp_platform, seed=500, noise="keyed"
+    )
+    return matrix_from_census(campaign.run_census(availability=1.0))
+
+
+@pytest.fixture(scope="session")
+def bgp_baseline(bgp_internet, bgp_matrix):
+    return analyze_matrix(bgp_matrix, city_db=bgp_internet.city_db)
+
+
+@pytest.fixture()
+def clone_matrix():
+    """Deep-copy an RttMatrix so a test can perturb it privately."""
+
+    def clone(m: RttMatrix) -> RttMatrix:
+        return RttMatrix(
+            prefixes=m.prefixes.copy(),
+            vp_names=list(m.vp_names),
+            vp_locations=list(m.vp_locations),
+            rtt_ms=m.rtt_ms.copy(),
+            sample_count=m.sample_count.copy(),
+        )
+
+    return clone

@@ -1,0 +1,174 @@
+"""End-to-end chaos matrix: every above-floor injected incident is
+flagged with the right typed verdict, and every benign or below-floor
+event raises zero alarms.
+
+The perturbed census is a byte-identical clone of the keyed baseline —
+the longitudinal-service regime, where nothing but the injected event
+moves between epochs.  The injected events and their expected verdicts
+were validated against this exact world (seed=11 internet, 16 VPs,
+campaign seed=500)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bgp import (
+    RouteEvent,
+    RouteEventInjector,
+    RouteEventKind,
+    RouteEventPlan,
+)
+from repro.census.analysis import analyze_matrix
+from repro.census.hijack import RoutingVerdict, classify_routing_changes
+
+UNICAST_VICTIM = 1572864
+ANYCAST_VICTIM = 65536
+
+
+@pytest.fixture()
+def run_chaos(bgp_internet, bgp_matrix, bgp_baseline, clone_matrix):
+    """Inject one event into a clone of the baseline and classify."""
+
+    def run(event: RouteEvent, seed: int = 1):
+        plan = RouteEventPlan.single(event, seed=seed)
+        perturbed, records = RouteEventInjector(plan, bgp_internet).perturb(
+            clone_matrix(bgp_matrix), epoch=event.epoch
+        )
+        current = analyze_matrix(perturbed, city_db=bgp_internet.city_db)
+        verdicts = classify_routing_changes(
+            bgp_baseline,
+            current,
+            baseline_matrix=bgp_matrix,
+            current_matrix=perturbed,
+        )
+        return records, verdicts
+
+    return run
+
+
+def alarms(verdicts):
+    return [v for v in verdicts if v.is_alarm]
+
+
+def on_prefix(verdicts, prefix):
+    return [v for v in verdicts if v.prefix == prefix]
+
+
+def test_clean_diff_raises_no_alarms(
+    bgp_internet, bgp_matrix, bgp_baseline, clone_matrix
+):
+    current = analyze_matrix(
+        clone_matrix(bgp_matrix), city_db=bgp_internet.city_db
+    )
+    verdicts = classify_routing_changes(
+        bgp_baseline,
+        current,
+        baseline_matrix=bgp_matrix,
+        current_matrix=clone_matrix(bgp_matrix),
+    )
+    assert alarms(verdicts) == []
+
+
+@pytest.mark.parametrize("seed", [1, 3, 4])
+def test_moas_hijack_is_flagged(run_chaos, seed):
+    records, verdicts = run_chaos(
+        RouteEvent(
+            kind=RouteEventKind.MOAS_HIJACK,
+            epoch=1,
+            victim_prefix=UNICAST_VICTIM,
+        ),
+        seed=seed,
+    )
+    assert records[0]["applied"]
+    hit = on_prefix(verdicts, UNICAST_VICTIM)
+    assert [v.verdict for v in hit] == [RoutingVerdict.HIJACK]
+    assert hit[0].confidence >= 0.7
+    # No collateral alarms on untouched prefixes.
+    assert all(v.prefix == UNICAST_VICTIM for v in alarms(verdicts))
+
+
+def test_subprefix_capture_is_flagged(run_chaos):
+    records, verdicts = run_chaos(
+        RouteEvent(
+            kind=RouteEventKind.SUBPREFIX_HIJACK,
+            epoch=1,
+            victim_prefix=ANYCAST_VICTIM,
+            attacker_city="Ulaanbaatar",
+        )
+    )
+    assert records[0]["vp_fraction"] == 1.0
+    hit = on_prefix(verdicts, ANYCAST_VICTIM)
+    assert [v.verdict for v in hit] == [RoutingVerdict.HIJACK]
+    assert "subprefix-capture" in hit[0].detail
+    assert all(v.prefix == ANYCAST_VICTIM for v in alarms(verdicts))
+
+
+def test_route_leak_is_flagged_as_leak(run_chaos):
+    records, verdicts = run_chaos(
+        RouteEvent(
+            kind=RouteEventKind.ROUTE_LEAK,
+            epoch=1,
+            victim_prefix=UNICAST_VICTIM,
+        ),
+        seed=1,
+    )
+    assert records[0]["applied"]
+    hit = on_prefix(verdicts, UNICAST_VICTIM)
+    assert [v.verdict for v in hit] == [RoutingVerdict.LEAK]
+    assert all(v.prefix == UNICAST_VICTIM for v in alarms(verdicts))
+
+
+def test_single_vp_leak_stays_below_the_floor(run_chaos):
+    """One detoured vantage point is indistinguishable from a spike."""
+    records, verdicts = run_chaos(
+        RouteEvent(
+            kind=RouteEventKind.ROUTE_LEAK,
+            epoch=1,
+            victim_prefix=UNICAST_VICTIM,
+        ),
+        seed=6,
+    )
+    assert records[0]["applied"]
+    assert records[0]["captured_vps"] == 1
+    assert alarms(verdicts) == []
+
+
+def test_co_located_attacker_raises_no_alarm(run_chaos):
+    """An attacker in the victim's own city moves no geography."""
+    records, verdicts = run_chaos(
+        RouteEvent(
+            kind=RouteEventKind.MOAS_HIJACK,
+            epoch=1,
+            victim_prefix=UNICAST_VICTIM,
+            attacker_city="Kinshasa",
+        )
+    )
+    assert records[0]["applied"]
+    assert alarms(verdicts) == []
+
+
+def test_zero_capture_attacker_raises_no_alarm(run_chaos):
+    records, verdicts = run_chaos(
+        RouteEvent(
+            kind=RouteEventKind.MOAS_HIJACK,
+            epoch=1,
+            victim_prefix=UNICAST_VICTIM,
+            attacker_city="Ulaanbaatar",
+        )
+    )
+    assert records[0]["applied"] is False
+    assert alarms(verdicts) == []
+
+
+@pytest.mark.parametrize(
+    "kind,kw",
+    [
+        (RouteEventKind.FLAP, {"victim_prefix": UNICAST_VICTIM}),
+        (RouteEventKind.WITHDRAWAL, {"victim_prefix": UNICAST_VICTIM}),
+        (RouteEventKind.PREPEND, {"victim_prefix": ANYCAST_VICTIM, "prepend": 4}),
+    ],
+)
+def test_benign_events_raise_no_alarms(run_chaos, kind, kw):
+    records, verdicts = run_chaos(RouteEvent(kind=kind, epoch=1, **kw))
+    assert alarms(verdicts) == []

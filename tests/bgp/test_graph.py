@@ -1,0 +1,99 @@
+"""Structure and determinism of the synthetic AS-relationship graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bgp import BgpConfig, build_as_graph
+from repro.bgp.graph import TIER_STUB, TIER_T1, TIER_TRANSIT
+from repro.geo.cities import default_city_db
+
+CFG = BgpConfig(n_ases=256, n_tier1=6)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_as_graph(CFG, seed=2015, city_db=default_city_db())
+
+
+def test_same_seed_same_graph(graph):
+    again = build_as_graph(CFG, seed=2015, city_db=default_city_db())
+    assert np.array_equal(graph.tier, again.tier)
+    assert graph.provider_edges == again.provider_edges
+    assert graph.peer_edges == again.peer_edges
+    assert np.array_equal(graph.lats, again.lats)
+
+
+def test_different_seed_different_graph(graph):
+    other = build_as_graph(CFG, seed=2016, city_db=default_city_db())
+    assert graph.provider_edges != other.provider_edges
+
+
+def test_tier_counts(graph):
+    assert graph.n_ases == CFG.n_ases
+    assert int((graph.tier == TIER_T1).sum()) == CFG.n_tier1
+    assert int((graph.tier == TIER_TRANSIT).sum()) > 0
+    # The stub fringe dominates, as in the real AS-relationship table.
+    assert int((graph.tier == TIER_STUB).sum()) > CFG.n_ases // 2
+
+
+def test_tier1_full_clique(graph):
+    t1 = np.nonzero(graph.tier == TIER_T1)[0]
+    for a in t1:
+        peers = set(int(p) for p in graph.peers_of(int(a)))
+        assert set(int(b) for b in t1 if b != a) <= peers
+        # Tier-1s buy transit from nobody.
+        assert len(graph.providers_of(int(a))) == 0
+
+
+def test_everyone_below_tier1_has_a_provider(graph):
+    for a in range(graph.n_ases):
+        if graph.tier[a] != TIER_T1:
+            assert len(graph.providers_of(a)) >= 1
+
+
+def test_stubs_sell_no_transit(graph):
+    for a in np.nonzero(graph.tier == TIER_STUB)[0]:
+        assert len(graph.customers_of(int(a))) == 0
+
+
+def test_index_partitions(graph):
+    stubs = set(int(a) for a in graph.stub_indices())
+    infra = set(int(a) for a in graph.infrastructure_indices())
+    assert stubs.isdisjoint(infra)
+    assert len(stubs) + len(infra) == graph.n_ases
+    for a in graph.multihomed_stubs():
+        assert int(a) in stubs
+        assert len(graph.providers_of(int(a))) >= 2
+
+
+def test_provider_edges_exposed_from_both_ends(graph):
+    c, p = graph.provider_edges[0]
+    assert p in set(int(x) for x in graph.providers_of(c))
+    assert c in set(int(x) for x in graph.customers_of(p))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_ases": 4},
+        {"n_tier1": 1},
+        {"n_tier1": 200, "n_ases": 256},
+        {"transit_fraction": 0.0},
+        {"transit_fraction": 1.0},
+        {"mean_providers": 0.5},
+        {"mean_providers": 4.0},
+        {"peer_degree": -1.0},
+        {"provider_candidates": 0},
+    ],
+)
+def test_config_validation(kwargs):
+    base = {"n_ases": 256, "n_tier1": 6}
+    base.update(kwargs)
+    with pytest.raises(ValueError):
+        BgpConfig(**base)
+
+
+def test_with_seed_round_trip():
+    assert BgpConfig().with_seed(7).seed == 7

@@ -1,0 +1,112 @@
+"""Paper-headline invariance: the BGP routing plane changes *catchments*,
+not the census's aggregate story.
+
+The paper's characterization (how many prefixes are anycast, how many
+replicas they expose, which deployments are the big ones) must not
+depend on whether catchments come from the geographic heuristic or from
+Gao-Rexford propagation — and ``routing="geo"`` must stay byte-identical
+to builds that predate the BGP plane."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.census.analysis import analyze_matrix
+from repro.census.combine import matrix_from_census
+from repro.internet.topology import InternetConfig, SyntheticInternet
+from repro.measurement.campaign import CensusCampaign
+from repro.measurement.platform import planetlab_platform
+
+
+def _census(routing: str):
+    internet = SyntheticInternet(
+        InternetConfig(
+            seed=7,
+            n_unicast_slash24=600,
+            tail_deployments=20,
+            routing=routing,
+        )
+    )
+    platform = planetlab_platform(count=60, seed=11, city_db=internet.city_db)
+    campaign = CensusCampaign(internet, platform, seed=99, noise="keyed")
+    matrix = matrix_from_census(campaign.run_census(availability=1.0))
+    analysis = analyze_matrix(matrix, city_db=internet.city_db)
+    return internet, matrix, analysis
+
+
+@pytest.fixture(scope="module")
+def pair():
+    geo = _census("geo")
+    bgp = _census("bgp")
+    return {"geo": geo, "bgp": bgp}
+
+
+def replica_counts(analysis):
+    return {
+        p: r.replica_count for p, r in analysis.results.items() if r.is_anycast
+    }
+
+
+def test_same_targets_probed(pair):
+    (_, mg, _), (_, mb, _) = pair["geo"], pair["bgp"]
+    assert list(mg.prefixes) == list(mb.prefixes)
+
+
+def test_anycast_count_invariant(pair):
+    ng = pair["geo"][2].n_anycast
+    nb = pair["bgp"][2].n_anycast
+    assert abs(ng - nb) / ng <= 0.05
+
+
+def test_anycast_set_invariant(pair):
+    sg = set(replica_counts(pair["geo"][2]))
+    sb = set(replica_counts(pair["bgp"][2]))
+    jaccard = len(sg & sb) / len(sg | sb)
+    assert jaccard >= 0.90
+
+
+def test_replica_cdf_invariant(pair):
+    cg = list(replica_counts(pair["geo"][2]).values())
+    cb = list(replica_counts(pair["bgp"][2]).values())
+    for q in (25, 50, 75, 90, 99):
+        assert abs(np.percentile(cg, q) - np.percentile(cb, q)) <= 3.0
+
+
+def test_replica_rank_ordering_invariant(pair):
+    """Detected replica counts rank prefixes the same way in both modes."""
+    cg = replica_counts(pair["geo"][2])
+    cb = replica_counts(pair["bgp"][2])
+    common = sorted(set(cg) & set(cb))
+    x = np.array([cg[p] for p in common], dtype=float)
+    y = np.array([cb[p] for p in common], dtype=float)
+    rx = np.argsort(np.argsort(x))
+    ry = np.argsort(np.argsort(y))
+    rho = float(np.corrcoef(rx, ry)[0, 1])
+    assert rho >= 0.6
+
+
+def test_true_largest_deployments_rank_high_in_both_modes(pair):
+    """The top true deployments surface above the median in either plane."""
+    for routing in ("geo", "bgp"):
+        internet, _, analysis = pair[routing]
+        counts = replica_counts(analysis)
+        median = float(np.median(list(counts.values())))
+        top = sorted(internet.deployments, key=lambda d: -d.site_count)[:10]
+        ranked_high = 0
+        for dep in top:
+            observed = [
+                counts[int(p)] for p in dep.prefixes if int(p) in counts
+            ]
+            if observed and max(observed) >= median:
+                ranked_high += 1
+        assert ranked_high >= 6, routing
+
+
+def test_geo_mode_is_byte_stable_after_bgp_ran(pair):
+    """Building the BGP plane must not perturb a geo-mode census."""
+    _, mg, _ = pair["geo"]
+    _, mg2, _ = _census("geo")
+    assert list(mg.prefixes) == list(mg2.prefixes)
+    assert np.array_equal(mg.rtt_ms, mg2.rtt_ms, equal_nan=True)
+    assert np.array_equal(mg.sample_count, mg2.sample_count)

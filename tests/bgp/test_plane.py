@@ -1,0 +1,94 @@
+"""Binding the AS graph to the synthetic internet: attachment,
+catchments, route caching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bgp import Announcement, BgpRoutingPlane
+from repro.bgp.graph import TIER_STUB
+
+
+@pytest.fixture(scope="module")
+def plane(bgp_internet) -> BgpRoutingPlane:
+    return bgp_internet.bgp_plane
+
+
+@pytest.fixture(scope="module")
+def deployment(bgp_internet):
+    return bgp_internet.deployments[0]
+
+
+def test_clients_attach_to_nearest_stub(plane):
+    lats, lons = [48.9, -33.9, 35.7], [2.3, 151.2, 139.7]
+    attach = plane.attach_clients(lats, lons)
+    assert (plane.graph.tier[attach] == TIER_STUB).all()
+    again = plane.attach_clients(lats, lons)
+    assert np.array_equal(attach, again)
+    with pytest.raises(ValueError):
+        attach[0] = 0  # cached attachment arrays are read-only
+
+
+def test_sites_attach_to_infrastructure(plane, deployment):
+    origins = plane.site_attachments(deployment)
+    assert len(origins) == deployment.site_count
+    assert (plane.graph.tier[origins] != TIER_STUB).all()
+
+
+def test_catchment_covers_every_client(plane, deployment):
+    lats = np.linspace(-50, 60, 40)
+    lons = np.linspace(-120, 150, 40)
+    sites = plane.catchment(deployment, lats, lons)
+    assert sites.shape == (40,)
+    assert ((0 <= sites) & (sites < deployment.site_count)).all()
+    # A multi-site deployment splits its catchment.
+    if deployment.site_count > 1:
+        assert len(set(int(s) for s in sites)) > 1
+
+
+def test_pristine_routes_are_cached(plane, deployment):
+    a = plane.deployment_routes(deployment)
+    b = plane.deployment_routes(deployment)
+    assert a is b
+    assert len(a.announcements) == deployment.site_count
+
+
+def test_engineered_routes_bypass_the_cache(plane, deployment):
+    pristine = plane.deployment_routes(deployment)
+    engineered = plane.deployment_routes(deployment, prepend={0: 4})
+    assert engineered is not pristine
+    assert engineered.announcements[0].prepend == 4
+    # And the pristine cache entry is untouched.
+    assert plane.deployment_routes(deployment) is pristine
+
+
+def test_withdrawal_drops_the_site(plane, deployment):
+    if deployment.site_count < 2:
+        pytest.skip("needs a multi-site deployment")
+    routes = plane.deployment_routes(deployment, withdrawn={0})
+    assert all(a.site != 0 for a in routes.announcements)
+    lats = np.linspace(-50, 60, 25)
+    lons = np.linspace(-120, 150, 25)
+    sites = plane.catchment(deployment, lats, lons, routes=routes)
+    assert 0 not in set(int(s) for s in sites)
+
+
+def test_extra_announcement_captures_without_reshuffling(plane, deployment):
+    base = plane.deployment_routes(deployment)
+    origins = set(int(a) for a in plane.site_attachments(deployment))
+    attacker = next(
+        int(a) for a in plane.graph.infrastructure_indices()
+        if int(a) not in origins
+    )
+    hijack = Announcement(origin_as=attacker, site=deployment.site_count)
+    out = plane.deployment_routes(deployment, extra=[hijack])
+    captured = out.outcome.captured_by(len(out.announcements) - 1)
+    assert captured.any()
+    keep = ~captured
+    assert np.array_equal(out.outcome.site[keep], base.outcome.site[keep])
+
+
+def test_internet_exposes_the_plane(bgp_internet):
+    assert bgp_internet.bgp_plane is not None
+    assert bgp_internet.bgp_plane.graph.n_ases > 0

@@ -1,0 +1,121 @@
+"""Gao-Rexford propagation: preference, stability, leaks, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bgp import (
+    CLASS_CUSTOMER,
+    Announcement,
+    BgpConfig,
+    build_as_graph,
+    propagate,
+)
+from repro.bgp.propagation import CLASS_NONE, SCOPE_CUSTOMER_CONE
+from repro.geo.cities import default_city_db
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_as_graph(
+        BgpConfig(n_ases=256, n_tier1=6), seed=2015,
+        city_db=default_city_db(),
+    )
+
+
+@pytest.fixture(scope="module")
+def origin(graph):
+    return int(graph.stub_indices()[0])
+
+
+def test_single_origin_reaches_everyone(graph, origin):
+    out = propagate(graph, [Announcement(origin_as=origin, site=0)])
+    assert out.reachable.all()
+    assert (out.site == 0).all()
+    assert (out.route_class < CLASS_NONE).all()
+    # The origin holds its own route at zero length, customer class.
+    assert out.path_len[origin] == 0
+    assert out.route_class[origin] == CLASS_CUSTOMER
+    assert not out.via_leak.any()
+
+
+def test_determinism(graph, origin):
+    anns = [
+        Announcement(origin_as=origin, site=0),
+        Announcement(origin_as=int(graph.stub_indices()[-1]), site=1),
+    ]
+    a, b = propagate(graph, anns), propagate(graph, anns)
+    for field in ("site", "path_len", "route_class", "announcement"):
+        assert np.array_equal(getattr(a, field), getattr(b, field))
+
+
+def test_prepend_monotonically_sheds_catchment(graph, origin):
+    rival = int(graph.stub_indices()[-1])
+    captured = []
+    for prepend in (0, 2, 4, 8):
+        out = propagate(graph, [
+            Announcement(origin_as=origin, site=0, prepend=prepend),
+            Announcement(origin_as=rival, site=1),
+        ])
+        captured.append(int(out.captured_by(0).sum()))
+    assert captured == sorted(captured, reverse=True)
+    assert captured[0] > captured[-1]
+
+
+def test_append_stability(graph, origin):
+    """Injecting an attacker never reshuffles the un-captured part."""
+    base = propagate(graph, [Announcement(origin_as=origin, site=0)])
+    attacker = int(graph.infrastructure_indices()[0])
+    out = propagate(graph, [
+        Announcement(origin_as=origin, site=0),
+        Announcement(origin_as=attacker, site=1),
+    ])
+    keep = out.captured_by(0)
+    assert np.array_equal(out.site[keep], base.site[keep])
+    assert np.array_equal(out.path_len[keep], base.path_len[keep])
+    # The attacker captured someone (it holds its own route at least).
+    assert out.captured_by(1).any()
+
+
+def test_customer_cone_scope_limits_export(graph):
+    """A cone-scoped announcement stays inside the customer cone."""
+    transit = next(
+        int(a) for a in graph.infrastructure_indices()
+        if len(graph.customers_of(int(a)))
+    )
+    cone = propagate(graph, [
+        Announcement(origin_as=transit, site=0, scope=SCOPE_CUSTOMER_CONE)
+    ])
+    full = propagate(graph, [Announcement(origin_as=transit, site=0)])
+    assert int(cone.reachable.sum()) < int(full.reachable.sum())
+    assert cone.reachable[transit]
+
+
+def test_leak_widens_a_cone_announcement(graph):
+    transit = next(
+        int(a) for a in graph.infrastructure_indices()
+        if len(graph.customers_of(int(a)))
+    )
+    held = propagate(graph, [
+        Announcement(origin_as=transit, site=0, scope=SCOPE_CUSTOMER_CONE)
+    ])
+    leaked = propagate(graph, [
+        Announcement(
+            origin_as=transit, site=0, scope=SCOPE_CUSTOMER_CONE, leak=True
+        )
+    ])
+    assert int(leaked.reachable.sum()) > int(held.reachable.sum())
+    # Newly reached ASes learned the route through the leak.
+    fresh = leaked.reachable & ~held.reachable
+    assert leaked.via_leak[fresh].all()
+
+
+def test_origin_out_of_range_rejected(graph):
+    with pytest.raises(ValueError):
+        propagate(graph, [Announcement(origin_as=graph.n_ases, site=0)])
+
+
+def test_bad_scope_rejected():
+    with pytest.raises(ValueError):
+        Announcement(origin_as=0, site=0, scope="everywhere")

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.census.analysis import analyze_matrix
 from repro.census.combine import matrix_from_census
@@ -94,3 +96,89 @@ class TestDetection:
         current = analyze_matrix(hijacked, city_db=city_db)
         alarms = detect_hijacks(baseline, current, known_anycast={victim.prefix})
         assert victim.prefix not in {a.prefix for a in alarms}
+
+
+class TestEdgeCases:
+    """Satellite edges: capture extremes and a co-located attacker."""
+
+    @given(
+        fraction=st.floats(min_value=0.05, max_value=1.0),
+        seed=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_injection_invariants(
+        self, matrix, tiny_internet, tiny_platform, baseline, fraction, seed
+    ):
+        """Any capture fraction: only the victim row moves, at least one
+        cell is rewritten, and the injection is deterministic."""
+        victim = pick_unicast_victim(tiny_internet, tiny_platform, baseline)
+        hijacked = inject_hijack(
+            matrix, victim.prefix, MOSCOW,
+            captured_fraction=fraction, seed=seed,
+        )
+        row = matrix.row_of(victim.prefix)
+        mask = np.ones(matrix.n_targets, dtype=bool)
+        mask[row] = False
+        assert np.array_equal(
+            matrix.rtt_ms[mask], hijacked.rtt_ms[mask], equal_nan=True
+        )
+        changed = ~np.isclose(
+            matrix.rtt_ms[row], hijacked.rtt_ms[row], equal_nan=True
+        )
+        # Even a vanishing fraction captures at least one vantage point.
+        assert 1 <= int(changed.sum()) <= matrix.n_vps
+        assert np.isfinite(hijacked.rtt_ms[row, changed]).all()
+        again = inject_hijack(
+            matrix, victim.prefix, MOSCOW,
+            captured_fraction=fraction, seed=seed,
+        )
+        assert np.array_equal(
+            hijacked.rtt_ms, again.rtt_ms, equal_nan=True
+        )
+
+    def test_full_capture_floor_and_relocation_signature(
+        self, matrix, tiny_internet, tiny_platform, baseline, city_db
+    ):
+        """All VPs captured: the row is coherently unicast-at-the-attacker,
+        so the anycast-flip detector stays silent (documented floor) while
+        the matrix-level classifier catches the re-homing."""
+        from repro.census.hijack import RoutingVerdict, classify_routing_changes
+
+        victim = pick_unicast_victim(tiny_internet, tiny_platform, baseline)
+        hijacked = inject_hijack(
+            matrix, victim.prefix, MOSCOW, captured_fraction=1.0, seed=3
+        )
+        current = analyze_matrix(hijacked, city_db=city_db)
+        assert victim.prefix not in {
+            a.prefix for a in detect_hijacks(baseline, current)
+        }
+        verdicts = classify_routing_changes(
+            baseline, current,
+            baseline_matrix=matrix, current_matrix=hijacked,
+        )
+        hit = [v for v in verdicts if v.prefix == victim.prefix]
+        assert [v.verdict for v in hit] == [RoutingVerdict.HIJACK]
+        assert "re-homed" in hit[0].detail
+        assert all(v.prefix == victim.prefix for v in verdicts if v.is_alarm)
+
+    def test_co_located_attacker_is_silent(
+        self, matrix, tiny_internet, tiny_platform, baseline, city_db
+    ):
+        """An attacker in the victim's own city moves no geography: no
+        alarm from either detector, at any capture fraction."""
+        from repro.census.hijack import classify_routing_changes
+
+        victim = pick_unicast_victim(tiny_internet, tiny_platform, baseline)
+        hijacked = inject_hijack(
+            matrix, victim.prefix, victim.location,
+            captured_fraction=0.5, seed=3,
+        )
+        current = analyze_matrix(hijacked, city_db=city_db)
+        assert victim.prefix not in {
+            a.prefix for a in detect_hijacks(baseline, current)
+        }
+        verdicts = classify_routing_changes(
+            baseline, current,
+            baseline_matrix=matrix, current_matrix=hijacked,
+        )
+        assert [v for v in verdicts if v.is_alarm] == []

@@ -1,0 +1,115 @@
+"""Routing-plane wiring through the longitudinal service: manifests,
+epoch outcomes, alarm history, the ``service alarms`` CLI verb, and the
+false-alarm SLO budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp import RouteEvent, RouteEventKind, RouteEventPlan
+from repro.workflow import small_service
+
+MOAS_PLAN = RouteEventPlan.single(
+    RouteEvent(kind=RouteEventKind.MOAS_HIJACK, epoch=1), seed=3
+)
+
+
+@pytest.fixture(scope="module")
+def hijacked_archive(tmp_path_factory):
+    """Two epochs with a validated above-floor MOAS hijack at epoch 1."""
+    root = tmp_path_factory.mktemp("hijacked")
+    service = small_service(
+        root, routing="bgp", alarms=True, route_events=MOAS_PLAN
+    )
+    outcomes = [service.run_epoch(e) for e in range(2)]
+    return root, service, outcomes
+
+
+class TestManifestWiring:
+    def test_geo_default_manifest_has_no_routing_block(self, tmp_path):
+        service = small_service(tmp_path)
+        service.run_epoch(0)
+        manifest = service.archive.read_manifest(0)
+        assert "routing" not in manifest
+
+    def test_bgp_manifest_records_mode_and_events(self, hijacked_archive):
+        _, service, _ = hijacked_archive
+        doc = service.archive.read_manifest(1)["routing"]
+        assert doc["mode"] == "bgp"
+        assert doc["alarms_enabled"] is True
+        assert [e["kind"] for e in doc["events"]] == ["moas-hijack"]
+        assert doc["events"][0]["applied"] is True
+        assert len(doc["alarms"]) == 1
+        assert doc["alarms"][0]["verdict"] == "hijack"
+        assert doc["verdicts"]["hijack"] == 1
+
+    def test_outcome_carries_the_alarm(self, hijacked_archive):
+        _, _, outcomes = hijacked_archive
+        assert outcomes[0].alarms == []
+        alarming = outcomes[1].alarming
+        assert len(alarming) == 1
+        assert alarming[0].verdict.value == "hijack"
+        assert alarming[0].confidence >= 0.7
+        assert outcomes[1].route_events[0]["kind"] == "moas-hijack"
+
+    def test_alarm_history_reads_off_the_manifests(self, hijacked_archive):
+        root, service, _ = hijacked_archive
+        rows = service.alarm_history()
+        assert len(rows) == 1
+        assert rows[0]["epoch"] == 1
+        assert rows[0]["verdict"] == "hijack"
+        # A fresh service over the same archive sees the same history.
+        again = small_service(root, routing="bgp", alarms=True)
+        assert again.alarm_history() == rows
+
+
+class TestCleanTimeline:
+    def test_churning_clean_timeline_raises_zero_alarms(self, tmp_path):
+        """Eight epochs of catalog drift and roster churn: no alarms."""
+        service = small_service(
+            tmp_path, routing="bgp", alarms=True, roster_churn_prob=0.15
+        )
+        for epoch in range(8):
+            outcome = service.run_epoch(epoch)
+            assert outcome.alarming == [], f"epoch {epoch}"
+        assert service.alarm_history() == []
+
+
+class TestAlarmsCli:
+    def test_no_alarms_exits_zero(self, tmp_path, capsys):
+        from repro.cli import EXIT_OK, main
+
+        service = small_service(tmp_path, routing="bgp", alarms=True)
+        service.run_epoch(0)
+        code = main(["service", "alarms", "--archive", str(tmp_path)])
+        assert code == EXIT_OK
+        assert "no routing alarms" in capsys.readouterr().out
+
+    def test_alarms_print_and_exit_seven(self, hijacked_archive, capsys):
+        from repro.cli import EXIT_ALARMS, main
+
+        root, _, _ = hijacked_archive
+        code = main(["service", "alarms", "--archive", str(root)])
+        assert code == EXIT_ALARMS == 7
+        out = capsys.readouterr().out
+        assert "hijack" in out
+        assert "verdict" in out
+
+
+class TestSloBudget:
+    def test_false_alarm_rate_budget_exists(self):
+        from repro.obs.slo import default_service_slo
+
+        budget = default_service_slo().false_alarm_rate
+        assert budget is not None
+        assert budget.breach > budget.warn > 0
+
+
+class TestConfigValidation:
+    def test_route_events_require_bgp(self, tmp_path):
+        with pytest.raises(ValueError, match="routing='bgp'"):
+            small_service(tmp_path, route_events=MOAS_PLAN)
+
+    def test_bad_routing_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="routing"):
+            small_service(tmp_path, routing="magic")

@@ -24,13 +24,14 @@ ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
 
 class TestExamples:
-    def test_eleven_examples_present(self):
-        assert len(ALL_EXAMPLES) == 11
+    def test_twelve_examples_present(self):
+        assert len(ALL_EXAMPLES) == 12
         assert "quickstart.py" in ALL_EXAMPLES
         assert "trace_study.py" in ALL_EXAMPLES
         assert "daily_census.py" in ALL_EXAMPLES
         assert "epoch_timeline.py" in ALL_EXAMPLES
         assert "vp_churn_service.py" in ALL_EXAMPLES
+        assert "hijack_timeline.py" in ALL_EXAMPLES
 
     @pytest.mark.parametrize("name", ALL_EXAMPLES)
     def test_imports_cleanly(self, name):
