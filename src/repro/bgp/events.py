@@ -591,10 +591,13 @@ class RouteEventInjector:
         rng = self._rng(event_index, event, 6)
         # Every prefix of the deployment moves together: the engineering
         # is per announcement, and all the deployment's /24s share it.
-        present = [p for p in dep.prefixes if int(p) in set(int(q) for q in matrix.prefixes)]
-        for prefix in present:
-            row = matrix.row_of(int(prefix))
-            self._rewrite_cells(matrix, row, moved, d_new, rng)
+        wanted = np.fromiter((int(p) for p in dep.prefixes), dtype=np.int64)
+        present_mask = np.isin(wanted, matrix.prefixes.astype(np.int64))
+        rows = matrix.rows_of(wanted[present_mask])
+        # Rows rewrite in deployment-prefix order: _rewrite_cells draws
+        # from a sequential RNG stream, so the order is part of the bytes.
+        for row in rows:
+            self._rewrite_cells(matrix, int(row), moved, d_new, rng)
         record["applied"] = True
-        record["prefixes_moved"] = len(present)
+        record["prefixes_moved"] = int(present_mask.sum())
         return matrix

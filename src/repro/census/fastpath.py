@@ -312,22 +312,112 @@ class FastAnalysisEngine:
 # -- parallel stage -----------------------------------------------------
 
 
+def _encode_result(result: IGreedyResult, city_db: CityDB) -> tuple:
+    """Flatten one result to primitives for the queue (compact record).
+
+    A pickled :class:`IGreedyResult` drags ``City`` objects (names,
+    country strings, populations) across the pipe per replica; the
+    compact form is the city's gazetteer index plus the disk scalars —
+    a few dozen bytes per target regardless of gazetteer size.
+    """
+    detection = result.detection
+    return (
+        detection.is_anycast,
+        detection.witness,
+        detection.sample_count,
+        result.iterations,
+        tuple(
+            (
+                city_db.index_of(replica.city),
+                replica.disk.center.lat,
+                replica.disk.center.lon,
+                replica.disk.radius_km,
+                replica.confidence,
+            )
+            for replica in result.replicas
+        ),
+    )
+
+
+def _decode_result(encoded: tuple, city_db: CityDB) -> IGreedyResult:
+    """Rebuild the exact :class:`IGreedyResult` from its compact record.
+
+    Cities resolve through the shared gazetteer (the same objects the
+    serial path classifies to), so decoded results are object-for-object
+    equivalent to never having crossed a process boundary.
+    """
+    from ..core.geolocation import GeolocatedReplica
+    from ..geo.coords import GeoPoint
+
+    is_anycast, witness, sample_count, iterations, replicas = encoded
+    result = IGreedyResult(
+        detection=DetectionResult(
+            is_anycast=is_anycast, witness=witness, sample_count=sample_count
+        ),
+        iterations=iterations,
+    )
+    result.replicas = [
+        GeolocatedReplica(
+            city=city_db.city_at(city_index),
+            disk=Disk(center=GeoPoint(lat, lon), radius_km=radius_km),
+            confidence=confidence,
+        )
+        for city_index, lat, lon, radius_km, confidence in replicas
+    ]
+    return result
+
+
 @dataclass
 class _AnalysisUnitContext:
     """Duck-typed :class:`repro.exec.pool.UnitContext` for analysis chunks.
 
     Shipped to workers by fork inheritance; a unit is one chunk of
     detected matrix rows, and its payload is the per-prefix results.
+    When the matrix is store-backed the context also carries the
+    :class:`~repro.census.matstore.StoreToken`, and workers re-attach
+    their row shards from it (``prepare_worker``) instead of trusting
+    inherited heap pages — the descriptor that crosses the fork is
+    ``(chunk row slice, token)``, never the dense planes.  Results are
+    compacted at the queue boundary (``encode_payload``) so the return
+    traffic is per-target records, not pickled object graphs.
     """
 
     engine: FastAnalysisEngine
     chunks: Tuple[np.ndarray, ...]
+    store_token: Optional[object] = field(default=None)
     worker_faults: Optional[object] = field(default=None)
 
     def execute(self, unit_id: int) -> List[Tuple[int, IGreedyResult]]:
         rows = self.chunks[unit_id]
         prefixes = self.engine.geometry.matrix.prefixes
         return [(int(prefixes[row]), self.engine.analyze_row(row)) for row in rows]
+
+    # -- pool hooks (see repro.exec.pool.worker_main) -------------------
+
+    def prepare_worker(self, worker_id: int) -> None:
+        """Re-bind the matrix planes to the attached store, once per worker.
+
+        In a forked child the attach is a registry hit on the inherited
+        mapping (zero-copy either way); the point is that the worker's
+        view is the *store's* pages — file- or shm-backed and shared —
+        not private copies the fork could be asked to duplicate.
+        """
+        if self.store_token is None:
+            return
+        from .matstore import MatrixStore
+
+        store = MatrixStore.attach(self.store_token)
+        matrix = self.engine.geometry.matrix
+        matrix.rtt_ms = store.arrays["rtt_ms"]
+        matrix.sample_count = store.arrays["sample_count"]
+
+    def encode_payload(self, payload: List[Tuple[int, IGreedyResult]]) -> list:
+        city_db = self.engine.city_db
+        return [(prefix, _encode_result(result, city_db)) for prefix, result in payload]
+
+    def decode_payload(self, payload: list) -> List[Tuple[int, IGreedyResult]]:
+        city_db = self.engine.city_db
+        return [(prefix, _decode_result(encoded, city_db)) for prefix, encoded in payload]
 
 
 def _analyze_rows_parallel(
@@ -352,9 +442,16 @@ def _analyze_rows_parallel(
         fork_available,
     )
 
+    from ..exec.plan import split_rows
+
+    matrix = engine.geometry.matrix
     n_chunks = min(len(rows), max(workers * 4, workers))
-    chunks = tuple(np.array_split(rows, n_chunks))
-    context = _AnalysisUnitContext(engine=engine, chunks=chunks)
+    chunks = split_rows(rows, n_chunks)
+    context = _AnalysisUnitContext(
+        engine=engine,
+        chunks=chunks,
+        store_token=matrix.store.token() if matrix.store is not None else None,
+    )
 
     if not fork_available():
         # Same plan, same merge order, no parallelism.
@@ -397,7 +494,7 @@ def _analyze_rows_parallel(
                 metrics_received.add(_wid)
                 metrics.merge(payload)
             elif kind == MSG_OK:
-                payloads[unit_id] = payload
+                payloads[unit_id] = context.decode_payload(payload)
                 pending.discard(unit_id)
             elif kind == MSG_ERR:
                 # Re-run in the parent: deterministic — it either succeeds
@@ -460,6 +557,8 @@ def analyze_matrix_fast(
         metrics.gauge("rtt_matrix_cells").set(int(matrix.rtt_ms.size))
         metrics.gauge("rtt_matrix_filled_cells").set(int(filled.sum()))
         metrics.gauge("rtt_matrix_targets").set(matrix.n_targets)
+        if matrix.store is not None:
+            metrics.gauge("matrix_store_bytes").set(int(matrix.store.nbytes))
         metrics.counter("targets_analyzed").inc(matrix.n_targets)
         metrics.counter("targets_classified_anycast").inc(int(mask.sum()))
 

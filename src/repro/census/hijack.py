@@ -620,6 +620,27 @@ def classify_routing_changes(
             policy.leak_min_inflation_ms,
         )
 
+    # Bulk row lookups for every prefix the loops below will touch: one
+    # vectorized searchsorted per matrix (RttMatrix.rows_of) instead of a
+    # bisect per prefix per verdict branch.
+    cur_rows: Dict[int, int] = {}
+    base_rows: Dict[int, int] = {}
+    if current_matrix is not None:
+        wanted = np.fromiter(
+            (int(p) for p in current_any | (baseline_any & current_seen)),
+            dtype=np.int64,
+        )
+        hit = wanted[np.isin(wanted, current_matrix.prefixes.astype(np.int64))]
+        cur_rows = dict(
+            zip(hit.tolist(), current_matrix.rows_of(hit).tolist())
+        )
+    if baseline_matrix is not None:
+        wanted = np.fromiter((int(p) for p in current_any), dtype=np.int64)
+        hit = wanted[np.isin(wanted, baseline_matrix.prefixes.astype(np.int64))]
+        base_rows = dict(
+            zip(hit.tolist(), baseline_matrix.rows_of(hit).tolist())
+        )
+
     alarms: List[RoutingAlarm] = []
 
     def add(prefix, verdict, confidence, cities, replicas, base_replicas, detail):
@@ -707,7 +728,7 @@ def classify_routing_changes(
                     if f"{r.city.name},{r.city.country}" in new_cities
                 ]
                 capture = _capture_fraction(
-                    current_matrix, current_matrix.row_of(prefix),
+                    current_matrix, cur_rows[prefix],
                     base_points, new_points, speed_km_per_ms,
                     policy.containment_slack_km,
                 )
@@ -739,7 +760,7 @@ def classify_routing_changes(
             keep = np.array(
                 [name in common_names for name in current_matrix.vp_names]
             )
-            row = current_matrix.row_of(prefix)
+            row = cur_rows[prefix]
             if not _row_violates(
                 current_matrix, current_matrix.rtt_ms[row], keep, speed_km_per_ms
             ):
@@ -772,14 +793,14 @@ def classify_routing_changes(
                         - leak_cal.background_change_rate(prefix),
                     )
             try:
-                base_row = baseline_matrix.row_of(prefix)
+                base_row = base_rows[prefix]
                 b_vals = baseline_matrix.rtt_ms[base_row]
                 j = int(np.nanargmin(b_vals))
                 base_points = [baseline_matrix.vp_locations[j]]
             except (KeyError, ValueError):
                 base_points = []
             disk_capture = _capture_fraction(
-                current_matrix, current_matrix.row_of(prefix),
+                current_matrix, cur_rows[prefix],
                 base_points, [], speed_km_per_ms,
                 policy.containment_slack_km,
             )
@@ -821,7 +842,7 @@ def classify_routing_changes(
         confidence = 0.8
         detail = "anycast collapsed onto a known site"
         if current_matrix is not None:
-            row = current_matrix.row_of(prefix)
+            row = cur_rows[prefix]
             values = current_matrix.rtt_ms[row]
             rewritten = True
             rewrite_excess = 1.0

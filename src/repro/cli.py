@@ -140,6 +140,7 @@ def _build_study(args: argparse.Namespace) -> CensusStudy:
             poison=poison,
             vp_distortion=_distortion_from_args(args),
             trust=args.trust,
+            matrix_store=args.matrix_store,
         )
     )
 
@@ -502,6 +503,16 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None, metavar="KIND",
                         help="restrict distortion to one kind "
                              "(default: all four)")
+    parser.add_argument("--matrix-store",
+                        choices=["auto", "inline", "memmap", "shared"],
+                        default="auto",
+                        help="backing store for the combined RTT matrix: "
+                             "'inline' = heap arrays, 'memmap'/'shared' = "
+                             "file-backed or POSIX shared-memory planes "
+                             "that analysis workers attach to by token, "
+                             "'auto' = inline below the size threshold "
+                             "(REPRO_MATRIX_STORE overrides; bytes are "
+                             "identical for every choice)")
     parser.add_argument("--trust", action="store_true",
                         help="cross-VP trust scoring: excise vantage "
                              "points whose columns are self-inconsistent "

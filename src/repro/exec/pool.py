@@ -104,6 +104,19 @@ def worker_main(worker_id: int, context: UnitContext, task_q, out_q) -> None:
     if current_metrics().enabled:
         metrics = MetricsRegistry()
         set_metrics(metrics)
+    # Optional context hooks (duck-typed so the pool stays generic):
+    #
+    # * ``prepare_worker(worker_id)`` runs once per worker before any
+    #   unit — contexts that carry a MatrixStore token re-attach their
+    #   shard views here instead of relying on inherited heap arrays;
+    # * ``encode_payload(result)`` compacts a unit result at the queue
+    #   boundary, so what crosses the pipe is shard indices + per-target
+    #   records, never dense arrays or deep object graphs.  The parent
+    #   decodes on receipt; in-parent execution skips both hooks.
+    prepare = getattr(context, "prepare_worker", None)
+    if prepare is not None:
+        prepare(worker_id)
+    encode = getattr(context, "encode_payload", None)
     plan = context.worker_faults
     injector = (
         WorkerFaultInjector(plan) if plan is not None and plan.enabled else None
@@ -138,6 +151,8 @@ def worker_main(worker_id: int, context: UnitContext, task_q, out_q) -> None:
                 (MSG_ERR, worker_id, unit_id, f"{type(exc).__name__}: {exc}")
             )
         else:
+            if encode is not None:
+                result = encode(result)
             out_q.put((MSG_OK, worker_id, unit_id, result))
 
 

@@ -292,6 +292,29 @@ class SyntheticInternet:
         except KeyError:
             raise KeyError(f"prefix index {prefix} not routed") from None
 
+    def target_indices(self, prefixes) -> np.ndarray:
+        """Target-array positions of many /24 prefix indices at once.
+
+        Vectorized :meth:`target_index`: one ``searchsorted`` over the
+        (sorted) target prefixes instead of a dict probe per element.
+        Raises :class:`KeyError` naming the first unrouted prefixes.
+        """
+        query = np.asarray(list(prefixes) if not isinstance(prefixes, np.ndarray) else prefixes, dtype=np.int64)
+        if query.size == 0:
+            return np.empty(0, dtype=np.int64)
+        order = np.argsort(self.prefixes, kind="stable")
+        sorted_prefixes = self.prefixes[order]
+        pos = np.searchsorted(sorted_prefixes, query)
+        in_range = pos < len(sorted_prefixes)
+        ok = in_range.copy()
+        if in_range.any():
+            safe = np.where(in_range, pos, 0)
+            ok &= sorted_prefixes[safe] == query
+        if not ok.all():
+            missing = query[~ok][:5].tolist()
+            raise KeyError(f"prefix indices not routed: {missing}")
+        return order[pos].astype(np.int64)
+
     def deployment_of(self, prefix: int) -> Optional[AnycastDeployment]:
         """The deployment announcing a /24, or ``None`` for unicast."""
         pos = self.target_index(prefix)

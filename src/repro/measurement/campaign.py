@@ -504,8 +504,8 @@ class CensusCampaign:
         probe_mask = self._current_probe_mask()
         if target_prefixes is not None:
             restricted = np.zeros(self.internet.n_targets, dtype=bool)
-            for prefix in target_prefixes:
-                restricted[self.internet.target_index(prefix)] = True
+            if len(target_prefixes):
+                restricted[self.internet.target_indices(target_prefixes)] = True
             probe_mask &= restricted
         n = self.internet.n_targets
         base_order = np.array(lfsr_permutation(n, seed=census_id), dtype=np.int64)
@@ -1129,15 +1129,23 @@ class CensusCampaign:
         anyway, but skipping keeps per-census greylists meaningful).
         """
         errors = records.greylistable()
-        for prefix, flag in zip(errors.prefix, errors.flag):
-            p = int(prefix)
+        if len(errors.prefix) == 0:
+            return
+        # Greylist.add is setdefault — only the first record per prefix
+        # matters, so dedup to first occurrences before the Python loop
+        # (the slow path shrinks from one call per error record to one
+        # per distinct erroring prefix).
+        _, first = np.unique(errors.prefix, return_index=True)
+        for i in first:
+            p = int(errors.prefix[i])
             if p not in self.blacklist:
-                greylist.observe(p, outcome_for(int(flag)))
+                greylist.observe(p, outcome_for(int(errors.flag[i])))
 
     def _current_probe_mask(self) -> np.ndarray:
         mask = np.ones(self.internet.n_targets, dtype=bool)
-        for prefix in self.blacklist.prefixes:
-            mask[self.internet.target_index(prefix)] = False
+        blocked = self.blacklist.prefixes
+        if blocked:
+            mask[self.internet.target_indices(sorted(blocked))] = False
         return mask
 
     def run_work_unit(

@@ -359,7 +359,9 @@ def read_raw_checksummed(fp: BinaryIO) -> "CensusRecords":
     """Read a checksummed raw payload, verifying the seal first.
 
     Raises :class:`CorruptPayloadError` on any integrity failure:
-    missing/garbled footer, truncated payload, or CRC mismatch.
+    missing/garbled footer, truncated payload, or CRC mismatch.  For
+    bounded-memory access to large payloads use :func:`iter_raw_batches`,
+    which performs the same verification without materializing the file.
     """
     data = fp.read()
     if len(data) < _SEAL_FOOTER.size:
@@ -378,6 +380,103 @@ def read_raw_checksummed(fp: BinaryIO) -> "CensusRecords":
         return CensusRecords.read_raw(io.BytesIO(payload))
     except ValueError as exc:  # seal ok but content unparseable
         raise CorruptPayloadError(f"sealed payload unreadable: {exc}") from exc
+
+
+#: Raw-format column layout: (attribute dtype, on-disk dtype, width).
+_RAW_COLUMNS = (
+    ("<u2", 2),
+    ("<u4", 4),
+    ("<f8", 8),
+    ("<f4", 4),
+    ("i1", 1),
+)
+_RAW_RECORD_BYTES = sum(width for _dtype, width in _RAW_COLUMNS)
+
+#: IO chunk of the streaming CRC pass.
+_STREAM_CHUNK = 1 << 22
+
+
+def iter_raw_batches(fp: BinaryIO, batch_records: int = 1 << 18):
+    """Stream a checksummed raw container in bounded record batches.
+
+    The memory-flat replay path: the seal is verified with a chunked CRC
+    pass (never holding more than :data:`_STREAM_CHUNK` bytes), then the
+    column-major payload is served as :class:`CensusRecords` batches of
+    at most ``batch_records`` rows via per-column slice reads — peak
+    memory is O(batch) regardless of file size.  Raises
+    :class:`CorruptPayloadError` for exactly the failures
+    :func:`read_raw_checksummed` rejects.  Requires a seekable stream;
+    concatenating the yielded batches reproduces the one-shot read.
+    """
+    if not fp.seekable():  # pragma: no cover - all our containers are files
+        raise ValueError("iter_raw_batches requires a seekable stream")
+    if batch_records < 1:
+        raise ValueError("batch_records must be >= 1")
+    start = fp.tell()
+    fp.seek(0, os.SEEK_END)
+    total = fp.tell() - start
+    if total < _SEAL_FOOTER.size:
+        raise CorruptPayloadError("payload too short for integrity footer")
+    payload_len = total - _SEAL_FOOTER.size
+    fp.seek(start + payload_len)
+    magic, crc, length = _SEAL_FOOTER.unpack(fp.read(_SEAL_FOOTER.size))
+    if magic != _SEAL_MAGIC:
+        raise CorruptPayloadError("missing integrity footer (torn write?)")
+    if payload_len & 0xFFFFFFFF != length:
+        raise CorruptPayloadError(
+            f"payload length {payload_len} != sealed length {length}"
+        )
+    fp.seek(start)
+    running = 0
+    remaining = payload_len
+    while remaining:
+        chunk = fp.read(min(_STREAM_CHUNK, remaining))
+        if not chunk:
+            raise CorruptPayloadError("payload truncated under its seal")
+        running = zlib.crc32(chunk, running)
+        remaining -= len(chunk)
+    if running & 0xFFFFFFFF != crc:
+        raise CorruptPayloadError("payload CRC mismatch (bit rot or tampering)")
+
+    fp.seek(start)
+    header = fp.read(_RAW_HEADER.size)
+    try:
+        header_magic, version, census_id, n = _RAW_HEADER.unpack(header)
+        if header_magic != _RAW_MAGIC:
+            raise ValueError("not a raw census record blob")
+        if version != 1:
+            raise ValueError(f"unsupported raw record version {version}")
+        if _RAW_HEADER.size + n * _RAW_RECORD_BYTES > payload_len:
+            raise ValueError("truncated raw census record blob")
+    except (struct.error, ValueError) as exc:
+        raise CorruptPayloadError(f"sealed payload unreadable: {exc}") from exc
+
+    # Column offsets within the payload: columns are stored contiguously.
+    offsets = []
+    position = start + _RAW_HEADER.size
+    for _dtype, width in _RAW_COLUMNS:
+        offsets.append(position)
+        position += n * width
+
+    for lo in range(0, max(n, 1), batch_records):
+        hi = min(lo + batch_records, n)
+        if n == 0:
+            hi = 0
+        columns = []
+        for (dtype, width), offset in zip(_RAW_COLUMNS, offsets):
+            fp.seek(offset + lo * width)
+            raw = fp.read((hi - lo) * width)
+            columns.append(np.frombuffer(raw, dtype=dtype))
+        yield CensusRecords(
+            census_id,
+            columns[0],
+            columns[1],
+            columns[2].astype(np.float64),
+            columns[3].astype(np.float32),
+            columns[4],
+        )
+        if n == 0:
+            return
 
 
 class CorruptBatchError(ValueError):
@@ -442,12 +541,35 @@ _JOURNAL_MAGIC = b"ACJ1"
 _JOURNAL_FRAME = struct.Struct("<4sIII")  # magic, json len, blob len, crc32
 
 
-@dataclass
 class JournalBatch:
-    """One journaled per-VP scan outcome: metadata plus optional records."""
+    """One journaled per-VP scan outcome: metadata plus optional records.
 
-    payload: Dict
-    records: Optional[CensusRecords]
+    Records load lazily: a batch recovered from disk holds only its blob
+    coordinates until :attr:`records` is first touched, so scanning or
+    resuming a large journal costs O(metadata), not O(journal) — the
+    arrays of a VP nobody asks about are never materialized.
+    """
+
+    def __init__(
+        self,
+        payload: Dict,
+        records: Optional[CensusRecords] = None,
+        source: Optional[Tuple[pathlib.Path, int, int]] = None,
+    ) -> None:
+        self.payload = payload
+        self._records = records
+        #: ``(journal path, blob offset, blob length)`` for lazy loading.
+        self._source = source
+
+    @property
+    def records(self) -> Optional[CensusRecords]:
+        if self._records is None and self._source is not None:
+            path, offset, length = self._source
+            with open(path, "rb") as fp:
+                fp.seek(offset)
+                blob = fp.read(length)
+            self._records = CensusRecords.read_raw(io.BytesIO(blob))
+        return self._records
 
 
 class CensusJournal:
@@ -475,28 +597,49 @@ class CensusJournal:
     # -- persistence -------------------------------------------------------
 
     def _load(self) -> None:
-        data = self.path.read_bytes()
-        offset = 0
-        while offset + _JOURNAL_FRAME.size <= len(data):
-            magic, json_len, blob_len, crc = _JOURNAL_FRAME.unpack_from(data, offset)
-            if magic != _JOURNAL_MAGIC:
-                break
-            end = offset + _JOURNAL_FRAME.size + json_len + blob_len
-            if end > len(data):
-                break  # torn tail: the writer died mid-entry
-            payload = data[offset + _JOURNAL_FRAME.size : end]
-            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-                break  # corrupted tail entry
-            entry = json.loads(payload[:json_len].decode("utf-8"))
-            blob = payload[json_len:]
-            if entry.get("kind") == "census-meta":
-                self.meta = entry
-            else:
-                records = (
-                    CensusRecords.read_raw(io.BytesIO(blob)) if blob_len else None
-                )
-                self.batches[entry["vp"]] = JournalBatch(entry, records)
-            offset = end
+        """Incremental frame scan: O(largest entry) memory, lazy blobs.
+
+        Each frame's CRC still covers metadata *and* blob, so every blob
+        byte is read once here (in bounded chunks) — but the decoded
+        record arrays are not materialized; batches remember their blob
+        coordinates and deserialize on first access instead.
+        """
+        size = self.path.stat().st_size
+        with open(self.path, "rb") as fp:
+            offset = 0
+            while offset + _JOURNAL_FRAME.size <= size:
+                fp.seek(offset)
+                head = fp.read(_JOURNAL_FRAME.size)
+                if len(head) < _JOURNAL_FRAME.size:
+                    break
+                magic, json_len, blob_len, crc = _JOURNAL_FRAME.unpack(head)
+                if magic != _JOURNAL_MAGIC:
+                    break
+                end = offset + _JOURNAL_FRAME.size + json_len + blob_len
+                if end > size:
+                    break  # torn tail: the writer died mid-entry
+                body = fp.read(json_len)
+                running = zlib.crc32(body)
+                remaining = blob_len
+                while remaining:
+                    chunk = fp.read(min(1 << 20, remaining))
+                    if not chunk:
+                        break
+                    running = zlib.crc32(chunk, running)
+                    remaining -= len(chunk)
+                if remaining or running & 0xFFFFFFFF != crc:
+                    break  # corrupted tail entry
+                entry = json.loads(body.decode("utf-8"))
+                if entry.get("kind") == "census-meta":
+                    self.meta = entry
+                else:
+                    source = (
+                        (self.path, offset + _JOURNAL_FRAME.size + json_len, blob_len)
+                        if blob_len
+                        else None
+                    )
+                    self.batches[entry["vp"]] = JournalBatch(entry, source=source)
+                offset = end
 
     def _append(self, entry: Dict, records: Optional[CensusRecords]) -> None:
         blob = b""

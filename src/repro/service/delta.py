@@ -52,6 +52,10 @@ REASON_BASELINE_UNREADABLE = "baseline-unreadable"
 REASON_CHURN = "churn-exceeds-threshold"
 REASON_DELTA = "delta"
 
+#: Row-block budget for :func:`target_signatures` — bounds the reordered
+#: float32 scratch copy to ~16 MB regardless of matrix size.
+_SIGNATURE_BLOCK_CELLS = 1 << 22
+
 
 def vp_column_digest(name: str, location: GeoPoint) -> bytes:
     """8-byte digest of one vantage point's identity (name + coordinates).
@@ -112,16 +116,23 @@ def target_signatures(
     ]
     cells = np.zeros(n_vps, dtype=[("vp", "S8"), ("rtt", "<f4")])
     cells["vp"] = digests
-    rtt = np.ascontiguousarray(matrix.rtt_ms, dtype="<f4")[:, order]
-    present = ~np.isnan(rtt)
     signatures: Dict[int, str] = {}
-    for i, prefix in enumerate(matrix.prefixes):
-        cells["rtt"] = rtt[i]
-        h = hashlib.blake2b(digest_size=8)
-        h.update(cells[present[i]].tobytes())
-        if excised is not None and excised[i]:
-            h.update(b"\x01" + int(excised[i]).to_bytes(4, "little"))
-        signatures[int(prefix)] = h.hexdigest()
+    # Reorder/hash one row block at a time: the full ``[:, order]`` copy
+    # is a second dense matrix (40 GB at Atlas scale) for no gain — the
+    # per-row bytes fed to blake2b are identical either way.
+    block_rows = max(1, _SIGNATURE_BLOCK_CELLS // max(n_vps, 1))
+    for lo in range(0, len(matrix.prefixes), block_rows):
+        hi = min(lo + block_rows, len(matrix.prefixes))
+        rtt = np.ascontiguousarray(matrix.rtt_ms[lo:hi], dtype="<f4")[:, order]
+        present = ~np.isnan(rtt)
+        for i in range(hi - lo):
+            cells["rtt"] = rtt[i]
+            h = hashlib.blake2b(digest_size=8)
+            h.update(cells[present[i]].tobytes())
+            row = lo + i
+            if excised is not None and excised[row]:
+                h.update(b"\x01" + int(excised[row]).to_bytes(4, "little"))
+            signatures[int(matrix.prefixes[row])] = h.hexdigest()
     return signatures
 
 

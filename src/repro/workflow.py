@@ -143,6 +143,13 @@ class StudyConfig:
     trust: bool = False
     #: Detector thresholds; ``None`` uses :class:`TrustPolicy` defaults.
     trust_policy: Optional[TrustPolicy] = None
+    #: Backing store for the combined RTT matrix: ``"inline"`` keeps the
+    #: classic heap arrays, ``"memmap"``/``"shared"`` place the planes in
+    #: a file-backed or POSIX shared-memory segment workers attach to by
+    #: token, and ``"auto"`` picks inline below the size threshold.  The
+    #: ``REPRO_MATRIX_STORE`` env var wins over this field; bytes are
+    #: identical for every choice.
+    matrix_store: str = "auto"
 
 
 class CensusStudy:
@@ -349,7 +356,7 @@ class CensusStudy:
                     census if clean is census.records else replace(census, records=clean)
                 )
             inputs = sanitized
-        matrix = combine_censuses(inputs)
+        matrix = combine_censuses(inputs, store=self.config.matrix_store)
         if self._poisoner is not None:
             matrix = self._poisoner.poison_matrix(matrix)
         if self.supervisor is not None:

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.census.combine import combine_censuses, matrix_from_census
+from repro.census.combine import (
+    RttMatrix,
+    _fold_min_count,
+    combine_censuses,
+    matrix_from_census,
+    matrix_from_records,
+    merge_matrices,
+)
+from repro.geo.coords import GeoPoint
 
 
 @pytest.fixture(scope="module")
@@ -91,3 +99,164 @@ class TestCombination:
         combined = combine_censuses(two_censuses)
         single = combine_censuses(two_censuses[:1])
         assert combined.n_targets >= single.n_targets
+
+
+# -- exact-bytes regressions vs the scattered-ufunc reference -----------
+#
+# The production fold is lexsort + minimum.reduceat (see the module
+# docstring's micro-benchmark note); these tests pin it byte-for-byte
+# against the np.minimum.at / np.add.at formulation it replaced.
+
+
+def _scattered_reference(shape, rows, cols, values):
+    rtt = np.full(shape, np.inf, dtype=np.float32)
+    counts = np.zeros(shape, dtype=np.uint8)
+    np.minimum.at(rtt, (rows, cols), values)
+    np.add.at(counts, (rows, cols), 1)
+    return rtt, counts
+
+
+class TestFoldExactBytes:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("chunk", [7, 1 << 21])
+    def test_fold_matches_scattered_ufuncs(self, seed, chunk):
+        rng = np.random.default_rng(seed)
+        shape = (23, 9)
+        n = int(rng.integers(1, 2000))
+        rows = rng.integers(0, shape[0], size=n).astype(np.int64)
+        cols = rng.integers(0, shape[1], size=n).astype(np.int64)
+        values = rng.choice(
+            [1.5, 2.0, 2.0, 7.25, 33.0, 150.0], size=n
+        ).astype(np.float32)
+        ref_rtt, ref_counts = _scattered_reference(shape, rows, cols, values)
+        rtt = np.full(shape, np.inf, dtype=np.float32)
+        counts = np.zeros(shape, dtype=np.uint8)
+        _fold_min_count(rtt, counts, rows, cols, values, chunk=chunk)
+        assert rtt.tobytes() == ref_rtt.tobytes()
+        assert counts.tobytes() == ref_counts.tobytes()
+
+    def test_fold_preserves_nan_poisoning(self):
+        # A NaN sample must poison its cell exactly like np.minimum.at.
+        rows = np.array([0, 0, 1], dtype=np.int64)
+        cols = np.array([0, 0, 0], dtype=np.int64)
+        values = np.array([5.0, np.nan, 3.0], dtype=np.float32)
+        ref_rtt, ref_counts = _scattered_reference((2, 2), rows, cols, values)
+        rtt = np.full((2, 2), np.inf, dtype=np.float32)
+        counts = np.zeros((2, 2), dtype=np.uint8)
+        _fold_min_count(rtt, counts, rows, cols, values)
+        assert np.isnan(rtt[0, 0]) and np.isnan(ref_rtt[0, 0])
+        assert rtt.tobytes() == ref_rtt.tobytes()
+        assert counts.tobytes() == ref_counts.tobytes()
+
+    def test_count_wraparound_matches_uint8_add(self):
+        # 300 samples into one uint8 cell wrap mod 256 either way.
+        n = 300
+        rows = np.zeros(n, dtype=np.int64)
+        cols = np.zeros(n, dtype=np.int64)
+        values = np.full(n, 9.0, dtype=np.float32)
+        ref_rtt, ref_counts = _scattered_reference((1, 1), rows, cols, values)
+        rtt = np.full((1, 1), np.inf, dtype=np.float32)
+        counts = np.zeros((1, 1), dtype=np.uint8)
+        _fold_min_count(rtt, counts, rows, cols, values)
+        assert counts[0, 0] == ref_counts[0, 0] == n % 256
+
+
+def _random_matrix(seed, n_vps, n_targets, name_offset=0):
+    rng = np.random.default_rng(seed)
+    rtt = rng.choice([2.0, 5.0, 20.0, 90.0], size=(n_targets, n_vps))
+    rtt = np.where(rng.random(rtt.shape) < 0.3, np.nan, rtt).astype(np.float32)
+    counts = rng.integers(0, 4, size=rtt.shape).astype(np.uint8)
+    return RttMatrix(
+        prefixes=np.sort(
+            rng.choice(2**16, size=n_targets, replace=False).astype(np.uint32)
+        ),
+        vp_names=[f"vp-{name_offset + i:03d}" for i in range(n_vps)],
+        vp_locations=[
+            GeoPoint(float(a), float(b))
+            for a, b in zip(
+                rng.uniform(-60, 60, n_vps), rng.uniform(-170, 170, n_vps)
+            )
+        ],
+        rtt_ms=rtt,
+        sample_count=counts,
+    )
+
+
+class TestMergeExactBytes:
+    def _merge_reference(self, a, b):
+        """The pre-streaming formulation: full coordinate arrays + minimum.at."""
+        vp_index, vp_locations = {}, []
+        for matrix in (a, b):
+            for name, location in zip(matrix.vp_names, matrix.vp_locations):
+                if name not in vp_index:
+                    vp_index[name] = len(vp_index)
+                    vp_locations.append(location)
+        prefixes = np.union1d(a.prefixes, b.prefixes)
+        shape = (len(prefixes), len(vp_index))
+        rtt = np.full(shape, np.inf, dtype=np.float32)
+        counts = np.zeros(shape, dtype=np.uint8)
+        for matrix in (a, b):
+            cols = np.array([vp_index[n] for n in matrix.vp_names], dtype=np.int64)
+            rows = np.searchsorted(prefixes, matrix.prefixes)
+            t, v = np.nonzero(~np.isnan(matrix.rtt_ms))
+            np.minimum.at(rtt, (rows[t], cols[v]), matrix.rtt_ms[t, v])
+            np.add.at(counts, (rows[t], cols[v]), matrix.sample_count[t, v])
+        rtt[np.isinf(rtt)] = np.nan
+        return rtt, counts
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_streaming_merge_matches_reference(self, seed):
+        a = _random_matrix(seed, n_vps=6, n_targets=15)
+        # Overlapping roster: vp-002.. shared between the two operands.
+        b = _random_matrix(seed + 100, n_vps=7, n_targets=11, name_offset=2)
+        ref_rtt, ref_counts = self._merge_reference(a, b)
+        merged = merge_matrices(a, b)
+        assert merged.rtt_ms.tobytes() == ref_rtt.tobytes()
+        assert merged.sample_count.tobytes() == ref_counts.tobytes()
+
+    def test_poisoned_counts_under_nan_do_not_merge(self):
+        # A NaN cell carrying a nonzero count (poisoned plane) must not
+        # contribute its count — the old masked fold never saw it.
+        a = _random_matrix(8, n_vps=3, n_targets=4)
+        a.rtt_ms[0, 0] = np.nan
+        a.sample_count[0, 0] = 9
+        b = _random_matrix(9, n_vps=3, n_targets=4)
+        ref_rtt, ref_counts = self._merge_reference(a, b)
+        merged = merge_matrices(a, b)
+        assert merged.rtt_ms.tobytes() == ref_rtt.tobytes()
+        assert merged.sample_count.tobytes() == ref_counts.tobytes()
+
+
+class TestRowsOf:
+    def test_bulk_matches_scalar(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        wanted = matrix.prefixes[:: max(len(matrix.prefixes) // 20, 1)]
+        rows = matrix.rows_of(wanted)
+        assert rows.dtype == np.int64
+        for prefix, row in zip(wanted, rows):
+            assert matrix.row_of(int(prefix)) == int(row)
+
+    def test_preserves_query_order(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        wanted = matrix.prefixes[[5, 1, 3]]
+        rows = matrix.rows_of(wanted)
+        assert rows.tolist() == [5, 1, 3]
+
+    def test_empty_query(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        assert matrix.rows_of([]).size == 0
+
+    def test_unknown_prefix_raises(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        with pytest.raises(KeyError):
+            matrix.rows_of([int(matrix.prefixes[0]), 99999999])
+
+    def test_bulk_samples_matches_samples_for(self, tiny_census):
+        matrix = matrix_from_census(tiny_census)
+        rows = np.arange(min(10, matrix.n_targets), dtype=np.int64)
+        present, rtt = matrix.bulk_samples(rows)
+        for i, row in enumerate(rows):
+            triples = matrix.samples_for(int(matrix.prefixes[row]))
+            cols = np.nonzero(present[i])[0]
+            assert [matrix.vp_names[j] for j in cols] == [t[0] for t in triples]
+            assert [float(rtt[i, j]) for j in cols] == [t[2] for t in triples]

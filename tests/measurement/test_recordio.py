@@ -270,6 +270,69 @@ class TestRawFormat:
             CensusRecords.read_raw(io.BytesIO(b"NOPE" + b"\0" * 20))
 
 
+class TestStreamingRaw:
+    """iter_raw_batches ≡ read_raw_checksummed, in O(batch) memory."""
+
+    @staticmethod
+    def _sealed(records) -> io.BytesIO:
+        from repro.measurement.recordio import write_raw_checksummed
+
+        sink = io.BytesIO()
+        write_raw_checksummed(records, sink)
+        sink.seek(0)
+        return sink
+
+    def test_batches_reassemble_exactly(self):
+        from repro.measurement.recordio import iter_raw_batches
+
+        records = make_records(500, census_id=3, seed=4)
+        batches = list(iter_raw_batches(self._sealed(records), batch_records=64))
+        assert len(batches) == (500 + 63) // 64
+        merged = concatenate(tuple(batches))
+        assert merged.checksum() == records.checksum()
+        assert np.array_equal(merged.timestamp_ms, records.timestamp_ms)
+        assert np.array_equal(merged.rtt_ms, records.rtt_ms, equal_nan=True)
+
+    def test_empty_payload_yields_one_empty_batch(self):
+        from repro.measurement.recordio import iter_raw_batches
+
+        records = CensusRecords.empty(7)
+        batches = list(iter_raw_batches(self._sealed(records)))
+        assert len(batches) == 1
+        assert len(batches[0]) == 0
+        assert batches[0].census_id == 7
+
+    def test_corruption_detected_before_any_batch(self):
+        from repro.measurement.recordio import CorruptPayloadError, iter_raw_batches
+
+        records = make_records(200, seed=5)
+        blob = bytearray(self._sealed(records).getvalue())
+        blob[40] ^= 0xFF  # flip a payload byte under the seal
+        with pytest.raises(CorruptPayloadError):
+            list(iter_raw_batches(io.BytesIO(bytes(blob))))
+
+    def test_truncation_detected(self):
+        from repro.measurement.recordio import CorruptPayloadError, iter_raw_batches
+
+        records = make_records(200, seed=6)
+        blob = self._sealed(records).getvalue()[:-30]
+        with pytest.raises(CorruptPayloadError):
+            list(iter_raw_batches(io.BytesIO(blob)))
+
+    def test_matches_one_shot_reader(self):
+        from repro.measurement.recordio import (
+            iter_raw_batches,
+            read_raw_checksummed,
+        )
+
+        records = make_records(300, seed=7)
+        one_shot = read_raw_checksummed(self._sealed(records))
+        streamed = concatenate(
+            tuple(iter_raw_batches(self._sealed(records), batch_records=50))
+        )
+        assert streamed.checksum() == one_shot.checksum()
+
+
 class TestFlapCheckpointResume:
     """Fault-injection flap mode interacting with journal resume.
 

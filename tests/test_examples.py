@@ -24,9 +24,10 @@ ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
 
 class TestExamples:
-    def test_twelve_examples_present(self):
-        assert len(ALL_EXAMPLES) == 12
+    def test_thirteen_examples_present(self):
+        assert len(ALL_EXAMPLES) == 13
         assert "quickstart.py" in ALL_EXAMPLES
+        assert "atlas_scale_census.py" in ALL_EXAMPLES
         assert "trace_study.py" in ALL_EXAMPLES
         assert "daily_census.py" in ALL_EXAMPLES
         assert "epoch_timeline.py" in ALL_EXAMPLES
